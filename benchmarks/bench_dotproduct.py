@@ -1,0 +1,38 @@
+"""Reduction-strategy benchmark on the dot-product workload.
+
+Extension beyond the paper's Jacobi-only evaluation (its future work
+section asks for more parallel benchmarks): quantifies how the reduction
+cost scales with core count for the message-passing and shared-memory
+strategies.
+"""
+
+from __future__ import annotations
+
+from repro.apps.dotproduct import DotProductParams, run_dotproduct
+from repro.dse.report import format_table
+from repro.system.config import SystemConfig
+
+
+def test_reduction_scaling(benchmark):
+    def run():
+        rows = []
+        for n_workers in (2, 4, 8):
+            config = SystemConfig(n_workers=n_workers, cache_size_kb=8)
+            empi = run_dotproduct(config, DotProductParams(160, "empi"))
+            pure = run_dotproduct(config, DotProductParams(160, "pure_sm"))
+            assert empi.validated and pure.validated
+            rows.append([
+                n_workers, empi.reduction_cycles, pure.reduction_cycles,
+                f"{pure.reduction_cycles / empi.reduction_cycles:.1f}x",
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + format_table(
+        ["workers", "empi_cycles", "sm_cycles", "penalty"], rows,
+        title="reduction strategies",
+    ))
+    # The SM penalty grows with core count (MPMMU serialization).
+    penalties = [float(row[3][:-1]) for row in rows]
+    assert penalties[-1] >= penalties[0]
+    assert penalties[-1] > 1.5

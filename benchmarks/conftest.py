@@ -1,0 +1,27 @@
+"""Shared benchmark fixtures.
+
+Benchmarks regenerate the paper's artifacts at reduced scale by default
+(minutes, not hours); set ``MEDEA_FULL=1`` to run the paper's full axes.
+Sweep points are cached under ``benchmarks/out/`` so derived figures reuse
+earlier sweeps, and every regenerated report is saved there as text.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUT_DIR
+
+
+def save_and_echo(report, results_dir: Path) -> None:
+    """Persist a report and echo it so `pytest -s` shows the figures."""
+    path = report.save(results_dir)
+    print(f"\n{report.text}\n[saved to {path}]")

@@ -1,0 +1,68 @@
+"""The paper's core experiment in miniature: three programming models.
+
+Runs the same Jacobi problem under
+
+* ``hybrid_full``  — data and synchronization over the message-passing TIE
+  path (the "Medea" way);
+* ``hybrid_sync``  — data through shared memory with software
+  flush/invalidate, synchronization via eMPI barriers;
+* ``pure_sm``      — everything through the MPMMU: lock-protected shared
+  writes and a lock+spin barrier,
+
+and prints the slowdown of each relative to the hybrid, along with where
+the cycles went (MPMMU occupancy, message counts).  Compare with Section
+III of the paper: the pure-SM penalty grows with core count, and most of
+the hybrid's win comes from synchronization.
+
+Run with::
+
+    python examples/programming_models.py [n_workers]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import SystemConfig
+from repro.apps.jacobi import JacobiParams, run_jacobi
+from repro.dse.report import format_table
+
+
+def main(n_workers: int = 6) -> None:
+    config = SystemConfig(n_workers=n_workers, cache_size_kb=16)
+    rows = []
+    baseline = None
+    for model in ("hybrid_full", "hybrid_sync", "pure_sm"):
+        params = JacobiParams(n=30, iterations=3, warmup=1, model=model)
+        result = run_jacobi(config, params)
+        assert result.validated, f"{model} failed numerical validation"
+        if baseline is None:
+            baseline = result.cycles_per_iteration
+        mpmmu_busy = result.stats["mpmmu"].get("busy_cycles", 0)
+        messages = sum(
+            worker["tie"].get("data_flits_sent", 0)
+            + worker["tie"].get("requests_sent", 0)
+            for worker in result.stats["workers"]
+        )
+        locks = result.stats["mpmmu"].get("served_lock", 0)
+        rows.append([
+            model,
+            f"{result.cycles_per_iteration:.0f}",
+            f"{result.cycles_per_iteration / baseline:.2f}x",
+            f"{mpmmu_busy}",
+            messages,
+            locks,
+        ])
+
+    print(format_table(
+        ["model", "cycles/iter", "vs hybrid", "mpmmu busy", "msg flits",
+         "lock reqs"],
+        rows,
+        title=f"Jacobi 30x30 on {n_workers} workers, 16 kB WB caches",
+    ))
+    print("Paper context (Sec. III, 60x60): pure SM is ~2x slower at 6")
+    print("cores growing past 5x; sync-only recovers 2x-2.8x of that.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 6)

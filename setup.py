@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment has no ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .``) cannot build; ``python setup.py develop``
+installs the same editable egg-link without needing wheels.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,5 @@
+"""Workloads: Jacobi, the dot-product reduction kernel, synthetic traffic."""
+
+from repro.apps import dotproduct, jacobi, synthetic
+
+__all__ = ["dotproduct", "jacobi", "synthetic"]

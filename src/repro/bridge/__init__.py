@@ -1,0 +1,26 @@
+"""Shared-memory interface between a processor and the NoC.
+
+The pif2NoC bridge (paper Section II-B) translates Tensilica PIF bus
+transactions — single/block reads and writes, plus lock/unlock — into
+sequences of NoC flits addressed to the MPMMU, and reassembles possibly
+out-of-order reply flits through a 4-deep reorder buffer.
+
+Access to the single NoC injection port is shared between this bridge and
+the TIE message-passing interface by an arbiter; all three arbiter
+configurations described in the paper are implemented in
+:mod:`repro.bridge.arbiter`.
+"""
+
+from repro.bridge.arbiter import ArbiterMode, NocAccessArbiter, TrafficClass
+from repro.bridge.pif import MemTransaction
+from repro.bridge.pif2noc import Pif2NocBridge
+from repro.bridge.reorder import ReorderBuffer
+
+__all__ = [
+    "ArbiterMode",
+    "MemTransaction",
+    "NocAccessArbiter",
+    "Pif2NocBridge",
+    "ReorderBuffer",
+    "TrafficClass",
+]

@@ -1,0 +1,169 @@
+"""NoC-access arbiter between the shared-memory and message-passing paths.
+
+Section II-B describes three implementations, all available here:
+
+* ``MUX`` — no buffering: each interface presents one flit; one is granted
+  per cycle (round-robin on contention), the other retries;
+* ``SINGLE_FIFO`` — both interfaces push into one queue that keeps feeding
+  the switch even when it is congested;
+* ``DUAL_FIFO`` — a High-Priority queue and a Best-Effort queue; the
+  best-effort queue is read only when the high-priority one is empty.
+
+Which traffic class is high priority is configurable; MEDEA's rationale
+(low-latency synchronization) maps message-passing traffic to HP by
+default.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ConfigError
+from repro.kernel.fifo import Fifo
+from repro.kernel.stats import CounterSet
+from repro.noc.flit import Flit
+from repro.noc.network import InjectionPort
+
+
+class ArbiterMode(enum.Enum):
+    MUX = "mux"
+    SINGLE_FIFO = "single_fifo"
+    DUAL_FIFO = "dual_fifo"
+
+    @classmethod
+    def parse(cls, value: "ArbiterMode | str") -> "ArbiterMode":
+        if isinstance(value, ArbiterMode):
+            return value
+        try:
+            return cls(value.lower())
+        except ValueError:
+            raise ConfigError(
+                f"unknown arbiter mode {value!r}; "
+                f"use 'mux', 'single_fifo' or 'dual_fifo'"
+            ) from None
+
+
+class TrafficClass(enum.Enum):
+    MESSAGE = "message"
+    MEMORY = "memory"
+
+
+class NocAccessArbiter:
+    """Shares one injection port between the TIE and pif2NoC interfaces."""
+
+    def __init__(
+        self,
+        inject_port: InjectionPort,
+        mode: ArbiterMode | str = ArbiterMode.DUAL_FIFO,
+        fifo_depth: int = 4,
+        high_priority: TrafficClass | str = TrafficClass.MESSAGE,
+        name: str = "arbiter",
+    ) -> None:
+        self.mode = ArbiterMode.parse(mode)
+        if isinstance(high_priority, str):
+            high_priority = TrafficClass(high_priority.lower())
+        self.high_priority = high_priority
+        self.port = inject_port
+        self.name = name
+        self.stats = CounterSet(name)
+        self._last_granted: TrafficClass = TrafficClass.MEMORY
+        if self.mode is ArbiterMode.MUX:
+            self._queues: dict[TrafficClass, Fifo[Flit]] = {}
+            self._slots: dict[TrafficClass, Flit | None] = {
+                TrafficClass.MESSAGE: None,
+                TrafficClass.MEMORY: None,
+            }
+        elif self.mode is ArbiterMode.SINGLE_FIFO:
+            shared: Fifo[Flit] = Fifo(fifo_depth, name=f"{name}.q")
+            self._queues = {
+                TrafficClass.MESSAGE: shared,
+                TrafficClass.MEMORY: shared,
+            }
+            self._slots = {}
+        else:
+            self._queues = {
+                TrafficClass.MESSAGE: Fifo(fifo_depth, name=f"{name}.hp"),
+                TrafficClass.MEMORY: Fifo(fifo_depth, name=f"{name}.be"),
+            }
+            self._slots = {}
+
+    # -- producer side ---------------------------------------------------------
+
+    def offer(self, traffic_class: TrafficClass, flit: Flit) -> bool:
+        """Hand a flit to the arbiter; False means retry next cycle."""
+        if self.mode is ArbiterMode.MUX:
+            if self._slots[traffic_class] is not None:
+                self.stats.inc("mux_busy_rejects")
+                return False
+            self._slots[traffic_class] = flit
+            return True
+        queue = self._queues[traffic_class]
+        if queue.full:
+            self.stats.inc("fifo_full_rejects")
+            return False
+        queue.push(flit)
+        return True
+
+    def offer_message(self, flit: Flit) -> bool:
+        return self.offer(TrafficClass.MESSAGE, flit)
+
+    def offer_memory(self, flit: Flit) -> bool:
+        return self.offer(TrafficClass.MEMORY, flit)
+
+    # -- clocked drain -------------------------------------------------------------
+
+    def tick(self) -> None:
+        """Move at most one flit toward the injection port this cycle."""
+        if self.port.busy:
+            self.stats.inc("port_busy_cycles")
+            return
+        flit = self._select()
+        if flit is not None:
+            accepted = self.port.try_inject(flit)
+            assert accepted, "injection port reported free but rejected flit"
+            self.stats.inc("flits_granted")
+
+    def _select(self) -> Flit | None:
+        if self.mode is ArbiterMode.MUX:
+            first = self._other(self._last_granted)
+            for traffic_class in (first, self._last_granted):
+                flit = self._slots[traffic_class]
+                if flit is not None:
+                    self._slots[traffic_class] = None
+                    self._last_granted = traffic_class
+                    return flit
+            return None
+        if self.mode is ArbiterMode.SINGLE_FIFO:
+            queue = self._queues[TrafficClass.MESSAGE]
+            return queue.pop() if queue else None
+        hp = self._queues[self._hp_class()]
+        if hp:
+            return hp.pop()
+        be = self._queues[self._be_class()]
+        if be:
+            self.stats.inc("be_grants")
+            return be.pop()
+        return None
+
+    def _hp_class(self) -> TrafficClass:
+        return self.high_priority
+
+    def _be_class(self) -> TrafficClass:
+        return self._other(self.high_priority)
+
+    @staticmethod
+    def _other(traffic_class: TrafficClass) -> TrafficClass:
+        if traffic_class is TrafficClass.MESSAGE:
+            return TrafficClass.MEMORY
+        return TrafficClass.MESSAGE
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def has_pending(self) -> bool:
+        if self.mode is ArbiterMode.MUX:
+            return any(flit is not None for flit in self._slots.values())
+        return any(bool(queue) for queue in self._queues.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<NocAccessArbiter {self.name} {self.mode.value}>"

@@ -1,0 +1,71 @@
+"""PIF bus transaction descriptors.
+
+A :class:`MemTransaction` is what the processor's memory pipeline hands to
+the pif2NoC bridge: one shared-memory operation against the MPMMU.  The
+bridge turns it into the wire protocol of Fig. 4 and fills in the results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+from repro.noc.packet import PacketType
+
+#: Words in a block transaction — one 16-byte cache line.
+BLOCK_WORDS = 4
+
+
+@dataclass
+class MemTransaction:
+    """One shared-memory operation in flight at the bridge."""
+
+    kind: PacketType
+    addr: int
+    write_words: list[int] = field(default_factory=list)
+    #: False for posted writes: the core does not wait for completion.
+    blocking: bool = True
+    read_words: list[int] = field(default_factory=list)
+    #: For LOCK: True=granted, False=NACKed.  None until resolved.
+    granted: bool | None = None
+    issued_at: int = -1
+    completed_at: int = -1
+
+    def __post_init__(self) -> None:
+        if self.kind == PacketType.MESSAGE:
+            raise ProtocolError("MESSAGE flits do not travel through the bridge")
+        expected = self.expected_write_words
+        if len(self.write_words) != expected:
+            raise ProtocolError(
+                f"{self.kind.name} carries {expected} write words, "
+                f"got {len(self.write_words)}"
+            )
+
+    @property
+    def expected_write_words(self) -> int:
+        if self.kind == PacketType.SINGLE_WRITE:
+            return 1
+        if self.kind == PacketType.BLOCK_WRITE:
+            return BLOCK_WORDS
+        return 0
+
+    @property
+    def expected_read_words(self) -> int:
+        if self.kind == PacketType.SINGLE_READ:
+            return 1
+        if self.kind == PacketType.BLOCK_READ:
+            return BLOCK_WORDS
+        return 0
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind in (PacketType.SINGLE_WRITE, PacketType.BLOCK_WRITE)
+
+    @property
+    def latency(self) -> int:
+        if self.issued_at < 0 or self.completed_at < 0:
+            raise ProtocolError("transaction not complete")
+        return self.completed_at - self.issued_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<MemTransaction {self.kind.name} @{self.addr:#x}>"

@@ -1,0 +1,39 @@
+"""Store (write) buffer for write-through and uncached stores.
+
+A write-through cache without a write buffer would stall the core for a
+full MPMMU round trip on *every* store.  The real machine posts stores
+into a small FIFO drained by the pif2NoC bridge; the core only stalls when
+the FIFO is full.  Depth is configurable — depth 1 effectively models the
+unbuffered case for ablation.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.fifo import Fifo
+
+
+class WriteBuffer:
+    """FIFO of pending (addr, value) single-word stores."""
+
+    def __init__(self, depth: int = 4, name: str = "wbuf") -> None:
+        self.fifo: Fifo[tuple[int, int]] = Fifo(capacity=depth, name=name)
+        self.stall_cycles = 0
+
+    @property
+    def depth(self) -> int:
+        assert self.fifo.capacity is not None
+        return self.fifo.capacity
+
+    def try_post(self, addr: int, value: int) -> bool:
+        """Queue a store; False (core must stall) when full."""
+        return self.fifo.try_push((addr, value))
+
+    def pop(self) -> tuple[int, int]:
+        return self.fifo.pop()
+
+    @property
+    def empty(self) -> bool:
+        return self.fifo.empty
+
+    def __len__(self) -> int:
+        return len(self.fifo)

@@ -1,0 +1,72 @@
+"""Command-line interface: regenerate any paper artifact.
+
+Usage::
+
+    python -m repro fig6            # reduced-scale Fig. 6 regeneration
+    python -m repro fig7 --full     # the paper's full 168-point sweep
+    python -m repro all --jobs 8    # every experiment
+    python -m repro compare         # hybrid vs sync-only vs pure-SM
+
+Reports are printed and saved under ``--out`` (default ``./results``);
+sweep points are cached there too, so derived figures (7, 9) reuse the
+execution-time sweeps of figures 6 and 8.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.dse.experiments import ALL_EXPERIMENTS, DEFAULT_RESULTS_DIR
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="medea",
+        description="MEDEA (DATE 2010) reproduction: regenerate paper figures",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(ALL_EXPERIMENTS) + ["all"],
+        help="which paper artifact to regenerate",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="run the paper's full axes (168 points per figure sweep)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for sweeps (default: cpu count - 1)",
+    )
+    parser.add_argument(
+        "--out", default=str(DEFAULT_RESULTS_DIR),
+        help="directory for reports and the sweep cache (default: results)",
+    )
+    return parser
+
+
+def run_experiment(
+    name: str, full: bool | None, jobs: int | None, out: str
+) -> str:
+    # full=None defers to the MEDEA_FULL environment variable.
+    runner = ALL_EXPERIMENTS[name]
+    if name in ("noc", "simspeed"):
+        report = runner(full=full)
+    else:
+        report = runner(full=full, jobs=jobs, cache_dir=out)
+    path = report.save(out)
+    return f"{report.text}\n[saved to {path}; wall {report.wall_seconds:.1f}s]\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    full = True if args.full else None  # None -> honour MEDEA_FULL
+    for name in names:
+        print(f"=== {name} ===")
+        print(run_experiment(name, full, args.jobs, args.out))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

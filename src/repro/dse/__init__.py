@@ -1,0 +1,31 @@
+"""Design-space exploration: sweep runner, area model, Pareto + kill rule.
+
+Section III of the paper explores 168 architecture points (2-15 workers x
+2-64 kB x WB/WT) with the Jacobi workload at three problem sizes, then
+prunes the (area, speedup) cloud to a Pareto front and applies Agarwal's
+"kill rule" (kill a resource increase that buys less than linear
+performance).  This package is that harness:
+
+* :mod:`repro.dse.space` — declarative sweep definitions;
+* :mod:`repro.dse.runner` — multiprocessing sweep executor with a JSON
+  result cache (re-running a figure is free once its points exist);
+* :mod:`repro.dse.area` — the TSMC-65nm-calibrated area model;
+* :mod:`repro.dse.pareto` — Pareto front + kill-rule pruning;
+* :mod:`repro.dse.report` — figure regeneration: series tables and ASCII
+  plots that mirror Figs. 6-9.
+"""
+
+from repro.dse.area import AreaModel
+from repro.dse.pareto import kill_rule_prune, pareto_front
+from repro.dse.runner import SweepResult, run_sweep
+from repro.dse.space import SweepPoint, SweepSpec
+
+__all__ = [
+    "AreaModel",
+    "SweepPoint",
+    "SweepResult",
+    "SweepSpec",
+    "kill_rule_prune",
+    "pareto_front",
+    "run_sweep",
+]

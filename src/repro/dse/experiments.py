@@ -1,0 +1,491 @@
+"""Experiment definitions: one entry point per paper figure / claim.
+
+Each ``experiment_*`` function runs (or reuses, via the sweep cache) the
+simulations behind one artifact of the paper's evaluation and returns an
+:class:`ExperimentReport` with the same series the paper plots.  The CLI
+(``python -m repro``) and the benchmark suite both call these.
+
+Scale control: ``full=False`` (default) runs a reduced grid that finishes
+in minutes on a laptop; ``full=True`` reproduces the paper's exact axes
+(the 168-point sweep per problem size).  The benchmarks honour the
+``MEDEA_FULL=1`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.apps.jacobi.driver import JacobiParams, run_jacobi
+from repro.apps.synthetic import latency_throughput_sweep
+from repro.dse.area import AreaModel
+from repro.dse.pareto import FrontPoint, kill_rule_prune, pareto_front
+from repro.dse.report import ascii_plot, format_table
+from repro.dse.runner import SweepResult, run_sweep
+from repro.dse.space import SweepSpec
+from repro.system.config import SystemConfig
+
+#: Default location of the sweep cache and rendered reports.
+DEFAULT_RESULTS_DIR = Path("results")
+
+
+@dataclass
+class ExperimentReport:
+    """Rendered outcome of one experiment."""
+
+    experiment: str
+    full_scale: bool
+    text: str
+    series: dict = field(default_factory=dict)
+    rows: list = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def save(self, out_dir: str | Path) -> Path:
+        path = Path(out_dir) / f"{self.experiment}.txt"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.text)
+        return path
+
+
+def full_scale_requested() -> bool:
+    return os.environ.get("MEDEA_FULL", "") not in ("", "0")
+
+
+def _scale_note(full: bool, detail: str) -> str:
+    if full:
+        return "scale: FULL (paper axes)\n"
+    return f"scale: reduced for quick runs ({detail}); MEDEA_FULL=1 for paper axes\n"
+
+
+# ---------------------------------------------------------------------------
+# Figures 6 and 8: execution time vs cores / cache size / policy
+# ---------------------------------------------------------------------------
+
+
+def _execution_time_spec(
+    name: str,
+    size: int,
+    policies: tuple[str, ...],
+    cache_sizes: tuple[int, ...],
+    workers: tuple[int, ...],
+    iterations: int,
+    base_config: SystemConfig,
+) -> SweepSpec:
+    return SweepSpec(
+        name=name,
+        workers=workers,
+        cache_sizes_kb=cache_sizes,
+        policies=policies,
+        base_config=base_config,
+        params=JacobiParams(n=size, iterations=iterations, warmup=1),
+    )
+
+
+def execution_time_experiment(
+    experiment: str,
+    paper_size: int,
+    policies: tuple[str, ...],
+    paper_caches: tuple[int, ...],
+    full: bool,
+    jobs: int | None,
+    cache_dir: str | Path | None,
+    quick_size: int,
+    quick_caches: tuple[int, ...],
+    quick_workers: tuple[int, ...] = (2, 4, 8, 15),
+) -> ExperimentReport:
+    """Shared harness for Figs. 6 and 8 (and WB/WT ablations)."""
+    started = time.perf_counter()
+    if full:
+        size = paper_size
+        caches = paper_caches
+        workers = tuple(range(2, 16))
+    else:
+        size = quick_size
+        caches = quick_caches
+        workers = quick_workers
+    spec = _execution_time_spec(
+        f"{experiment}_n{size}", size, policies, caches, workers, 3, SystemConfig()
+    )
+    results = run_sweep(spec, jobs=jobs, cache_dir=cache_dir, progress=True)
+    _check_validated(results)
+
+    series: dict[str, list[tuple[float, float]]] = {}
+    for result in results:
+        label = f"{result.cache_kb}kB${result.policy.upper()}"
+        series.setdefault(label, []).append(
+            (result.n_workers, result.cycles_per_iteration)
+        )
+    for values in series.values():
+        values.sort()
+
+    header = ["cores"] + list(series)
+    by_workers: dict[int, dict[str, float]] = {}
+    for label, values in series.items():
+        for cores, cycles in values:
+            by_workers.setdefault(int(cores), {})[label] = cycles
+    rows = [
+        [cores] + [f"{by_workers[cores].get(label, float('nan')):.0f}"
+                   for label in series]
+        for cores in sorted(by_workers)
+    ]
+    text = (
+        f"{experiment}: Jacobi {size}x{size}, cycles per iteration after "
+        f"warm-up\n"
+        + _scale_note(full, f"{size}x{size}, {len(workers)} core counts")
+        + format_table(header, rows)
+        + "\n"
+        + ascii_plot(
+            series,
+            x_label="worker cores",
+            y_label="cycles/iteration",
+            title=f"{experiment}: execution time vs cores "
+                  f"(compare paper Fig. {'6' if paper_size == 60 else '8'})",
+        )
+    )
+    report = ExperimentReport(
+        experiment=experiment,
+        full_scale=full,
+        text=text,
+        series=series,
+        rows=rows,
+        wall_seconds=time.perf_counter() - started,
+    )
+    return report
+
+
+def experiment_fig6(
+    full: bool | None = None,
+    jobs: int | None = None,
+    cache_dir: str | Path | None = DEFAULT_RESULTS_DIR,
+) -> ExperimentReport:
+    """Fig. 6: 60x60 Jacobi, WB and WT, cache 2-64 kB, 2-15 cores."""
+    full = full_scale_requested() if full is None else full
+    return execution_time_experiment(
+        "fig6",
+        paper_size=60,
+        policies=("wb", "wt"),
+        paper_caches=(2, 4, 8, 16, 32, 64),
+        full=full,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        quick_size=30,
+        quick_caches=(2, 8, 32),
+    )
+
+
+def experiment_fig8(
+    full: bool | None = None,
+    jobs: int | None = None,
+    cache_dir: str | Path | None = DEFAULT_RESULTS_DIR,
+) -> ExperimentReport:
+    """Fig. 8: 30x30 Jacobi, write-back only, cache 2-32 kB."""
+    full = full_scale_requested() if full is None else full
+    return execution_time_experiment(
+        "fig8",
+        paper_size=30,
+        policies=("wb",),
+        paper_caches=(2, 4, 8, 16, 32),
+        full=full,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        quick_size=16,
+        quick_caches=(2, 4, 8),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 7 and 9: optimal speedup vs chip area (Pareto + kill rule)
+# ---------------------------------------------------------------------------
+
+
+def speedup_area_experiment(
+    experiment: str,
+    time_experiment: str,
+    paper_size: int,
+    paper_caches: tuple[int, ...],
+    full: bool,
+    jobs: int | None,
+    cache_dir: str | Path | None,
+    quick_size: int,
+    quick_caches: tuple[int, ...],
+) -> ExperimentReport:
+    started = time.perf_counter()
+    if full:
+        size = paper_size
+        caches = paper_caches
+        workers = tuple(range(2, 16))
+    else:
+        size = quick_size
+        caches = quick_caches
+        workers = (2, 4, 8, 15)
+    # Reuse the execution-time sweep (cache hit if that figure ran first)
+    # plus WT points: the optimum may pick either policy.
+    spec = _execution_time_spec(
+        f"{time_experiment}_n{size}", size, ("wb", "wt") if full else ("wb",),
+        caches, workers, 3, SystemConfig(),
+    )
+    results = run_sweep(spec, jobs=jobs, cache_dir=cache_dir, progress=True)
+    _check_validated(results)
+
+    area_model = AreaModel()
+    candidates = []
+    for result in results:
+        config = SystemConfig(
+            n_workers=result.n_workers,
+            cache_size_kb=result.cache_kb,
+            cache_policy=result.policy,
+        )
+        candidates.append((result, area_model.chip_area(config)))
+    # Speedup baseline: the smallest-area architecture of the sweep.
+    baseline_result, baseline_area = min(candidates, key=lambda item: item[1])
+    base_cycles = baseline_result.cycles_per_iteration
+    points = [
+        FrontPoint(
+            area_mm2=area,
+            speedup=base_cycles / result.cycles_per_iteration,
+            label=f"{result.n_workers}P_{result.cache_kb}k$"
+                  f"{'_WT' if result.policy == 'wt' else ''}",
+        )
+        for result, area in candidates
+    ]
+    front = pareto_front(points)
+    optimal = kill_rule_prune(front)
+
+    rows = [
+        [f"{p.area_mm2:.2f}", f"{p.speedup:.2f}", p.label,
+         "kept" if p in optimal else "pareto-only"]
+        for p in front
+    ]
+    series = {
+        "pareto": [(p.area_mm2, p.speedup) for p in front],
+        "kill-rule": [(p.area_mm2, p.speedup) for p in optimal],
+    }
+    text = (
+        f"{experiment}: optimal speedup vs chip area, Jacobi {size}x{size}\n"
+        + _scale_note(full, f"{size}x{size}")
+        + f"speedup baseline: {baseline_result.label} at "
+          f"{baseline_area:.2f} mm^2 "
+          f"({baseline_result.cycles_per_iteration:.0f} cycles/iter)\n"
+        + format_table(["area_mm2", "speedup", "config", "kill rule"], rows)
+        + "\n"
+        + ascii_plot(
+            series,
+            x_label="chip area (mm^2)",
+            y_label="speedup",
+            title=f"{experiment}: speedup vs area "
+                  f"(compare paper Fig. {'7' if paper_size == 60 else '9'})",
+        )
+    )
+    return ExperimentReport(
+        experiment=experiment,
+        full_scale=full,
+        text=text,
+        series=series,
+        rows=rows,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def experiment_fig7(
+    full: bool | None = None,
+    jobs: int | None = None,
+    cache_dir: str | Path | None = DEFAULT_RESULTS_DIR,
+) -> ExperimentReport:
+    """Fig. 7: kill-rule-pruned speedup vs area for the 60x60 run."""
+    full = full_scale_requested() if full is None else full
+    return speedup_area_experiment(
+        "fig7", "fig6", 60, (2, 4, 8, 16, 32, 64),
+        full, jobs, cache_dir, quick_size=30, quick_caches=(2, 8, 32),
+    )
+
+
+def experiment_fig9(
+    full: bool | None = None,
+    jobs: int | None = None,
+    cache_dir: str | Path | None = DEFAULT_RESULTS_DIR,
+) -> ExperimentReport:
+    """Fig. 9: kill-rule-pruned speedup vs area for the 30x30 run."""
+    full = full_scale_requested() if full is None else full
+    return speedup_area_experiment(
+        "fig9", "fig8", 30, (2, 4, 8, 16, 32),
+        full, jobs, cache_dir, quick_size=16, quick_caches=(2, 4, 8),
+    )
+
+
+# ---------------------------------------------------------------------------
+# In-text comparison: hybrid vs sync-only vs pure shared memory
+# ---------------------------------------------------------------------------
+
+
+def experiment_compare(
+    full: bool | None = None,
+    jobs: int | None = None,
+    cache_dir: str | Path | None = DEFAULT_RESULTS_DIR,
+) -> ExperimentReport:
+    """Section III's programming-model comparison on the 60x60 problem.
+
+    Paper claims: hybrid (full MP) beats pure shared memory by ~2x at 6
+    cores/16 kB growing past 5x at higher core counts; the sync-only
+    hybrid recovers 2x-2.8x of that; full vs sync-only differ by 2-20%
+    when the miss rate is relevant.
+    """
+    started = time.perf_counter()
+    full = full_scale_requested() if full is None else full
+    workers = tuple(range(2, 16, 2)) + (15,) if full else (6, 10)
+    cache_kb = 16
+    rows = []
+    series: dict[str, list[tuple[float, float]]] = {
+        "sm_over_full": [], "sm_over_sync": [], "sync_over_full": [],
+    }
+    for n_workers in workers:
+        cycles = {}
+        for model in ("hybrid_full", "hybrid_sync", "pure_sm"):
+            spec_m = SweepSpec(
+                name=f"compare_n60_{model}",
+                workers=(n_workers,),
+                cache_sizes_kb=(cache_kb,),
+                policies=("wb",),
+                params=JacobiParams(n=60, iterations=3, warmup=1, model=model),
+            )
+            result = run_sweep(spec_m, jobs=jobs, cache_dir=cache_dir)[0]
+            _check_validated([result])
+            cycles[model] = result.cycles_per_iteration
+        full_c = cycles["hybrid_full"]
+        sync_c = cycles["hybrid_sync"]
+        sm_c = cycles["pure_sm"]
+        rows.append([
+            n_workers, f"{full_c:.0f}", f"{sync_c:.0f}", f"{sm_c:.0f}",
+            f"{sm_c / full_c:.2f}x", f"{sm_c / sync_c:.2f}x",
+            f"{sync_c / full_c:.2f}x",
+        ])
+        series["sm_over_full"].append((n_workers, sm_c / full_c))
+        series["sm_over_sync"].append((n_workers, sm_c / sync_c))
+        series["sync_over_full"].append((n_workers, sync_c / full_c))
+
+    text = (
+        "compare: programming models on Jacobi 60x60, 16 kB WB caches\n"
+        + _scale_note(full, "2 core counts")
+        + format_table(
+            ["cores", "hybrid_full", "hybrid_sync", "pure_sm",
+             "sm/full", "sm/sync", "sync/full"],
+            rows,
+        )
+        + "\npaper targets: sm/full 2x at 6 cores -> >5x at high counts; "
+          "sm/sync in 2x-2.8x; sync/full within 2-20% at low counts\n"
+    )
+    return ExperimentReport(
+        experiment="compare",
+        full_scale=full,
+        text=text,
+        series=series,
+        rows=rows,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+# ---------------------------------------------------------------------------
+# NoC characterization + simulator speed
+# ---------------------------------------------------------------------------
+
+
+def experiment_noc(full: bool | None = None) -> ExperimentReport:
+    """Deflection-routing latency/throughput and outlier behaviour."""
+    started = time.perf_counter()
+    full = full_scale_requested() if full is None else full
+    rates = (0.02, 0.05, 0.1, 0.2, 0.3, 0.45) if full else (0.05, 0.2, 0.45)
+    cycles = 4000 if full else 1500
+    rows = []
+    series: dict[str, list[tuple[float, float]]] = {}
+    for pattern in ("uniform", "hotspot"):
+        stats_list = latency_throughput_sweep(
+            rates=rates, pattern=pattern, cycles=cycles
+        )
+        for stats in stats_list:
+            rows.append([
+                pattern, f"{stats.offered_rate:.2f}",
+                f"{stats.mean_latency:.1f}", stats.max_latency,
+                stats.p99_latency_bound,
+                f"{stats.deflections_per_flit:.2f}",
+                f"{stats.throughput:.3f}",
+                "yes" if stats.all_delivered else "NO",
+            ])
+            series.setdefault(pattern, []).append(
+                (stats.offered_rate, stats.mean_latency)
+            )
+    text = (
+        "noc: deflection routing under synthetic traffic (4x4 folded torus)\n"
+        + _scale_note(full, "3 rates, 1500 cycles")
+        + format_table(
+            ["pattern", "rate", "mean_lat", "max_lat", "p99<=",
+             "defl/flit", "thruput", "all delivered"],
+            rows,
+        )
+        + "\npaper context (Sec. II-A): sporadic high-latency flits, no "
+          "livelock observed; max/p99 vs mean quantifies the outliers\n"
+        + ascii_plot(series, x_label="offered rate (flits/node/cycle)",
+                     y_label="mean latency (cycles)",
+                     title="noc: load-latency curve")
+    )
+    return ExperimentReport(
+        experiment="noc", full_scale=full, text=text, series=series,
+        rows=rows, wall_seconds=time.perf_counter() - started,
+    )
+
+
+def experiment_simspeed(full: bool | None = None) -> ExperimentReport:
+    """Simulator-throughput counterpart of the paper's 15x HDL-ISS claim."""
+    started = time.perf_counter()
+    full = full_scale_requested() if full is None else full
+    config = SystemConfig(n_workers=8, cache_size_kb=16)
+    params = JacobiParams(n=30 if not full else 60, iterations=3, warmup=1)
+    t0 = time.perf_counter()
+    result = run_jacobi(config, params)
+    wall = time.perf_counter() - t0
+    cps = result.total_cycles / wall
+    sweep_points = 168 * 3  # three problem sizes, as in the paper
+    est_hours = sweep_points * wall / 3600
+    rows = [[
+        config.label(), params.n, result.total_cycles, f"{wall:.2f}",
+        f"{cps:,.0f}", f"{est_hours:.2f}",
+    ]]
+    text = (
+        "simspeed: kernel throughput (stand-in for the paper's 15x-vs-"
+        "HDL-ISS claim)\n"
+        + _scale_note(full, "30x30 reference run")
+        + format_table(
+            ["config", "grid", "cycles", "wall_s", "cycles/sec",
+             "est. hours for 168x3 sweep (serial)"],
+            rows,
+        )
+        + "\npaper context: 168 configs x 3 sizes in ~1 day on 5 dual-Xeon "
+          "servers; the estimate above is single-process — divide by the "
+          "worker-pool size used in run_sweep.\n"
+    )
+    return ExperimentReport(
+        experiment="simspeed", full_scale=full, text=text, rows=rows,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+# ---------------------------------------------------------------------------
+
+
+def _check_validated(results: list[SweepResult]) -> None:
+    bad = [r.label for r in results if not r.validated]
+    if bad:
+        raise AssertionError(
+            f"numerical validation failed for: {', '.join(bad)}"
+        )
+
+
+ALL_EXPERIMENTS = {
+    "fig6": experiment_fig6,
+    "fig7": experiment_fig7,
+    "fig8": experiment_fig8,
+    "fig9": experiment_fig9,
+    "compare": experiment_compare,
+    "noc": experiment_noc,
+    "simspeed": experiment_simspeed,
+}

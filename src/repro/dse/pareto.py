@@ -1,0 +1,75 @@
+"""Pareto pruning and the "kill rule" (Agarwal, DAC 2007).
+
+The paper prunes its (area, speedup) cloud in two stages: drop
+Pareto-dominated points (more area for less speedup), then walk the front
+from the smallest area and *kill* any step whose relative performance gain
+is smaller than its relative area cost — "kill if less than linear".
+What survives is the labelled optimal-speedup-vs-area staircase of
+Figs. 7 and 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FrontPoint:
+    """One candidate design: die area, achieved speedup, display label."""
+
+    area_mm2: float
+    speedup: float
+    label: str
+
+
+def pareto_front(points: list[FrontPoint]) -> list[FrontPoint]:
+    """Non-dominated subset, sorted by increasing area.
+
+    A point survives when no other point offers >= speedup with <= area.
+    Among equal-area points only the fastest is kept.
+    """
+    best_by_area: dict[float, FrontPoint] = {}
+    for point in points:
+        existing = best_by_area.get(point.area_mm2)
+        if existing is None or point.speedup > existing.speedup:
+            best_by_area[point.area_mm2] = point
+    front: list[FrontPoint] = []
+    best = float("-inf")
+    for area in sorted(best_by_area):
+        point = best_by_area[area]
+        if point.speedup > best:
+            front.append(point)
+            best = point.speedup
+    return front
+
+
+def kill_rule_prune(
+    front: list[FrontPoint], threshold: float = 1.0
+) -> list[FrontPoint]:
+    """Apply the kill rule along a Pareto front.
+
+    Starting from the smallest-area design, a step to a bigger design is
+    kept only if ``%speedup gain >= threshold * %area increase``.  The
+    paper uses threshold 1.0 ("kill if less than linear").
+
+    Skipped points remain candidates for the *next* comparison — the rule
+    evaluates cumulative steps from the last kept design, so a sequence of
+    individually-sublinear points can still be reached through one
+    worthwhile jump.
+    """
+    if not front:
+        return []
+    ordered = sorted(front, key=lambda p: (p.area_mm2, p.speedup))
+    kept = [ordered[0]]
+    for point in ordered[1:]:
+        last = kept[-1]
+        if last.area_mm2 <= 0:
+            kept.append(point)
+            continue
+        area_gain = (point.area_mm2 - last.area_mm2) / last.area_mm2
+        perf_gain = (point.speedup - last.speedup) / last.speedup
+        if area_gain <= 0:
+            continue
+        if perf_gain >= threshold * area_gain:
+            kept.append(point)
+    return kept

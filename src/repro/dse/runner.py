@@ -1,0 +1,150 @@
+"""Parallel sweep execution with a JSON result cache.
+
+The paper ran its 168 configurations overnight on five dual-Xeon servers;
+we run them with a :mod:`multiprocessing` pool and cache each point's
+result keyed by every field that affects it, so regenerating a figure
+after the sweep exists costs nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.apps.jacobi.driver import run_jacobi
+from repro.dse.space import SweepPoint, SweepSpec
+
+
+@dataclass
+class SweepResult:
+    """The distilled outcome of one sweep point (JSON-serializable)."""
+
+    label: str
+    n_workers: int
+    cache_kb: int
+    policy: str
+    model: str
+    n: int
+    cycles_per_iteration: float
+    iteration_cycles: list[int]
+    total_cycles: int
+    validated: bool
+    wall_seconds: float
+    noc_flits: int = 0
+    noc_deflections: int = 0
+    mpmmu_busy_cycles: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SweepResult":
+        return cls(**data)
+
+
+def evaluate_point(point: SweepPoint) -> SweepResult:
+    """Run one sweep point in-process (also the pool worker body)."""
+    started = time.perf_counter()
+    outcome = run_jacobi(point.config, point.params)
+    wall = time.perf_counter() - started
+    noc = outcome.stats.get("noc", {})
+    mpmmu = outcome.stats.get("mpmmu", {})
+    return SweepResult(
+        label=point.config.label(),
+        n_workers=point.config.n_workers,
+        cache_kb=point.config.cache_size_kb,
+        policy=point.config.policy.value,
+        model=point.params.model.value,  # type: ignore[union-attr]
+        n=point.params.n,
+        cycles_per_iteration=outcome.cycles_per_iteration,
+        iteration_cycles=outcome.iteration_cycles,
+        total_cycles=outcome.total_cycles,
+        validated=outcome.validated,
+        wall_seconds=wall,
+        noc_flits=noc.get("flits_ejected", 0),
+        noc_deflections=noc.get("deflections", 0),
+        mpmmu_busy_cycles=mpmmu.get("busy_cycles", 0),
+    )
+
+
+def _pool_worker(item: tuple[str, SweepPoint]) -> tuple[str, SweepResult]:
+    key, point = item
+    return key, evaluate_point(point)
+
+
+class ResultCache:
+    """One JSON file per sweep name, mapping point keys to results."""
+
+    def __init__(self, directory: str | Path, name: str) -> None:
+        self.path = Path(directory) / f"{name}.json"
+        self._data: dict[str, dict] = {}
+        if self.path.exists():
+            self._data = json.loads(self.path.read_text())
+
+    def get(self, key: str) -> SweepResult | None:
+        raw = self._data.get(key)
+        return SweepResult.from_json(raw) if raw is not None else None
+
+    def put(self, key: str, result: SweepResult) -> None:
+        self._data[key] = asdict(result)
+
+    def save(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps(self._data, indent=1, sort_keys=True))
+
+
+def run_sweep(
+    spec: SweepSpec,
+    jobs: int | None = None,
+    cache_dir: str | Path | None = None,
+    progress: bool = False,
+) -> list[SweepResult]:
+    """Evaluate every point of ``spec``; results come back in point order.
+
+    ``jobs=None`` auto-sizes the pool (capped at the point count);
+    ``jobs=1`` runs inline, which is what the unit tests use.  With a
+    ``cache_dir``, previously computed points are reused.
+    """
+    points = spec.points()
+    cache = ResultCache(cache_dir, spec.name) if cache_dir is not None else None
+    keyed = [(point.key(), point) for point in points]
+    results: dict[str, SweepResult] = {}
+    pending: list[tuple[str, SweepPoint]] = []
+    for key, point in keyed:
+        cached = cache.get(key) if cache is not None else None
+        if cached is not None:
+            results[key] = cached
+        else:
+            pending.append((key, point))
+
+    if pending:
+        if jobs is None:
+            jobs = max(1, min(len(pending), (os.cpu_count() or 2) - 1))
+        done = 0
+        if jobs == 1:
+            for key, point in pending:
+                results[key] = evaluate_point(point)
+                done += 1
+                _report_progress(progress, done, len(pending))
+        else:
+            with multiprocessing.Pool(jobs) as pool:
+                for key, result in pool.imap_unordered(_pool_worker, pending):
+                    results[key] = result
+                    done += 1
+                    _report_progress(progress, done, len(pending))
+        if cache is not None:
+            for key, __ in pending:
+                cache.put(key, results[key])
+            cache.save()
+
+    return [results[key] for key, __ in keyed]
+
+
+def _report_progress(enabled: bool, done: int, total: int) -> None:
+    if enabled:
+        print(f"\r  sweep: {done}/{total} points", end="", file=sys.stderr)
+        if done == total:
+            print(file=sys.stderr)

@@ -1,0 +1,66 @@
+"""Declarative sweep definitions."""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.apps.jacobi.driver import JacobiParams
+from repro.errors import ConfigError
+from repro.system.config import VALID_CACHE_SIZES_KB, SystemConfig
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (architecture, workload) pair inside a sweep."""
+
+    config: SystemConfig
+    params: JacobiParams
+
+    def key(self) -> str:
+        """Stable cache key over every field that affects the result."""
+        config_dict = dataclasses.asdict(self.config)
+        params_dict = dataclasses.asdict(self.params)
+        params_dict["model"] = str(params_dict["model"])
+        config_dict["cache_policy"] = str(config_dict["cache_policy"])
+        config_dict["arbiter_mode"] = str(config_dict["arbiter_mode"])
+        config_dict["arbiter_high_priority"] = str(
+            config_dict["arbiter_high_priority"]
+        )
+        config_dict["empi_barrier"] = str(config_dict["empi_barrier"])
+        parts = [f"{k}={config_dict[k]}" for k in sorted(config_dict)]
+        parts += [f"{k}={params_dict[k]}" for k in sorted(params_dict)]
+        return "|".join(parts)
+
+
+@dataclass
+class SweepSpec:
+    """A full sweep: the cross product of architecture axes x workload."""
+
+    name: str
+    workers: tuple[int, ...] = tuple(range(2, 16))
+    cache_sizes_kb: tuple[int, ...] = VALID_CACHE_SIZES_KB
+    policies: tuple[str, ...] = ("wb", "wt")
+    base_config: SystemConfig = field(default_factory=SystemConfig)
+    params: JacobiParams = field(default_factory=JacobiParams)
+
+    def __post_init__(self) -> None:
+        if not self.workers or not self.cache_sizes_kb or not self.policies:
+            raise ConfigError(f"sweep {self.name!r} has an empty axis")
+
+    def points(self) -> list[SweepPoint]:
+        result = []
+        for n_workers in self.workers:
+            for cache_kb in self.cache_sizes_kb:
+                for policy in self.policies:
+                    config = self.base_config.with_changes(
+                        n_workers=n_workers,
+                        cache_size_kb=cache_kb,
+                        cache_policy=policy,
+                    )
+                    result.append(SweepPoint(config, self.params))
+        return result
+
+    @property
+    def n_points(self) -> int:
+        return len(self.workers) * len(self.cache_sizes_kb) * len(self.policies)

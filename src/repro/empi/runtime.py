@@ -1,0 +1,203 @@
+"""The eMPI runtime: send / receive / barrier over the TIE ports.
+
+Data messages travel on the per-source in-order streams the TIE hardware
+reassembles; synchronization tokens travel as single *request* flits (the
+SUB-TYPE the paper reserves for requests), so barriers never perturb data
+reassembly and never touch the MPMMU — the core claim of the paper.
+
+Two barrier algorithms are provided:
+
+* ``central`` — workers send an ARRIVE token to rank 0, which answers with
+  RELEASE tokens; O(P) tokens, two token hops of latency;
+* ``dissemination`` — ceil(log2 P) rounds of pairwise tokens; more
+  traffic, lower latency at larger core counts.
+
+Tokens carry an epoch (mod 256) so back-to-back barriers cannot steal each
+other's tokens; early tokens are stashed and matched later, giving the
+runtime MPI-like out-of-band tolerance with a tiny footprint.
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+
+from repro.errors import ProgramError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pe.program import Program, ProgramContext
+
+
+class BarrierAlgorithm(enum.Enum):
+    CENTRAL = "central"
+    DISSEMINATION = "dissemination"
+
+
+class _Token(enum.IntEnum):
+    ARRIVE = 1
+    RELEASE = 2
+    DISSEM = 3
+
+
+def _encode(opcode: _Token, epoch: int, aux: int = 0) -> int:
+    return (int(opcode) << 16) | ((epoch & 0xFF) << 8) | (aux & 0xFF)
+
+
+def _decode(word: int) -> tuple[int, int, int]:
+    return (word >> 16) & 0xFF, (word >> 8) & 0xFF, word & 0xFF
+
+
+class Empi:
+    """Per-rank eMPI endpoint; bound to a program context as ``ctx.empi``."""
+
+    def __init__(
+        self,
+        ctx: "ProgramContext",
+        barrier_algorithm: BarrierAlgorithm | str = BarrierAlgorithm.CENTRAL,
+    ) -> None:
+        if isinstance(barrier_algorithm, str):
+            barrier_algorithm = BarrierAlgorithm(barrier_algorithm.lower())
+        self.ctx = ctx
+        self.barrier_algorithm = barrier_algorithm
+        self._epoch = 0
+        self._dissem_epoch = 0
+        #: Early tokens: (src_node, opcode, epoch, aux).
+        self._stash: list[tuple[int, int, int, int]] = []
+        self.barriers = 0
+
+    # -- point-to-point ---------------------------------------------------------
+
+    def send(self, dst_rank: int, words: list[int]) -> "Program":
+        """MPI_send: stream ``words`` to ``dst_rank`` (blocking-local)."""
+        yield self.ctx.send_words(dst_rank, words)
+
+    def recv(self, src_rank: int, n_words: int) -> "Program":
+        """MPI_receive: wait for ``n_words`` from ``src_rank``."""
+        words = yield self.ctx.recv_words(src_rank, n_words)
+        return words
+
+    def send_doubles(self, dst_rank: int, values: list[float]) -> "Program":
+        yield from self.ctx.send_doubles(dst_rank, values)
+
+    def recv_doubles(self, src_rank: int, n_values: int) -> "Program":
+        values = yield from self.ctx.recv_doubles(src_rank, n_values)
+        return values
+
+    # -- token plumbing -------------------------------------------------------------
+
+    def _send_token(self, dst_rank: int, opcode: _Token, epoch: int, aux: int = 0
+                    ) -> "Program":
+        yield ("sendreq", self.ctx.node_of(dst_rank), _encode(opcode, epoch, aux))
+
+    def _recv_token(
+        self, opcode: _Token, epoch: int, src_node: int | None = None,
+        aux: int | None = None,
+    ) -> "Program":
+        """Wait for a matching token, stashing any strangers that arrive."""
+        stash = self._stash
+        while True:
+            for index, (t_src, t_op, t_epoch, t_aux) in enumerate(stash):
+                if (
+                    t_op == int(opcode)
+                    and t_epoch == (epoch & 0xFF)
+                    and (src_node is None or t_src == src_node)
+                    and (aux is None or t_aux == aux)
+                ):
+                    del stash[index]
+                    return t_src, t_aux
+            src, word = yield ("recvreq",)
+            got_op, got_epoch, got_aux = _decode(word)
+            stash.append((src, got_op, got_epoch, got_aux))
+
+    # -- MPI_barrier -------------------------------------------------------------------
+
+    def barrier(self) -> "Program":
+        """MPI_barrier over all workers, using the configured algorithm."""
+        self.barriers += 1
+        if self.barrier_algorithm is BarrierAlgorithm.CENTRAL:
+            yield from self._barrier_central()
+        else:
+            yield from self._barrier_dissemination()
+
+    def _barrier_central(self) -> "Program":
+        ctx = self.ctx
+        epoch = self._epoch
+        self._epoch = (epoch + 1) & 0xFF
+        n = ctx.n_workers
+        if n == 1:
+            return
+        if ctx.rank == 0:
+            for __ in range(n - 1):
+                yield from self._recv_token(_Token.ARRIVE, epoch)
+            for rank in range(1, n):
+                yield from self._send_token(rank, _Token.RELEASE, epoch)
+        else:
+            yield from self._send_token(0, _Token.ARRIVE, epoch)
+            yield from self._recv_token(
+                _Token.RELEASE, epoch, src_node=ctx.node_of(0)
+            )
+
+    def _barrier_dissemination(self) -> "Program":
+        ctx = self.ctx
+        epoch = self._dissem_epoch
+        self._dissem_epoch = (epoch + 1) & 0xFF
+        n = ctx.n_workers
+        if n == 1:
+            return
+        distance = 1
+        round_index = 0
+        while distance < n:
+            to_rank = (ctx.rank + distance) % n
+            from_rank = (ctx.rank - distance) % n
+            yield from self._send_token(
+                to_rank, _Token.DISSEM, epoch, aux=round_index
+            )
+            yield from self._recv_token(
+                _Token.DISSEM, epoch,
+                src_node=ctx.node_of(from_rank), aux=round_index,
+            )
+            distance <<= 1
+            round_index += 1
+
+    # -- collectives built on the primitives ----------------------------------------------
+
+    def broadcast_doubles(self, root: int, values: list[float] | None,
+                          n_values: int) -> "Program":
+        """Root streams ``values`` to every other rank; returns the payload."""
+        ctx = self.ctx
+        if ctx.rank == root:
+            if values is None or len(values) != n_values:
+                raise ProgramError("broadcast root must supply the payload")
+            for rank in range(ctx.n_workers):
+                if rank != root:
+                    yield from self.send_doubles(rank, values)
+            return list(values)
+        received = yield from self.recv_doubles(root, n_values)
+        return received
+
+    def gather_double(self, root: int, value: float) -> "Program":
+        """Each rank contributes one double; root returns the full list."""
+        ctx = self.ctx
+        if ctx.rank == root:
+            gathered: list[float | None] = [None] * ctx.n_workers
+            gathered[root] = value
+            for rank in range(ctx.n_workers):
+                if rank != root:
+                    values = yield from self.recv_doubles(rank, 1)
+                    gathered[rank] = values[0]
+            return gathered
+        yield from self.send_doubles(root, [value])
+        return None
+
+    def allreduce_sum(self, value: float) -> "Program":
+        """Sum one double across all workers (gather + broadcast on rank 0)."""
+        ctx = self.ctx
+        gathered = yield from self.gather_double(0, value)
+        if ctx.rank == 0:
+            total = 0.0
+            for item in gathered:
+                total += item
+            result = yield from self.broadcast_doubles(0, [total], 1)
+        else:
+            result = yield from self.broadcast_doubles(0, None, 1)
+        return result[0]

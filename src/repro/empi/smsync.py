@@ -1,0 +1,97 @@
+"""Shared-memory synchronization (the pure-SM baseline's toolbox).
+
+Everything here goes through the MPMMU: lock/unlock packets for mutual
+exclusion and uncached loads/stores for the barrier state.  Each spin poll
+is a complete Req/Data round trip plus MPMMU service time, serialized
+against every other core's traffic — the synchronization cost the paper's
+hybrid approach eliminates (Section III attributes >= 56% of the 5x win to
+exactly this).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import ProgramError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pe.program import Program, ProgramContext
+
+
+class SharedMemoryLock:
+    """A critical-section lock on one shared-memory word (MPMMU-backed)."""
+
+    def __init__(self, ctx: "ProgramContext", addr: int) -> None:
+        if not ctx.map.is_shared(addr):
+            raise ProgramError(f"lock word {addr:#x} must live in the shared segment")
+        self.ctx = ctx
+        self.addr = addr
+
+    def acquire(self) -> "Program":
+        """Blocks (with hardware NACK/retry) until the lock is granted."""
+        yield ("lock", self.addr)
+
+    def release(self) -> "Program":
+        yield ("unlock", self.addr)
+
+
+class SharedMemoryBarrier:
+    """Sense-reversing central barrier in shared memory.
+
+    Layout: two words in the shared segment, placed on separate cache
+    lines — ``counter`` (arrival count, mutated under the lock) and
+    ``sense`` (the release flag workers spin on with uncached loads).
+
+    Per the paper's programming model, the counter and flag are accessed
+    uncacheably: polling a cached copy would never observe the release
+    because there is no hardware coherence.
+    """
+
+    #: Byte span reserved by :meth:`carve`: two words on separate lines.
+    FOOTPRINT = 32
+
+    def __init__(
+        self,
+        ctx: "ProgramContext",
+        base_addr: int,
+        n_workers: int | None = None,
+        poll_backoff: int = 24,
+    ) -> None:
+        if not ctx.map.is_shared(base_addr):
+            raise ProgramError(
+                f"barrier state {base_addr:#x} must live in the shared segment"
+            )
+        self.ctx = ctx
+        self.counter_addr = base_addr
+        self.sense_addr = base_addr + 16
+        self.lock = SharedMemoryLock(ctx, base_addr + 4)
+        self.n_workers = n_workers if n_workers is not None else ctx.n_workers
+        self.poll_backoff = poll_backoff
+        self._local_sense = 0
+        self.waits = 0
+
+    def wait(self) -> "Program":
+        """Enter the barrier; returns when every worker has arrived."""
+        self.waits += 1
+        if self.n_workers == 1:
+            return
+        my_sense = 1 - self._local_sense
+        self._local_sense = my_sense
+        yield from self.lock.acquire()
+        count = yield ("uload", self.counter_addr)
+        count += 1
+        if count == self.n_workers:
+            # Last arrival: reset the counter and flip the release flag.
+            yield ("ustore", self.counter_addr, 0)
+            yield ("ustore", self.sense_addr, my_sense)
+            yield ("fence",)
+            yield from self.lock.release()
+            return
+        yield ("ustore", self.counter_addr, count)
+        yield ("fence",)
+        yield from self.lock.release()
+        while True:
+            flag = yield ("uload", self.sense_addr)
+            if flag == my_sense:
+                return
+            yield ("compute", self.poll_backoff)

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the MEDEA reproduction.
+
+Every error raised by the package derives from :class:`MedeaError` so that
+callers can catch simulator-level failures without masking genuine Python
+bugs (``TypeError`` and friends propagate untouched).
+"""
+
+from __future__ import annotations
+
+
+class MedeaError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigError(MedeaError):
+    """An invalid or inconsistent :class:`~repro.system.config.SystemConfig`."""
+
+
+class SimulationError(MedeaError):
+    """The simulation kernel reached an illegal state."""
+
+
+class DeadlockError(SimulationError):
+    """Nothing can make progress but the stop condition is unmet.
+
+    Raised by :meth:`repro.kernel.simulator.Simulator.run` when every
+    component is idle, no wakeup is scheduled and the caller's ``until``
+    predicate is still false.  The message includes a per-component
+    diagnostic to make protocol bugs debuggable.
+    """
+
+
+class FifoError(MedeaError):
+    """Illegal operation on a hardware FIFO model."""
+
+
+class FifoFullError(FifoError):
+    """Push attempted on a full bounded FIFO."""
+
+
+class FifoEmptyError(FifoError):
+    """Pop/peek attempted on an empty FIFO."""
+
+
+class ProtocolError(MedeaError):
+    """A NoC/bridge/MPMMU protocol invariant was violated."""
+
+
+class MemoryAccessError(MedeaError):
+    """Out-of-segment or misaligned access to a modelled memory."""
+
+
+class PacketFormatError(MedeaError):
+    """A field does not fit in its bit-accurate packet slot."""
+
+
+class ProgramError(MedeaError):
+    """A PE program yielded an unknown or malformed operation."""

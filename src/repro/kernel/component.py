@@ -1,0 +1,64 @@
+"""Base class for clocked hardware components."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.kernel.stats import CounterSet
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.simulator import Simulator
+
+
+class Component:
+    """A synchronous block stepped once per cycle while *active*.
+
+    Sub-classes implement :meth:`step`.  A component that has no work to do
+    should call :meth:`sleep` (optionally with a wakeup cycle); an external
+    event source (an arriving flit, a freed FIFO slot) re-activates it with
+    :meth:`wake`.  This is the mechanism behind the kernel's activity gating.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.sim: Simulator | None = None
+        self.active = False
+        self.stats = CounterSet(name)
+
+    # -- kernel wiring -----------------------------------------------------
+
+    def attach(self, sim: Simulator) -> None:
+        """Called by :meth:`Simulator.register`; do not call directly."""
+        self.sim = sim
+
+    def step(self, cycle: int) -> None:
+        """Advance one clock cycle.  Sub-classes must override."""
+        raise NotImplementedError
+
+    # -- activity control --------------------------------------------------
+
+    def wake(self) -> None:
+        """Mark the component active so it is stepped from the next cycle."""
+        if not self.active:
+            self.active = True
+            if self.sim is not None:
+                self.sim.notify_activated()
+
+    def sleep(self, until: int | None = None) -> None:
+        """Stop being stepped; optionally schedule a wakeup at ``until``."""
+        if self.active:
+            self.active = False
+            if self.sim is not None:
+                self.sim.notify_deactivated()
+        if until is not None:
+            assert self.sim is not None, "cannot schedule before attach()"
+            self.sim.wake_at(self, until)
+
+    # -- debugging ---------------------------------------------------------
+
+    def describe_state(self) -> str:
+        """One-line state description used in deadlock diagnostics."""
+        return "active" if self.active else "idle"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r}>"

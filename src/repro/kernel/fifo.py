@@ -1,0 +1,107 @@
+"""Hardware FIFO queue model.
+
+Every buffered structure in MEDEA — the arbiter queues of Fig. 3, the
+MPMMU's Pif-Request/Pif-Data/outgoing queues, the TIE receive segments —
+is an instance of :class:`Fifo`.  The model is untimed (push and pop are
+performed by the owning component inside its own clocked ``step``); what it
+adds over ``collections.deque`` is bounded capacity with explicit full/empty
+errors plus occupancy statistics used by the reports.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generic, Iterator, TypeVar
+
+from repro.errors import FifoEmptyError, FifoFullError
+
+T = TypeVar("T")
+
+
+class Fifo(Generic[T]):
+    """A bounded (or unbounded) first-in first-out queue with statistics."""
+
+    def __init__(self, capacity: int | None = None, name: str = "fifo") -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"{name}: capacity must be >= 1 or None, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self._items: deque[T] = deque()
+        self.pushes = 0
+        self.pops = 0
+        self.max_occupancy = 0
+        self.full_rejections = 0
+
+    # -- state ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    @property
+    def free_slots(self) -> int | None:
+        if self.capacity is None:
+            return None
+        return self.capacity - len(self._items)
+
+    # -- operations -------------------------------------------------------------
+
+    def push(self, item: T) -> None:
+        if self.full:
+            self.full_rejections += 1
+            raise FifoFullError(f"{self.name}: push on full FIFO (cap={self.capacity})")
+        self._items.append(item)
+        self.pushes += 1
+        if len(self._items) > self.max_occupancy:
+            self.max_occupancy = len(self._items)
+
+    def try_push(self, item: T) -> bool:
+        """Push if space is available; return whether the push happened."""
+        if self.full:
+            self.full_rejections += 1
+            return False
+        self.push(item)
+        return True
+
+    def pop(self) -> T:
+        if not self._items:
+            raise FifoEmptyError(f"{self.name}: pop on empty FIFO")
+        self.pops += 1
+        return self._items.popleft()
+
+    def peek(self) -> T:
+        if not self._items:
+            raise FifoEmptyError(f"{self.name}: peek on empty FIFO")
+        return self._items[0]
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    # -- reporting ---------------------------------------------------------------
+
+    def stats_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "pushes": self.pushes,
+            "pops": self.pops,
+            "max_occupancy": self.max_occupancy,
+            "full_rejections": self.full_rejections,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        cap = "inf" if self.capacity is None else str(self.capacity)
+        return f"<Fifo {self.name} {len(self._items)}/{cap}>"

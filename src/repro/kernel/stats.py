@@ -1,0 +1,117 @@
+"""Lightweight statistics collection for simulator components."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class CounterSet:
+    """A named bag of integer counters.
+
+    Counting must stay cheap (it happens on hot per-cycle paths), so this is
+    a thin wrapper over a dict with convenience accessors and merge support
+    for aggregating across components or sweep runs.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._counters: dict[str, int] = {}
+
+    def inc(self, key: str, amount: int = 1) -> None:
+        self._counters[key] = self._counters.get(key, 0) + amount
+
+    def set_max(self, key: str, value: int) -> None:
+        if value > self._counters.get(key, 0):
+            self._counters[key] = value
+
+    def get(self, key: str, default: int = 0) -> int:
+        return self._counters.get(key, default)
+
+    def __getitem__(self, key: str) -> int:
+        return self._counters.get(key, 0)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._counters
+
+    def merge(self, other: "CounterSet") -> None:
+        """Add every counter of ``other`` into this set."""
+        for key, value in other._counters.items():
+            self.inc(key, value)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._counters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CounterSet {self.name} {self._counters}>"
+
+
+class LatencyStat:
+    """Streaming min/max/mean/histogram for per-event latencies.
+
+    Used for flit network latency and memory-transaction round trips.  The
+    histogram uses fixed power-of-two buckets so recording stays O(1) and
+    allocation-free.
+    """
+
+    #: Bucket upper bounds (inclusive); the last bucket is open-ended.
+    BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384)
+
+    def __init__(self, name: str = "latency") -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.min: int | None = None
+        self.max: int | None = None
+        self.buckets = [0] * (len(self.BOUNDS) + 1)
+
+    def record(self, value: int) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.BOUNDS):
+            if value <= bound:
+                self.buckets[index] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile_bound(self, fraction: float) -> int | None:
+        """Upper bucket bound containing the given fraction of samples.
+
+        Returns ``None`` when empty.  This is a bucketed approximation —
+        adequate for the "sporadic high latency flits" observation the
+        paper makes about deflection routing.
+        """
+        if not self.count:
+            return None
+        threshold = fraction * self.count
+        seen = 0
+        for index, bucket in enumerate(self.buckets):
+            seen += bucket
+            if seen >= threshold:
+                if index < len(self.BOUNDS):
+                    return self.BOUNDS[index]
+                return self.max
+        return self.max
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p99_bound": self.percentile_bound(0.99),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<LatencyStat {self.name} n={self.count} mean={self.mean:.1f} "
+            f"max={self.max}>"
+        )

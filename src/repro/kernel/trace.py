@@ -1,0 +1,65 @@
+"""Optional event tracing.
+
+Tracing is off by default and adds a single attribute check to hot paths.
+When enabled it records ``(cycle, source, kind, fields)`` tuples which the
+tests and examples use to assert on protocol sequences (e.g. that a write
+follows the Req/Ack/Data/Ack exchange of Fig. 4a).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+
+class TraceEvent:
+    """A single trace record."""
+
+    __slots__ = ("cycle", "source", "kind", "fields")
+
+    def __init__(self, cycle: int, source: str, kind: str, fields: dict[str, Any]):
+        self.cycle = cycle
+        self.source = source
+        self.kind = kind
+        self.fields = fields
+
+    def __repr__(self) -> str:
+        inner = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.cycle}] {self.source} {self.kind} {inner}"
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records when enabled."""
+
+    def __init__(self, enabled: bool = False, limit: int | None = None) -> None:
+        self.enabled = enabled
+        self.limit = limit
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+
+    def emit(self, cycle: int, source: str, kind: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        if self.limit is not None and len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(cycle, source, kind, fields))
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def from_source(self, source: str) -> list[TraceEvent]:
+        return [event for event in self.events if event.source == source]
+
+    def kinds(self) -> Iterable[str]:
+        return {event.kind for event in self.events}
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "on" if self.enabled else "off"
+        return f"<Tracer {state} {len(self.events)} events>"

@@ -1,0 +1,29 @@
+"""Memory substrate: word stores, DDR timing, segmented memory map.
+
+MEDEA's global memory is a single DDR behind the MPMMU, logically split
+into one *shared* segment plus one *private* segment per core (paper
+Section II-C).  Each PE additionally has a local data RAM (scratchpad)
+where the TIE interface scatters incoming message flits.
+
+All modelled memories are word-addressable (32-bit words, byte addresses,
+4-byte aligned); doubles live as little-endian word pairs via
+:mod:`repro.mem.values` — matching the 32-bit PIF datapath, so every
+double-precision load/store costs two word transactions like the real
+machine.
+"""
+
+from repro.mem.ddr import DdrModel
+from repro.mem.memory_map import MemoryMap, Segment
+from repro.mem.scratchpad import Scratchpad
+from repro.mem.store import WordStore
+from repro.mem.values import float_to_words, words_to_float
+
+__all__ = [
+    "DdrModel",
+    "MemoryMap",
+    "Scratchpad",
+    "Segment",
+    "WordStore",
+    "float_to_words",
+    "words_to_float",
+]

@@ -1,0 +1,69 @@
+"""DDR timing model behind the MPMMU.
+
+The paper attaches the MPMMU to a DDR controller over a PIF bus; the
+evaluation never varies DRAM parameters, so a first-order latency model is
+the right fidelity: a fixed access latency for the first word of a read
+plus a per-word streaming cost, and cheap posted writes (a real controller
+write queue hides write latency from the issuing processor).
+
+The data itself lives in a :class:`~repro.mem.store.WordStore`; this class
+only answers "how many MPMMU cycles does this access occupy".
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.mem.store import WordStore
+
+
+class DdrModel:
+    """Fixed-latency, fixed-bandwidth DRAM timing + backing data."""
+
+    def __init__(
+        self,
+        size_bytes: int | None = None,
+        read_latency: int = 24,
+        words_per_cycle: int = 1,
+        posted_write_cost: int = 2,
+    ) -> None:
+        if read_latency < 1:
+            raise ConfigError(f"read_latency must be >= 1, got {read_latency}")
+        if words_per_cycle < 1:
+            raise ConfigError(f"words_per_cycle must be >= 1, got {words_per_cycle}")
+        if posted_write_cost < 1:
+            raise ConfigError(f"posted_write_cost must be >= 1, got {posted_write_cost}")
+        self.read_latency = read_latency
+        self.words_per_cycle = words_per_cycle
+        self.posted_write_cost = posted_write_cost
+        self.store = WordStore(size_bytes, name="ddr")
+        self.reads = 0
+        self.writes = 0
+        self.busy_cycles = 0
+
+    # -- timing ------------------------------------------------------------
+
+    def read_cost(self, n_words: int) -> int:
+        """Cycles the controller is busy for an ``n_words`` burst read."""
+        burst = -(-n_words // self.words_per_cycle)  # ceil division
+        return self.read_latency + burst
+
+    def write_cost(self, n_words: int) -> int:
+        """Cycles to hand ``n_words`` to the (posted) write queue."""
+        return self.posted_write_cost * n_words
+
+    # -- data + accounting ------------------------------------------------------
+
+    def read_block(self, addr: int, n_words: int) -> tuple[list[int], int]:
+        """Return (words, busy_cycles) for a burst read."""
+        cost = self.read_cost(n_words)
+        self.reads += 1
+        self.busy_cycles += cost
+        return self.store.read_block(addr, n_words), cost
+
+    def write_block(self, addr: int, values: list[int]) -> int:
+        """Perform a posted burst write; return busy cycles."""
+        cost = self.write_cost(len(values))
+        self.writes += 1
+        self.busy_cycles += cost
+        self.store.write_block(addr, values)
+        return cost

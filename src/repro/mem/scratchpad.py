@@ -1,0 +1,47 @@
+"""Per-PE local data RAM.
+
+Each Xtensa has a single-cycle local data memory; the TIE receive interface
+scatters incoming message flits straight into it (Fig. 2-b), and programs
+read received data from it at one word per cycle.  It is private to its PE,
+so there is no coherence concern and no NoC traffic for local accesses.
+"""
+
+from __future__ import annotations
+
+from repro.mem.store import WordStore
+
+
+class Scratchpad:
+    """Single-cycle local memory with simple region bookkeeping."""
+
+    #: Access latency in core cycles.
+    ACCESS_CYCLES = 1
+
+    def __init__(self, size_bytes: int = 1 << 20, name: str = "localmem") -> None:
+        self.store = WordStore(size_bytes, name=name)
+        self.size_bytes = size_bytes
+        self._alloc_ptr = 0
+
+    def alloc(self, n_bytes: int) -> int:
+        """Reserve a word-aligned region; a linker stand-in for buffers."""
+        aligned = (n_bytes + 3) & ~3
+        base = self._alloc_ptr
+        if base + aligned > self.size_bytes:
+            raise MemoryError(
+                f"scratchpad exhausted: need {aligned} bytes at {base:#x} "
+                f"of {self.size_bytes:#x}"
+            )
+        self._alloc_ptr = base + aligned
+        return base
+
+    def read_word(self, addr: int) -> int:
+        return self.store.read_word(addr)
+
+    def write_word(self, addr: int, value: int) -> None:
+        self.store.write_word(addr, value)
+
+    def read_block(self, addr: int, n_words: int) -> list[int]:
+        return self.store.read_block(addr, n_words)
+
+    def write_block(self, addr: int, values: list[int]) -> None:
+        self.store.write_block(addr, values)

@@ -1,0 +1,70 @@
+"""Sparse word-addressable backing store."""
+
+from __future__ import annotations
+
+from repro.errors import MemoryAccessError
+
+WORD_BYTES = 4
+WORD_MASK = 0xFFFF_FFFF
+
+
+def check_word_aligned(addr: int) -> None:
+    if addr % WORD_BYTES:
+        raise MemoryAccessError(f"address {addr:#x} is not word aligned")
+
+
+class WordStore:
+    """A sparse 32-bit word memory with byte addressing.
+
+    Backs the DDR and the per-PE scratchpads.  Unwritten words read as 0
+    (like initialized SRAM/DRAM models in RTL simulation).  Bounds are
+    enforced when ``size_bytes`` is given.
+    """
+
+    def __init__(self, size_bytes: int | None = None, name: str = "mem") -> None:
+        if size_bytes is not None and (size_bytes <= 0 or size_bytes % WORD_BYTES):
+            raise MemoryAccessError(
+                f"{name}: size must be a positive multiple of {WORD_BYTES}"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self._words: dict[int, int] = {}
+
+    def _index(self, addr: int) -> int:
+        check_word_aligned(addr)
+        if addr < 0 or (self.size_bytes is not None and addr >= self.size_bytes):
+            raise MemoryAccessError(
+                f"{self.name}: address {addr:#x} outside size {self.size_bytes}"
+            )
+        return addr >> 2
+
+    def read_word(self, addr: int) -> int:
+        return self._words.get(self._index(addr), 0)
+
+    def write_word(self, addr: int, value: int) -> None:
+        if not (0 <= value <= WORD_MASK):
+            raise MemoryAccessError(
+                f"{self.name}: value {value:#x} does not fit in 32 bits"
+            )
+        self._words[self._index(addr)] = value
+
+    def read_block(self, addr: int, n_words: int) -> list[int]:
+        base = self._index(addr)
+        words = self._words
+        return [words.get(base + i, 0) for i in range(n_words)]
+
+    def write_block(self, addr: int, values: list[int]) -> None:
+        base = self._index(addr)
+        for offset, value in enumerate(values):
+            if not (0 <= value <= WORD_MASK):
+                raise MemoryAccessError(
+                    f"{self.name}: value {value:#x} does not fit in 32 bits"
+                )
+            self._words[base + offset] = value
+
+    @property
+    def words_written(self) -> int:
+        return len(self._words)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<WordStore {self.name} {self.words_written} words>"

@@ -1,0 +1,53 @@
+"""Conversion between Python numbers and 32-bit memory words.
+
+The datapath is 32 bits wide (PIF bus, flit DATA field), so IEEE-754
+doubles occupy two consecutive words, little-endian (low word at the lower
+address) — the layout the Xtensa's double-precision emulation library uses.
+Bit-exactness matters: the Jacobi validation compares simulated results
+against numpy *bit for bit*, so any lossy conversion here would show up as
+a test failure rather than silent drift.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_PACK_DOUBLE = struct.Struct("<d")
+_PACK_WORDS = struct.Struct("<II")
+_PACK_FLOAT = struct.Struct("<f")
+_PACK_WORD = struct.Struct("<I")
+
+
+def float_to_words(value: float) -> tuple[int, int]:
+    """Split a float64 into (low word, high word)."""
+    low, high = _PACK_WORDS.unpack(_PACK_DOUBLE.pack(value))
+    return low, high
+
+
+def words_to_float(low: int, high: int) -> float:
+    """Reassemble a float64 from (low word, high word)."""
+    return _PACK_DOUBLE.unpack(_PACK_WORDS.pack(low, high))[0]
+
+
+def float32_to_word(value: float) -> int:
+    """Pack a float32 into one word (round-to-nearest, IEEE single)."""
+    return _PACK_WORD.unpack(_PACK_FLOAT.pack(value))[0]
+
+
+def word_to_float32(word: int) -> float:
+    """Unpack one word as a float32."""
+    return _PACK_FLOAT.unpack(_PACK_WORD.pack(word))[0]
+
+
+def int_to_word(value: int) -> int:
+    """Two's-complement encode a signed 32-bit integer."""
+    if not (-(1 << 31) <= value < (1 << 31)):
+        raise ValueError(f"{value} does not fit a signed 32-bit word")
+    return value & 0xFFFF_FFFF
+
+
+def word_to_int(word: int) -> int:
+    """Two's-complement decode a word to a signed integer."""
+    if word & 0x8000_0000:
+        return word - (1 << 32)
+    return word

@@ -1,0 +1,23 @@
+"""Multiprocessor Memory Management Unit (MPMMU).
+
+The MPMMU (paper Section II-C) is a special processor that owns the DDR
+and services every shared-memory transaction in the system.  It is a pure
+slave: it only ever answers transactions initiated by the worker cores.
+Incoming flits split into a Pif-Request/Control FIFO (sized to the number
+of processors — the implicit flow-control the paper describes) and a
+Pif-Data FIFO; replies leave through one outgoing FIFO at one flit per
+cycle.
+
+It also implements the lock/unlock mechanism for atomic sections: a word
+address can be locked by one core at a time; competing LOCK requests are
+NACKed and the requester retries.
+
+The serial, single-ported nature of this unit is *the* shared-memory
+bottleneck the hybrid architecture works around — do not be tempted to
+parallelize it.
+"""
+
+from repro.mpmmu.lock_table import LockTable
+from repro.mpmmu.mpmmu import MpmmuNode
+
+__all__ = ["LockTable", "MpmmuNode"]

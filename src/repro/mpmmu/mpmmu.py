@@ -1,0 +1,286 @@
+"""The MPMMU node: slave memory-controller processor.
+
+State machine per transaction type (Fig. 4):
+
+* read (single/block): pop request -> busy for service overhead plus the
+  cache/DDR access -> push data reply flit(s) into the outgoing FIFO;
+* write (single/block): pop request -> busy for service overhead -> grant
+  ACK -> collect the writer's data flits from the Pif-Data FIFO -> busy
+  for the write -> final ACK;
+* lock/unlock: pop request -> busy for service overhead -> ACK (or NACK
+  when the lock is held).
+
+One transaction is in service at a time, and replies drain at one flit per
+cycle through the single NoC port — the serialization that makes shared
+memory the bottleneck MEDEA's message-passing path avoids.
+
+The local cache is modelled write-through: it accelerates reads (the
+latency of a read "strongly depends on the availability of the given word
+inside the cache", Section II-C) while the DDR word store stays
+authoritative, which keeps post-simulation validation reads simple.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.cache.l1 import L1Cache
+from repro.errors import ProtocolError
+from repro.kernel.component import Component
+from repro.kernel.fifo import Fifo
+from repro.mem.ddr import DdrModel
+from repro.noc.flit import Flit
+from repro.noc.network import NodePorts
+from repro.noc.packet import PacketType, SubType
+from repro.mpmmu.lock_table import LockTable
+
+
+class _MpmmuState(enum.Enum):
+    IDLE = "idle"
+    BUSY = "busy"
+    WAIT_DATA = "wait_data"
+
+
+class _WriteAssembly:
+    """Collects the data flits of a granted write transaction."""
+
+    __slots__ = ("src", "addr", "kind", "expected", "slots", "filled")
+
+    def __init__(self, src: int, addr: int, kind: PacketType, expected: int):
+        self.src = src
+        self.addr = addr
+        self.kind = kind
+        self.expected = expected
+        self.slots: list[int | None] = [None] * expected
+        self.filled = 0
+
+    def insert(self, flit: Flit) -> bool:
+        if flit.src != self.src:
+            raise ProtocolError(
+                f"data flit from node {flit.src} during write granted to "
+                f"node {self.src}"
+            )
+        if not (0 <= flit.seq < self.expected) or self.slots[flit.seq] is not None:
+            raise ProtocolError(f"bad write data sequence {flit.seq}")
+        self.slots[flit.seq] = flit.data
+        self.filled += 1
+        return self.filled == self.expected
+
+    def words(self) -> list[int]:
+        assert self.filled == self.expected
+        return [w for w in self.slots if w is not None]
+
+
+class MpmmuNode(Component):
+    """The memory node of the system (placed at one NoC tile)."""
+
+    def __init__(
+        self,
+        ports: NodePorts,
+        cache: L1Cache,
+        ddr: DdrModel,
+        n_workers: int,
+        service_overhead: int = 4,
+        cache_hit_cycles: int = 2,
+        out_fifo_depth: int = 16,
+        data_fifo_depth: int = 8,
+    ) -> None:
+        super().__init__("mpmmu")
+        self.ports = ports
+        ports.eject.owner = self
+        self.cache = cache
+        self.ddr = ddr
+        self.locks = LockTable()
+        self.service_overhead = service_overhead
+        self.cache_hit_cycles = cache_hit_cycles
+        self.req_fifo: Fifo[Flit] = Fifo(n_workers, name="mpmmu.req")
+        self.data_fifo: Fifo[Flit] = Fifo(data_fifo_depth, name="mpmmu.data")
+        self.out_fifo: Fifo[Flit] = Fifo(out_fifo_depth, name="mpmmu.out")
+        self._state = _MpmmuState.IDLE
+        self._busy_until = 0
+        self._after_busy: list[Flit] = []
+        self._after_state = _MpmmuState.IDLE
+        self._assembly: _WriteAssembly | None = None
+
+    # -- clocked behaviour ---------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        self._phase_rx()
+        self._phase_fsm(cycle)
+        self._phase_out()
+        self._phase_sleep(cycle)
+
+    def _phase_rx(self) -> None:
+        queue = self.ports.eject.queue
+        if queue.empty:
+            return
+        flit = queue.peek()
+        if flit.ptype == PacketType.MESSAGE:
+            # The reference MPMMU takes no part in eMPI traffic.
+            raise ProtocolError(f"mpmmu received message flit {flit!r}")
+        if flit.subtype == int(SubType.ADDR):
+            if self.req_fifo.full:
+                # Request FIFO depth equals the worker count; overflow means
+                # a core broke the one-outstanding-transaction contract.
+                raise ProtocolError("mpmmu request FIFO overflow")
+            self.req_fifo.push(queue.pop())
+            self.stats.inc("requests_received")
+        elif flit.subtype == int(SubType.DATA):
+            if self.data_fifo.full:
+                return  # leave it in the ejection queue until space frees
+            self.data_fifo.push(queue.pop())
+            self.stats.inc("data_flits_received")
+        else:
+            raise ProtocolError(f"mpmmu got unexpected subtype in {flit!r}")
+
+    def _phase_fsm(self, cycle: int) -> None:
+        if self._state is _MpmmuState.BUSY:
+            if cycle < self._busy_until:
+                return
+            for flit in self._after_busy:
+                self.out_fifo.push(flit)
+            self._after_busy = []
+            self._state = self._after_state
+        if self._state is _MpmmuState.WAIT_DATA:
+            self._drain_write_data(cycle)
+            return
+        if self._state is _MpmmuState.IDLE and self.req_fifo:
+            self._begin_service(self.req_fifo.pop(), cycle)
+
+    def _phase_out(self) -> None:
+        if self.out_fifo and not self.ports.inject.busy:
+            accepted = self.ports.inject.try_inject(self.out_fifo.pop())
+            assert accepted
+            self.stats.inc("reply_flits_sent")
+
+    def _phase_sleep(self, cycle: int) -> None:
+        if not self.ports.eject.queue.empty or self.out_fifo or self.req_fifo:
+            return
+        if self._state is _MpmmuState.BUSY:
+            if not self.out_fifo and self.ports.eject.queue.empty:
+                self.sleep(until=self._busy_until)
+            return
+        if self._state is _MpmmuState.WAIT_DATA and self.data_fifo:
+            return
+        if self._state is _MpmmuState.IDLE:
+            self.sleep()
+            return
+        self.sleep()  # WAIT_DATA with nothing buffered: wake on delivery
+
+    # -- transaction service -------------------------------------------------------
+
+    def _begin_service(self, flit: Flit, cycle: int) -> None:
+        kind = flit.ptype
+        addr = flit.data
+        src = flit.src
+        self.stats.inc(f"served_{kind.name.lower()}")
+        if kind in (PacketType.SINGLE_READ, PacketType.BLOCK_READ):
+            n_words = 1 if kind is PacketType.SINGLE_READ else 4
+            words, access = self._read_words(addr, n_words)
+            self._go_busy(
+                cycle,
+                self.service_overhead + access,
+                [
+                    Flit(
+                        dst=src, src=self.ports.node, ptype=kind,
+                        subtype=int(SubType.DATA), seq=index,
+                        burst=n_words, data=word,
+                    )
+                    for index, word in enumerate(words)
+                ],
+            )
+        elif kind in (PacketType.SINGLE_WRITE, PacketType.BLOCK_WRITE):
+            n_words = 1 if kind is PacketType.SINGLE_WRITE else 4
+            self._assembly = _WriteAssembly(src, addr, kind, n_words)
+            self._go_busy(
+                cycle,
+                self.service_overhead,
+                [self._ack(src, kind)],
+                then=_MpmmuState.WAIT_DATA,
+            )
+        elif kind is PacketType.LOCK:
+            granted = self.locks.acquire(addr, src)
+            reply = self._ack(src, kind) if granted else self._nack(src, kind)
+            self._go_busy(cycle, self.service_overhead, [reply])
+        elif kind is PacketType.UNLOCK:
+            self.locks.release(addr, src)
+            self._go_busy(cycle, self.service_overhead, [self._ack(src, kind)])
+        else:
+            raise ProtocolError(f"mpmmu cannot serve {flit!r}")
+
+    def _drain_write_data(self, cycle: int) -> None:
+        if not self.data_fifo:
+            return
+        assembly = self._assembly
+        assert assembly is not None
+        if assembly.insert(self.data_fifo.pop()):
+            words = assembly.words()
+            cost = self._write_words(assembly.addr, words)
+            self._assembly = None
+            self._go_busy(
+                cycle, cost, [self._ack(assembly.src, assembly.kind)]
+            )
+            self.stats.inc("writes_committed")
+
+    def _go_busy(
+        self,
+        cycle: int,
+        cost: int,
+        replies: list[Flit],
+        then: _MpmmuState = _MpmmuState.IDLE,
+    ) -> None:
+        self._state = _MpmmuState.BUSY
+        self._busy_until = cycle + max(1, cost)
+        self._after_busy = replies
+        self._after_state = then
+        self.stats.inc("busy_cycles", max(1, cost))
+
+    # -- memory access (timing + data) ------------------------------------------------
+
+    def _read_words(self, addr: int, n_words: int) -> tuple[list[int], int]:
+        """Return (words, access_cycles) through the local cache."""
+        line = self.cache.lookup(addr)
+        if line is None:
+            line_addr = self.cache.line_addr(addr)
+            words, cost = self.ddr.read_block(line_addr, self.cache.words_per_line)
+            self.cache.install(line_addr, words)
+            offset = (addr - line_addr) >> 2
+            return words[offset : offset + n_words], cost + self.cache_hit_cycles
+        base = (addr % self.cache.line_bytes) >> 2
+        return list(line.words[base : base + n_words]), self.cache_hit_cycles
+
+    def _write_words(self, addr: int, words: list[int]) -> int:
+        """Write-through: update the cached line if present, always hit DDR."""
+        line = self.cache.lookup(addr, is_write=True)
+        if line is not None:
+            base = (addr % self.cache.line_bytes) >> 2
+            for offset, word in enumerate(words):
+                line.words[base + offset] = word
+        return self.cache_hit_cycles + self.ddr.write_block(addr, words)
+
+    def _ack(self, dst: int, kind: PacketType) -> Flit:
+        return Flit(dst=dst, src=self.ports.node, ptype=kind,
+                    subtype=int(SubType.ACK), seq=0, burst=1, data=0)
+
+    def _nack(self, dst: int, kind: PacketType) -> Flit:
+        return Flit(dst=dst, src=self.ports.node, ptype=kind,
+                    subtype=int(SubType.NACK), seq=0, burst=1, data=0)
+
+    # -- introspection ---------------------------------------------------------------------
+
+    @property
+    def idle(self) -> bool:
+        return (
+            self._state is _MpmmuState.IDLE
+            and self.req_fifo.empty
+            and self.data_fifo.empty
+            and self.out_fifo.empty
+            and self.ports.eject.queue.empty
+        )
+
+    def describe_state(self) -> str:
+        return (
+            f"{self._state.value}, req={len(self.req_fifo)}, "
+            f"data={len(self.data_fifo)}, out={len(self.out_fifo)}, "
+            f"locks_held={self.locks.held_count}"
+        )

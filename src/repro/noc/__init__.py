@@ -1,0 +1,48 @@
+"""Network-on-Chip: folded-torus topology with hot-potato (deflection) routing.
+
+The MEDEA NoC (paper Section II-A) is a 2-D folded torus of single-cycle
+deflection-routing switches.  Deflection routing keeps switch storage at the
+theoretical minimum (one register per input link), never blocks, and needs
+no back-pressure — at the price of possible out-of-order delivery, which the
+receive interfaces absorb with sequence numbers (see :mod:`repro.bridge` and
+:mod:`repro.pe.tie`).
+
+Module map:
+
+* :mod:`repro.noc.coords` — direction constants and coordinate helpers;
+* :mod:`repro.noc.topology` — folded torus (and mesh, for ablations);
+* :mod:`repro.noc.packet` — the bit-accurate three-level flit format of
+  Fig. 5 (encode/decode to integers);
+* :mod:`repro.noc.flit` — the in-simulator flit record;
+* :mod:`repro.noc.switch` — one switch's combinational routing function;
+* :mod:`repro.noc.network` — the clocked fabric with injection/ejection
+  ports, the component the rest of the system talks to.
+"""
+
+from repro.noc.coords import DIRECTION_NAMES, EAST, NORTH, OPPOSITE, SOUTH, WEST
+from repro.noc.flit import Flit
+from repro.noc.network import EjectionPort, InjectionPort, NocFabric, NodePorts
+from repro.noc.packet import FlitCodec, PacketType, SubType
+from repro.noc.switch import route_node
+from repro.noc.topology import FoldedTorusTopology, MeshTopology, Topology
+
+__all__ = [
+    "DIRECTION_NAMES",
+    "EAST",
+    "EjectionPort",
+    "Flit",
+    "FlitCodec",
+    "FoldedTorusTopology",
+    "InjectionPort",
+    "MeshTopology",
+    "NORTH",
+    "NocFabric",
+    "NodePorts",
+    "OPPOSITE",
+    "PacketType",
+    "SOUTH",
+    "SubType",
+    "Topology",
+    "WEST",
+    "route_node",
+]

@@ -1,0 +1,44 @@
+"""The in-simulator flit record.
+
+The router moves these decoded records instead of flat integers; the
+bit-accurate mapping lives in :mod:`repro.noc.packet` and is applied (and
+range-checked) at injection when the fabric's ``strict_encoding`` option is
+on, plus unconditionally in the codec round-trip tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.noc.packet import PacketType
+
+_flit_ids = itertools.count()
+
+
+@dataclass(slots=True)
+class Flit:
+    """One network flit: routing fields + protocol fields + bookkeeping."""
+
+    dst: int
+    src: int
+    ptype: PacketType
+    subtype: int = 0
+    seq: int = 0
+    burst: int = 1
+    data: int = 0
+    #: Simulation bookkeeping (not wire bits).
+    uid: int = field(default_factory=lambda: next(_flit_ids))
+    injected_at: int = -1
+    hops: int = 0
+    deflections: int = 0
+
+    def age_key(self) -> tuple[int, int]:
+        """Sort key implementing oldest-first priority with a stable tie-break."""
+        return (self.injected_at, self.uid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Flit#{self.uid} {self.ptype.name}/{self.subtype} "
+            f"{self.src}->{self.dst} seq={self.seq} data={self.data:#x}>"
+        )

@@ -1,0 +1,238 @@
+"""The clocked NoC fabric: link registers, injection and ejection ports.
+
+The fabric is a single :class:`~repro.kernel.component.Component` stepped
+once per cycle while any flit is in flight or any injection slot is
+pending.  All switches route combinationally against the *previous* cycle's
+link registers (two-phase update), so results are independent of node
+iteration order — matching the synchronous RTL the paper pairs with its
+SystemC model.
+
+Timing contract (one hop = one cycle):
+
+* a flit accepted from an injection slot at cycle *c* is latched in the
+  neighbor's input register and visible there at *c+1*;
+* ejection pushes into the node's RX queue during the fabric step, and the
+  owning node (stepped after the fabric in the same cycle — registration
+  order) may consume it immediately, modelling the direct TIE connection
+  into the processor register file.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError, SimulationError
+from repro.kernel.component import Component
+from repro.kernel.fifo import Fifo
+from repro.kernel.stats import LatencyStat
+from repro.kernel.trace import Tracer
+from repro.noc.coords import OPPOSITE
+from repro.noc.flit import Flit
+from repro.noc.packet import FlitCodec
+from repro.noc.switch import route_node
+from repro.noc.topology import Topology
+
+
+class InjectionPort:
+    """Single-register injection slot between a node and its switch.
+
+    The node's arbiter writes one flit at a time with :meth:`try_inject`;
+    the fabric drains the slot when routing permits (an output port must be
+    free, the deflection-network injection rule).
+    """
+
+    __slots__ = ("node", "fabric", "pending", "stalled_cycles", "injected")
+
+    def __init__(self, node: int, fabric: "NocFabric") -> None:
+        self.node = node
+        self.fabric = fabric
+        self.pending: Flit | None = None
+        self.stalled_cycles = 0
+        self.injected = 0
+
+    @property
+    def busy(self) -> bool:
+        return self.pending is not None
+
+    def try_inject(self, flit: Flit) -> bool:
+        """Offer a flit to the network; False when the slot is still busy."""
+        if self.pending is not None:
+            return False
+        self.fabric.validate_flit(flit)
+        self.pending = flit
+        self.fabric.wake()
+        return True
+
+
+class EjectionPort:
+    """RX side of a node: flits leave the network into this queue.
+
+    The queue is backed by local memory in the real design (the TIE
+    interface scatters arrivals straight into the processor data RAM), so
+    it is modelled unbounded; the network still ejects at most
+    ``eject_capacity`` flits per cycle.
+    """
+
+    __slots__ = ("node", "queue", "owner")
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+        self.queue: Fifo[Flit] = Fifo(capacity=None, name=f"eject[{node}]")
+        self.owner: Component | None = None
+
+    def deliver(self, flit: Flit) -> None:
+        self.queue.push(flit)
+        if self.owner is not None:
+            self.owner.wake()
+
+
+class NodePorts:
+    """The pair of ports a node uses to talk to the NoC."""
+
+    __slots__ = ("node", "inject", "eject")
+
+    def __init__(self, node: int, inject: InjectionPort, eject: EjectionPort):
+        self.node = node
+        self.inject = inject
+        self.eject = eject
+
+
+class NocFabric(Component):
+    """All switches and links of the network, stepped as one component."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        eject_capacity: int = 1,
+        strict_encoding: bool = False,
+        tracer: Tracer | None = None,
+    ) -> None:
+        super().__init__("noc")
+        self.topology = topology
+        self.eject_capacity = eject_capacity
+        self.strict_encoding = strict_encoding
+        self.codec = FlitCodec(topology.width, topology.height)
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        n = topology.n_nodes
+        # regs[node][direction] = flit latched on that input link.
+        self.regs: list[list[Flit | None]] = [[None] * 4 for _ in range(n)]
+        self._occupied: set[int] = set()
+        self.ports: list[NodePorts] = [
+            NodePorts(node, InjectionPort(node, self), EjectionPort(node))
+            for node in range(n)
+        ]
+        self.in_flight = 0
+        self.latency = LatencyStat("noc_latency")
+
+    # -- node-facing API -----------------------------------------------------
+
+    def ports_of(self, node: int) -> NodePorts:
+        return self.ports[node]
+
+    def validate_flit(self, flit: Flit) -> None:
+        """Range-check (and optionally wire-encode) a flit at injection."""
+        n = self.topology.n_nodes
+        if not (0 <= flit.dst < n and 0 <= flit.src < n):
+            raise ProtocolError(f"flit endpoints out of range: {flit!r}")
+        if self.strict_encoding:
+            x, y = self.topology.coords_of(flit.dst)
+            self.codec.encode(
+                x, y, int(flit.ptype), flit.subtype, flit.seq,
+                min(flit.burst, self.codec.max_burst), flit.src, flit.data,
+            )
+
+    # -- clocked behaviour ------------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        moves: list[tuple[int, int, Flit]] = []
+        work_nodes = self._nodes_with_work()
+        if not work_nodes:
+            self.sleep()
+            return
+        occupied = self._occupied
+        regs = self.regs
+        topo = self.topology
+        for node in work_nodes:
+            row = regs[node]
+            inputs = [flit for flit in row if flit is not None]
+            if inputs:
+                row[0] = row[1] = row[2] = row[3] = None
+                occupied.discard(node)
+            port = self.ports[node]
+            inject = port.inject.pending
+
+            # A self-addressed flit bypasses the switch entirely.
+            if inject is not None and inject.dst == node:
+                inject.injected_at = cycle
+                port.inject.pending = None
+                port.inject.injected += 1
+                self.stats.inc("flits_injected")
+                self._eject(port, inject, cycle, zero_hop=True)
+                inject = None
+
+            outcome = route_node(node, inputs, inject, topo, self.eject_capacity)
+            for flit in outcome.ejected:
+                self._eject(port, flit, cycle)
+            if inject is not None:
+                if outcome.injected:
+                    inject.injected_at = cycle
+                    port.inject.pending = None
+                    port.inject.injected += 1
+                    self.stats.inc("flits_injected")
+                else:
+                    port.inject.stalled_cycles += 1
+                    self.stats.inc("injection_stalls")
+            self.stats.inc("deflections", outcome.deflections)
+            self.stats.inc("eject_overflows", outcome.eject_overflow)
+            for direction, flit in enumerate(outcome.outputs):
+                if flit is not None:
+                    neighbor = topo.neighbor(node, direction)
+                    assert neighbor >= 0, "routed to a missing link"
+                    flit.hops += 1
+                    moves.append((neighbor, OPPOSITE[direction], flit))
+        # Commit phase: latch flits into next cycle's input registers.
+        for neighbor, in_dir, flit in moves:
+            slot = regs[neighbor][in_dir]
+            if slot is not None:
+                raise SimulationError(
+                    f"link register collision at node {neighbor} dir {in_dir}"
+                )
+            regs[neighbor][in_dir] = flit
+            occupied.add(neighbor)
+        if not moves and not any(p.inject.pending for p in self.ports):
+            self.sleep()
+
+    def _nodes_with_work(self) -> list[int]:
+        pending = {
+            port.node for port in self.ports if port.inject.pending is not None
+        }
+        if pending:
+            work = self._occupied | pending
+        else:
+            work = self._occupied
+        return sorted(work)
+
+    def _eject(
+        self, port: NodePorts, flit: Flit, cycle: int, zero_hop: bool = False
+    ) -> None:
+        latency = 0 if zero_hop else cycle - flit.injected_at + 1
+        self.latency.record(latency)
+        self.stats.inc("flits_ejected")
+        self.stats.inc("flit_hops", flit.hops)
+        self.tracer.emit(
+            cycle, "noc", "eject",
+            node=port.node, uid=flit.uid, ptype=flit.ptype.name, latency=latency,
+        )
+        port.eject.deliver(flit)
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def flits_in_network(self) -> int:
+        return sum(
+            1 for row in self.regs for flit in row if flit is not None
+        ) + sum(1 for port in self.ports if port.inject.pending is not None)
+
+    def describe_state(self) -> str:
+        return (
+            f"{'active' if self.active else 'idle'}, "
+            f"{self.flits_in_network} flits in network"
+        )

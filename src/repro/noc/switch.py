@@ -1,0 +1,113 @@
+"""One deflection-routing switch, as a pure combinational function.
+
+Hot-potato ("deflection") routing never buffers more than the incoming
+flits: every flit present at a switch input is assigned to *some* output
+port every cycle.  When its productive port is taken by an older flit it is
+deflected to any free port and tries again from wherever it lands.  This
+gives minimal storage, no back-pressure and deadlock freedom (paper
+Section II-A); livelock is avoided in practice by oldest-first priority,
+which the property tests exercise under saturating load.
+
+Keeping the per-switch routing a pure function of (inputs, pending
+injection) makes the fabric's two-phase update order-independent and the
+routing unit-testable in isolation.
+"""
+
+from __future__ import annotations
+
+from repro.noc.flit import Flit
+from repro.noc.topology import Topology
+
+
+class RoutingOutcome:
+    """Result of routing one switch for one cycle."""
+
+    __slots__ = ("ejected", "outputs", "injected", "deflections", "eject_overflow")
+
+    def __init__(
+        self,
+        ejected: list[Flit],
+        outputs: list[Flit | None],
+        injected: bool,
+        deflections: int,
+        eject_overflow: int,
+    ) -> None:
+        self.ejected = ejected
+        self.outputs = outputs  # indexed by direction, None = idle port
+        self.injected = injected
+        self.deflections = deflections
+        self.eject_overflow = eject_overflow
+
+
+def route_node(
+    node: int,
+    inputs: list[Flit],
+    inject: Flit | None,
+    topology: Topology,
+    eject_capacity: int = 1,
+) -> RoutingOutcome:
+    """Route all flits present at ``node`` for this cycle.
+
+    ``inputs`` are the flits latched in this switch's input registers (at
+    most one per link).  ``inject`` is the locally pending flit, accepted
+    only if an output port remains free after all transit flits are placed
+    (local traffic has the lowest priority, the standard deflection rule).
+
+    Up to ``eject_capacity`` flits destined for this node leave through the
+    local port, oldest first; any excess arrival is deflected back into the
+    network and will retry — the hot-potato answer to an ejection-port
+    conflict.
+    """
+    ports = topology.ports_of(node)
+    n_ports = len(ports)
+    assert len(inputs) <= n_ports, "more input flits than links"
+
+    arrived = [flit for flit in inputs if flit.dst == node]
+    transit = [flit for flit in inputs if flit.dst != node]
+
+    arrived.sort(key=Flit.age_key)
+    ejected = arrived[:eject_capacity]
+    recirculating = arrived[eject_capacity:]
+    eject_overflow = len(recirculating)
+
+    outputs: list[Flit | None] = [None, None, None, None]
+    deflections = 0
+    free = set(ports)
+
+    # Oldest flit gets first pick of ports: the practical livelock guard.
+    contenders = sorted(transit + recirculating, key=Flit.age_key)
+    for flit in contenders:
+        placed = False
+        for direction in topology.productive_directions(node, flit.dst):
+            if direction in free:
+                outputs[direction] = flit
+                free.discard(direction)
+                placed = True
+                break
+        if not placed:
+            # Deflect: any free port, deterministic scan order.
+            for direction in ports:
+                if direction in free:
+                    outputs[direction] = flit
+                    free.discard(direction)
+                    placed = True
+                    flit.deflections += 1
+                    deflections += 1
+                    break
+        assert placed, "deflection routing must always place a transit flit"
+
+    injected = False
+    if inject is not None and free:
+        for direction in topology.productive_directions(node, inject.dst):
+            if direction in free:
+                outputs[direction] = inject
+                free.discard(direction)
+                injected = True
+                break
+        if not injected:
+            direction = min(free)
+            outputs[direction] = inject
+            free.discard(direction)
+            injected = True
+
+    return RoutingOutcome(ejected, outputs, injected, deflections, eject_overflow)

@@ -1,0 +1,194 @@
+"""Network topologies.
+
+MEDEA uses a 2-D *folded* torus.  Folding is a physical-design trick: the
+ring in each dimension is laid out so every link spans at most two tiles,
+equalizing wire length.  Logically a folded torus is identical to a torus,
+so the model here is a torus with uniform single-cycle links — which is
+precisely what folding buys the physical implementation.
+
+A mesh (no wraparound) is provided for ablation studies; deflection routing
+still works there because a switch never has more input links than output
+links.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.noc.coords import (
+    ALL_DIRECTIONS,
+    DELTA_X,
+    DELTA_Y,
+    EAST,
+    NORTH,
+    SOUTH,
+    WEST,
+    signed_wrap_delta,
+)
+
+
+class Topology:
+    """Base class: a ``width x height`` grid of switch nodes.
+
+    Node indices are row-major: ``index = y * width + x``.  Sub-classes
+    define link connectivity (:meth:`neighbor`) and shortest-path direction
+    preference (:meth:`productive_directions`); both are precomputed into
+    flat tables because they sit on the router's per-flit hot path.
+    """
+
+    def __init__(self, width: int, height: int) -> None:
+        if width < 2 or height < 1:
+            raise ConfigError(f"topology needs width>=2, height>=1, got {width}x{height}")
+        self.width = width
+        self.height = height
+        self.n_nodes = width * height
+        # neighbor_table[node][direction] -> node index or -1 (no link).
+        self.neighbor_table: list[list[int]] = [
+            [self._neighbor_of(node, d) for d in ALL_DIRECTIONS]
+            for node in range(self.n_nodes)
+        ]
+        # productive_table[src * n + dst] -> tuple of preferred directions.
+        self.productive_table: list[tuple[int, ...]] = [
+            self._productive_of(src, dst)
+            for src in range(self.n_nodes)
+            for dst in range(self.n_nodes)
+        ]
+        self.hop_table: list[int] = [
+            self._hops_of(src, dst)
+            for src in range(self.n_nodes)
+            for dst in range(self.n_nodes)
+        ]
+
+    # -- coordinates ---------------------------------------------------------
+
+    def node_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ConfigError(f"({x},{y}) outside {self.width}x{self.height} grid")
+        return y * self.width + x
+
+    def coords_of(self, node: int) -> tuple[int, int]:
+        return node % self.width, node // self.width
+
+    # -- fast accessors --------------------------------------------------------
+
+    def neighbor(self, node: int, direction: int) -> int:
+        """Neighbor index in ``direction`` or -1 when the link is absent."""
+        return self.neighbor_table[node][direction]
+
+    def productive_directions(self, src: int, dst: int) -> tuple[int, ...]:
+        """Directions that reduce hop distance, longest dimension first."""
+        return self.productive_table[src * self.n_nodes + dst]
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        return self.hop_table[src * self.n_nodes + dst]
+
+    def ports_of(self, node: int) -> tuple[int, ...]:
+        """Directions with an attached link (all four on a torus)."""
+        row = self.neighbor_table[node]
+        return tuple(d for d in ALL_DIRECTIONS if row[d] >= 0)
+
+    # -- construction hooks ------------------------------------------------------
+
+    def _neighbor_of(self, node: int, direction: int) -> int:
+        raise NotImplementedError
+
+    def _productive_of(self, src: int, dst: int) -> tuple[int, ...]:
+        raise NotImplementedError
+
+    def _hops_of(self, src: int, dst: int) -> int:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.width}x{self.height}>"
+
+
+class FoldedTorusTopology(Topology):
+    """2-D folded torus: wraparound links, uniform 1-cycle hop latency."""
+
+    def _neighbor_of(self, node: int, direction: int) -> int:
+        x, y = self.coords_of(node)
+        nx = (x + DELTA_X[direction]) % self.width
+        ny = (y + DELTA_Y[direction]) % self.height
+        return ny * self.width + nx
+
+    def _deltas(self, src: int, dst: int) -> tuple[int, int]:
+        sx, sy = self.coords_of(src)
+        dx_, dy_ = self.coords_of(dst)
+        return (
+            signed_wrap_delta(sx, dx_, self.width),
+            signed_wrap_delta(sy, dy_, self.height),
+        )
+
+    def _productive_of(self, src: int, dst: int) -> tuple[int, ...]:
+        dx, dy = self._deltas(src, dst)
+        prefs: list[tuple[int, int]] = []  # (-remaining, direction)
+        if dx > 0:
+            prefs.append((-dx, EAST))
+        elif dx < 0:
+            prefs.append((dx, WEST))
+        if dy > 0:
+            prefs.append((-dy, SOUTH))
+        elif dy < 0:
+            prefs.append((dy, NORTH))
+        # Longest remaining dimension first; direction index breaks ties.
+        prefs.sort()
+        return tuple(direction for _, direction in prefs)
+
+    def _hops_of(self, src: int, dst: int) -> int:
+        dx, dy = self._deltas(src, dst)
+        return abs(dx) + abs(dy)
+
+
+class MeshTopology(Topology):
+    """2-D mesh without wraparound, for comparison experiments."""
+
+    def _neighbor_of(self, node: int, direction: int) -> int:
+        x, y = self.coords_of(node)
+        nx = x + DELTA_X[direction]
+        ny = y + DELTA_Y[direction]
+        if not (0 <= nx < self.width and 0 <= ny < self.height):
+            return -1
+        return ny * self.width + nx
+
+    def _productive_of(self, src: int, dst: int) -> tuple[int, ...]:
+        sx, sy = self.coords_of(src)
+        dx_, dy_ = self.coords_of(dst)
+        dx = dx_ - sx
+        dy = dy_ - sy
+        prefs: list[tuple[int, int]] = []
+        if dx > 0:
+            prefs.append((-dx, EAST))
+        elif dx < 0:
+            prefs.append((dx, WEST))
+        if dy > 0:
+            prefs.append((-dy, SOUTH))
+        elif dy < 0:
+            prefs.append((dy, NORTH))
+        prefs.sort()
+        return tuple(direction for _, direction in prefs)
+
+    def _hops_of(self, src: int, dst: int) -> int:
+        sx, sy = self.coords_of(src)
+        dx_, dy_ = self.coords_of(dst)
+        return abs(dx_ - sx) + abs(dy_ - sy)
+
+
+def grid_for_nodes(n_nodes: int) -> tuple[int, int]:
+    """Smallest (width, height) grid with at least ``n_nodes`` tiles.
+
+    Prefers near-square aspect ratios, matching how the paper scales the
+    network from 3 to 16 cores (up to a 4x4 folded torus).
+    """
+    if n_nodes < 2:
+        raise ConfigError(f"need at least 2 nodes, got {n_nodes}")
+    best: tuple[int, int] | None = None
+    best_key: tuple[int, int] | None = None
+    for width in range(2, n_nodes + 1):
+        height = -(-n_nodes // width)  # ceil division
+        if height < 1:
+            continue
+        key = (width * height - n_nodes, abs(width - height))
+        if best_key is None or key < best_key:
+            best_key = key
+            best = (width, height)
+    assert best is not None
+    return best

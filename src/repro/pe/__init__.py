@@ -1,0 +1,28 @@
+"""Processing element: in-order core model + TIE message-passing interface.
+
+A MEDEA PE is a small in-order RISC (a Tensilica Xtensa LX in the paper)
+extended with TIE FIFO ports that connect the register file straight to
+the NoC switch.  We model the PE as an operation-level machine: programs
+are Python generators yielding architectural operations (loads, stores,
+FP computations, TIE sends/receives, cache-management and lock ops); the
+:class:`~repro.pe.processor.ProcessorNode` executes them against the cache,
+bridge, arbiter and TIE models with per-operation cycle costs from
+:class:`~repro.pe.costmodel.FpCostModel`.
+
+This preserves exactly what the paper measures — the sequence and cost of
+memory, FP and NoC operations — without modelling ISA encodings.
+"""
+
+from repro.pe.costmodel import FpCostModel
+from repro.pe.processor import CoreState, ProcessorNode
+from repro.pe.program import ProgramContext
+from repro.pe.tie import ReceiveStream, TieInterface
+
+__all__ = [
+    "CoreState",
+    "FpCostModel",
+    "ProcessorNode",
+    "ProgramContext",
+    "ReceiveStream",
+    "TieInterface",
+]

@@ -1,0 +1,199 @@
+"""Program context: the architectural API programs are written against.
+
+A MEDEA *program* is a Python generator function taking a
+:class:`ProgramContext` and yielding operation tuples; the owning
+:class:`~repro.pe.processor.ProcessorNode` executes each operation with
+cycle-accurate cost and sends results back into the generator.  This is the
+software layer of the paper — the same role the authors' C code plus eMPI
+library plays on the real Xtensa.
+
+Primitive operations (yield one, receive its result):
+
+=====================  ==========================================  =========
+op tuple               effect                                      result
+=====================  ==========================================  =========
+("compute", n)         occupy the core for n cycles                None
+("load", a)            cached word load (global address)           word
+("store", a, v)        cached word store                           None
+("uload", a)           uncached word load (bypasses L1)            word
+("ustore", a, v)       uncached posted word store                  None
+("flush", a)           DHWB: write back the dirty line holding a   None
+("inval", a)           DII: invalidate the line holding a          None
+("fence",)             drain write buffer + posted transactions    None
+("lmem_read", a)       local scratchpad read                       word
+("lmem_write", a, v)   local scratchpad write                      None
+("send", n, ws)        TIE data message to node n (1 flit/cycle)   None
+("recv", n, k)         wait for k words from node n, copy them     [words]
+("sendreq", n, w)      single-flit control token to node n         None
+("recvreq",)           wait for a control token                    (src, w)
+("lock", a)            MPMMU lock word a (spins on NACK)           None
+("unlock", a)          MPMMU unlock word a                         None
+("note", label)        record (cycle, rank, label); zero cycles    None
+=====================  ==========================================  =========
+
+The helpers below compose these into doubles, row transfers, range
+flush/invalidate, etc., so application code reads like the C it stands for.
+"""
+
+from __future__ import annotations
+
+import typing
+from collections.abc import Generator
+
+from repro.mem.memory_map import MemoryMap
+from repro.mem.values import float_to_words, words_to_float
+from repro.pe.costmodel import FpCostModel
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.empi.runtime import Empi
+
+#: Type alias for program generators.
+Program = Generator[tuple, object, None]
+
+
+class ProgramContext:
+    """Everything a program can see: identity, memory map, cost model, eMPI."""
+
+    def __init__(
+        self,
+        rank: int,
+        n_workers: int,
+        node_id: int,
+        memory_map: MemoryMap,
+        cost: FpCostModel,
+        rank_to_node: dict[int, int],
+        line_bytes: int = 16,
+        local_mem_bytes: int = 1 << 20,
+    ) -> None:
+        self.rank = rank
+        self.n_workers = n_workers
+        self.node_id = node_id
+        self.map = memory_map
+        self.cost = cost
+        self.rank_to_node = rank_to_node
+        self.line_bytes = line_bytes
+        self.local_mem_bytes = local_mem_bytes
+        self._local_alloc = 0
+        # Bound by the system builder (import cycle otherwise).
+        self.empi: "Empi | None" = None
+
+    # -- address helpers -----------------------------------------------------
+
+    @property
+    def shared_base(self) -> int:
+        return self.map.shared.base
+
+    @property
+    def private_base(self) -> int:
+        return self.map.private_base(self.rank)
+
+    def node_of(self, rank: int) -> int:
+        return self.rank_to_node[rank]
+
+    def local_alloc(self, n_bytes: int) -> int:
+        """Reserve local-memory space (a linker stand-in for buffers)."""
+        aligned = (n_bytes + 3) & ~3
+        base = self._local_alloc
+        if base + aligned > self.local_mem_bytes:
+            raise MemoryError("local memory exhausted")
+        self._local_alloc = base + aligned
+        return base
+
+    # -- word-level op builders ------------------------------------------------
+
+    @staticmethod
+    def compute(cycles: int) -> tuple:
+        return ("compute", cycles)
+
+    def fp_add(self) -> tuple:
+        return ("compute", self.cost.fp_add)
+
+    def fp_mul(self) -> tuple:
+        return ("compute", self.cost.fp_mul)
+
+    def fp_cmp(self) -> tuple:
+        return ("compute", self.cost.fp_cmp)
+
+    @staticmethod
+    def load(addr: int) -> tuple:
+        return ("load", addr)
+
+    @staticmethod
+    def store(addr: int, value: int) -> tuple:
+        return ("store", addr, value)
+
+    @staticmethod
+    def note(label: str) -> tuple:
+        return ("note", label)
+
+    # -- double-precision helpers (two 32-bit words each) --------------------------
+
+    def load_double(self, addr: int) -> Program:
+        low = yield ("load", addr)
+        high = yield ("load", addr + 4)
+        return words_to_float(low, high)
+
+    def store_double(self, addr: int, value: float) -> Program:
+        low, high = float_to_words(value)
+        yield ("store", addr, low)
+        yield ("store", addr + 4, high)
+
+    def uncached_load_double(self, addr: int) -> Program:
+        low = yield ("uload", addr)
+        high = yield ("uload", addr + 4)
+        return words_to_float(low, high)
+
+    def uncached_store_double(self, addr: int, value: float) -> Program:
+        low, high = float_to_words(value)
+        yield ("ustore", addr, low)
+        yield ("ustore", addr + 4, high)
+
+    def lmem_read_double(self, addr: int) -> Program:
+        low = yield ("lmem_read", addr)
+        high = yield ("lmem_read", addr + 4)
+        return words_to_float(low, high)
+
+    def lmem_write_double(self, addr: int, value: float) -> Program:
+        low, high = float_to_words(value)
+        yield ("lmem_write", addr, low)
+        yield ("lmem_write", addr + 4, high)
+
+    # -- cache-management helpers ------------------------------------------------------
+
+    def flush_range(self, addr: int, n_bytes: int) -> Program:
+        """DHWB every line overlapping [addr, addr + n_bytes)."""
+        line = self.line_bytes
+        first = addr & ~(line - 1)
+        last = (addr + n_bytes - 1) & ~(line - 1)
+        for line_addr in range(first, last + 1, line):
+            yield ("flush", line_addr)
+
+    def invalidate_range(self, addr: int, n_bytes: int) -> Program:
+        """DII every line overlapping [addr, addr + n_bytes)."""
+        line = self.line_bytes
+        first = addr & ~(line - 1)
+        last = (addr + n_bytes - 1) & ~(line - 1)
+        for line_addr in range(first, last + 1, line):
+            yield ("inval", line_addr)
+
+    # -- message helpers (rank-addressed) -------------------------------------------------
+
+    def send_words(self, dst_rank: int, words: list[int]) -> tuple:
+        return ("send", self.node_of(dst_rank), words)
+
+    def recv_words(self, src_rank: int, n_words: int) -> tuple:
+        return ("recv", self.node_of(src_rank), n_words)
+
+    def send_doubles(self, dst_rank: int, values: list[float]) -> Program:
+        words: list[int] = []
+        for value in values:
+            low, high = float_to_words(value)
+            words.append(low)
+            words.append(high)
+        yield ("send", self.node_of(dst_rank), words)
+
+    def recv_doubles(self, src_rank: int, n_values: int) -> Program:
+        words = yield ("recv", self.node_of(src_rank), 2 * n_values)
+        return [
+            words_to_float(words[2 * i], words[2 * i + 1]) for i in range(n_values)
+        ]

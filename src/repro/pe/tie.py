@@ -1,0 +1,274 @@
+"""TIE message-passing interface.
+
+Paper Section II-B: each Xtensa gains TIE ports that behave as FIFO
+queues directly attached to the register file.  On send, hardware stamps
+every flit with a sequence number (a counter) and resolves the destination
+through a small LUT.  On receive, the sequence number is used as an offset
+into the processor's local data memory so no sorting buffer is needed for
+out-of-order flits, and a double buffer gives single-cycle reads.
+
+The model here is architecturally equivalent:
+
+* **TX** — one pending message at a time, emitted at one flit per cycle
+  through the arbiter; per-destination slot counters generate the 4-bit
+  wrapping sequence numbers.
+* **RX** — a :class:`ReceiveStream` per source implements the seq-offset
+  scatter with a two-window (double-buffer) tolerance for out-of-order
+  arrival; *request* flits (the SUB-TYPE the paper reserves to distinguish
+  requests from generic data) land in a separate control queue, keeping
+  synchronization tokens out of the data path.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+from repro.kernel.fifo import Fifo
+from repro.kernel.stats import CounterSet
+from repro.noc.flit import Flit
+from repro.noc.packet import PacketType, SubType
+
+#: Sequence numbers are 4 bits on the wire.
+SEQ_WINDOW = 16
+#: Double buffering tolerates reordering across two windows.
+MAX_SPAN = 2 * SEQ_WINDOW
+
+#: Credit-based flow control over the request segment.  A sender may have
+#: at most CREDIT_LIMIT unacknowledged stream slots in flight per
+#: destination; the receiving TIE returns one credit token per
+#: CREDIT_WINDOW contiguously completed slots.  This bounds the reorder
+#: span seen by the receiver strictly below SEQ_WINDOW, so two flits
+#: carrying the same 4-bit sequence number can never coexist in the
+#: network — the condition the seq-offset scatter needs to be unambiguous.
+#: (This is the flow-control role the paper assigns to request packets.)
+CREDIT_WINDOW = 8
+CREDIT_LIMIT = 16
+#: Marker word carried by credit tokens; disjoint from eMPI token encoding.
+CREDIT_WORD = 0x7F00_0000
+
+
+class ReceiveStream:
+    """In-order word stream reassembled from out-of-order flits.
+
+    Slot accounting is continuous across messages: flit *k* of the stream
+    carries sequence number ``k % 16``, and arrivals are scattered into
+    their slot on receipt (the hardware writes ``base + seq`` in local
+    memory).  ``lowest_missing`` is the front of the current window; a
+    sequence number that would land more than two windows ahead means the
+    hardware double buffer would have been overrun, which is a protocol
+    error rather than something to hide.
+    """
+
+    __slots__ = ("slots", "lowest_missing", "consumed", "max_span",
+                 "credited_upto")
+
+    def __init__(self) -> None:
+        self.slots: dict[int, int] = {}
+        self.lowest_missing = 0
+        self.consumed = 0
+        self.max_span = 0
+        #: Slots for which credit tokens have already been issued.
+        self.credited_upto = 0
+
+    def insert(self, seq: int, word: int) -> None:
+        if not (0 <= seq < SEQ_WINDOW):
+            raise ProtocolError(f"sequence number {seq} exceeds 4-bit field")
+        # The two hardware buffers are frame-aligned: frame k covers slots
+        # [16k, 16k+16).  A flit lands in the frame of the oldest missing
+        # slot unless that slot already arrived, in which case it belongs
+        # to the next frame (the second buffer).
+        frame_base = (self.lowest_missing // SEQ_WINDOW) * SEQ_WINDOW
+        slot = frame_base + seq
+        if slot < self.lowest_missing or slot in self.slots:
+            slot += SEQ_WINDOW
+        if slot in self.slots:
+            raise ProtocolError(
+                f"reorder span exceeded double buffer: seq={seq}, "
+                f"oldest missing slot {self.lowest_missing}"
+            )
+        self.slots[slot] = word
+        span = slot - self.lowest_missing
+        if span > self.max_span:
+            self.max_span = span
+        while self.lowest_missing in self.slots:
+            self.lowest_missing += 1
+
+    def available(self, n_words: int) -> bool:
+        """True when the next ``n_words`` of the stream are contiguous."""
+        return self.consumed + n_words <= self.lowest_missing
+
+    def take(self, n_words: int) -> list[int]:
+        if not self.available(n_words):
+            raise ProtocolError(f"take({n_words}) on incomplete stream")
+        start = self.consumed
+        self.consumed = start + n_words
+        return [self.slots.pop(start + i) for i in range(n_words)]
+
+    @property
+    def pending_words(self) -> int:
+        return self.lowest_missing - self.consumed
+
+
+class _PendingSend:
+    """TX state for the message currently streaming out."""
+
+    __slots__ = ("dst_node", "words", "index", "flits", "base_slot")
+
+    def __init__(self, dst_node: int, words: list[int], flits: list[Flit],
+                 base_slot: int):
+        self.dst_node = dst_node
+        self.words = words
+        self.index = 0
+        self.flits = flits
+        self.base_slot = base_slot
+
+    @property
+    def done(self) -> bool:
+        return self.index >= len(self.flits)
+
+    def current(self) -> Flit:
+        return self.flits[self.index]
+
+    def current_slot(self) -> int:
+        return self.base_slot + self.index
+
+
+class TieInterface:
+    """Send/receive state of one PE's TIE ports."""
+
+    def __init__(self, node_id: int, request_queue_depth: int = 64) -> None:
+        self.node_id = node_id
+        self.streams: dict[int, ReceiveStream] = {}
+        self.requests: Fifo[tuple[int, int]] = Fifo(
+            request_queue_depth, name=f"tie[{node_id}].req"
+        )
+        self._send_slots: dict[int, int] = {}
+        #: Per-destination highest stream slot the peer has credited.
+        self._credit_limit: dict[int, int] = {}
+        #: Credit tokens owed to peers (destination node ids, FIFO order).
+        self.pending_credits: Fifo[int] = Fifo(None, name=f"tie[{node_id}].cr")
+        self.tx: _PendingSend | None = None
+        self.stats = CounterSet(f"tie[{node_id}]")
+        #: Set when a flit arrives; the node uses it to re-check waiters.
+        self.rx_event = False
+
+    # -- RX ------------------------------------------------------------------
+
+    def accept(self, flit: Flit) -> None:
+        """Sort an incoming MESSAGE flit into data stream or request queue."""
+        if flit.ptype != PacketType.MESSAGE:
+            raise ProtocolError(f"TIE got non-message flit {flit!r}")
+        self.rx_event = True
+        if flit.subtype == SubType.MSG_REQUEST:
+            if flit.data == CREDIT_WORD:
+                # The peer completed a window of our stream to it.
+                limit = self._credit_limit.get(flit.src, CREDIT_LIMIT)
+                self._credit_limit[flit.src] = limit + CREDIT_WINDOW
+                self.stats.inc("credits_received")
+                return
+            self.requests.push((flit.src, flit.data))
+            self.stats.inc("requests_received")
+            return
+        stream = self.streams.get(flit.src)
+        if stream is None:
+            stream = ReceiveStream()
+            self.streams[flit.src] = stream
+        stream.insert(flit.seq, flit.data)
+        self.stats.inc("data_flits_received")
+        # Flow control: one credit per CREDIT_WINDOW contiguous slots.
+        while stream.lowest_missing >= stream.credited_upto + CREDIT_WINDOW:
+            stream.credited_upto += CREDIT_WINDOW
+            self.pending_credits.push(flit.src)
+            self.stats.inc("credits_sent")
+
+    def stream_from(self, src_node: int) -> ReceiveStream:
+        stream = self.streams.get(src_node)
+        if stream is None:
+            stream = ReceiveStream()
+            self.streams[src_node] = stream
+        return stream
+
+    # -- TX ----------------------------------------------------------------------
+
+    @property
+    def tx_busy(self) -> bool:
+        return self.tx is not None
+
+    def begin_send(self, dst_node: int, words: list[int]) -> None:
+        """Start streaming a data message (one flit per cycle thereafter)."""
+        if self.tx is not None:
+            raise ProtocolError("TIE send started while a send is in flight")
+        if not words:
+            raise ProtocolError("empty message")
+        base_slot = self._send_slots.get(dst_node, 0)
+        flits = []
+        total = len(words)
+        for offset, word in enumerate(words):
+            slot = base_slot + offset
+            # Logic packets group up to 4 flits; BURST tells the receiver
+            # how many flits this flit's packet contains (2-bit field).
+            burst = min(4, total - (offset // 4) * 4)
+            flits.append(
+                Flit(
+                    dst=dst_node,
+                    src=self.node_id,
+                    ptype=PacketType.MESSAGE,
+                    subtype=int(SubType.MSG_DATA),
+                    seq=slot % SEQ_WINDOW,
+                    burst=burst,
+                    data=word,
+                )
+            )
+        self._send_slots[dst_node] = base_slot + total
+        self.tx = _PendingSend(dst_node, words, flits, base_slot)
+        self.stats.inc("messages_sent")
+
+    def make_request_flit(self, dst_node: int, word: int) -> Flit:
+        """Build a single-flit control token for the request segment."""
+        self.stats.inc("requests_sent")
+        return Flit(
+            dst=dst_node,
+            src=self.node_id,
+            ptype=PacketType.MESSAGE,
+            subtype=int(SubType.MSG_REQUEST),
+            seq=0,
+            burst=1,
+            data=word,
+        )
+
+    def tx_current(self) -> Flit | None:
+        if self.tx is None or self.tx.done:
+            return None
+        # Credit gate: never exceed the peer-confirmed window.
+        limit = self._credit_limit.get(self.tx.dst_node, CREDIT_LIMIT)
+        if self.tx.current_slot() >= limit:
+            self.stats.inc("credit_stall_cycles")
+            return None
+        return self.tx.current()
+
+    def credit_flit(self) -> Flit | None:
+        """Next owed credit token, if any (drained by the node, 1/cycle)."""
+        if self.pending_credits.empty:
+            return None
+        dst = self.pending_credits.peek()
+        return Flit(
+            dst=dst,
+            src=self.node_id,
+            ptype=PacketType.MESSAGE,
+            subtype=int(SubType.MSG_REQUEST),
+            seq=0,
+            burst=1,
+            data=CREDIT_WORD,
+        )
+
+    def credit_sent(self) -> None:
+        self.pending_credits.pop()
+
+    def tx_advance(self) -> bool:
+        """Mark the current flit accepted; True when the message finished."""
+        assert self.tx is not None
+        self.tx.index += 1
+        self.stats.inc("data_flits_sent")
+        if self.tx.done:
+            self.tx = None
+            return True
+        return False

@@ -1,0 +1,25 @@
+"""System assembly: configuration, builder and the MedeaSystem facade.
+
+This is the package users start from::
+
+    from repro.system import MedeaSystem, SystemConfig
+
+    system = MedeaSystem(SystemConfig(n_workers=4, cache_size_kb=16))
+    system.load_programs([my_program] * 4)
+    system.run()
+
+The configuration axes mirror the paper's design-space exploration: number
+of worker cores (the MPMMU adds one more node), L1 cache size and write
+policy, plus NoC/arbiter/MPMMU/DDR parameters for finer studies.
+"""
+
+from repro.system.config import SystemConfig
+from repro.system.medea import MedeaSystem
+from repro.system.presets import paper_sweep_configs, reference_config
+
+__all__ = [
+    "MedeaSystem",
+    "SystemConfig",
+    "paper_sweep_configs",
+    "reference_config",
+]

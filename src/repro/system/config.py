@@ -1,0 +1,131 @@
+"""System configuration: every knob of the MEDEA design space."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cache.l1 import WritePolicy
+from repro.bridge.arbiter import ArbiterMode, TrafficClass
+from repro.empi.runtime import BarrierAlgorithm
+from repro.errors import ConfigError
+from repro.pe.costmodel import FpCostModel
+
+#: The paper sweeps caches from 2 kB to 64 kB in powers of two.
+VALID_CACHE_SIZES_KB = (2, 4, 8, 16, 32, 64)
+
+
+@dataclass
+class SystemConfig:
+    """Full description of one architecture point.
+
+    The three headline axes of the paper's exploration are ``n_workers``
+    (2-15 compute cores; the MPMMU is one more node), ``cache_size_kb``
+    (2-64 kB) and ``cache_policy`` ('wb'/'wt').  Everything else defaults
+    to the reference implementation described in Section II.
+    """
+
+    # -- exploration axes ---------------------------------------------------
+    n_workers: int = 4
+    cache_size_kb: int = 16
+    cache_policy: WritePolicy | str = "wb"
+
+    # -- L1 details -----------------------------------------------------------
+    cache_line_bytes: int = 16
+    cache_assoc: int = 2
+    write_buffer_depth: int = 4
+
+    # -- NoC ------------------------------------------------------------------
+    topology_kind: str = "folded_torus"  # or "mesh"
+    grid: tuple[int, int] | None = None  # None = smallest near-square fit
+    eject_width: int = 1
+    strict_encoding: bool = False
+
+    # -- arbiter (Fig. 3 configurations) ----------------------------------------
+    arbiter_mode: ArbiterMode | str = "dual_fifo"
+    arbiter_fifo_depth: int = 4
+    arbiter_high_priority: TrafficClass | str = "message"
+
+    # -- MPMMU + DDR --------------------------------------------------------------
+    mpmmu_cache_kb: int = 16
+    #: The MPMMU is a processor running protocol software; ~12 cycles of
+    #: decode/dispatch per transaction (calibrated in EXPERIMENTS.md).
+    mpmmu_service_overhead: int = 12
+    mpmmu_cache_hit_cycles: int = 2
+    mpmmu_out_fifo_depth: int = 16
+    mpmmu_data_fifo_depth: int = 8
+    ddr_read_latency: int = 24
+    ddr_words_per_cycle: int = 1
+    ddr_posted_write_cost: int = 2
+
+    # -- memory map ------------------------------------------------------------------
+    shared_size: int = 1 << 20
+    private_size: int = 1 << 20
+    local_mem_bytes: int = 1 << 20
+
+    # -- core -----------------------------------------------------------------------
+    fp: FpCostModel = field(default_factory=FpCostModel)
+    lock_retry_backoff: int = 16
+    recv_overhead: int = 2
+
+    # -- runtime ----------------------------------------------------------------------
+    empi_barrier: BarrierAlgorithm | str = "central"
+    trace: bool = False
+    max_cycles: int = 2_000_000_000
+
+    # -- derived -------------------------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Worker cores plus the MPMMU node."""
+        return self.n_workers + 1
+
+    @property
+    def cache_size_bytes(self) -> int:
+        return self.cache_size_kb * 1024
+
+    @property
+    def policy(self) -> WritePolicy:
+        return WritePolicy.parse(self.cache_policy)
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on any inconsistent setting."""
+        if not (1 <= self.n_workers):
+            raise ConfigError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.cache_size_kb < 1 or self.cache_size_kb & (self.cache_size_kb - 1):
+            raise ConfigError(
+                f"cache_size_kb must be a power of two, got {self.cache_size_kb}"
+            )
+        WritePolicy.parse(self.cache_policy)
+        ArbiterMode.parse(self.arbiter_mode)
+        if isinstance(self.arbiter_high_priority, str):
+            TrafficClass(self.arbiter_high_priority.lower())
+        if isinstance(self.empi_barrier, str):
+            BarrierAlgorithm(self.empi_barrier.lower())
+        if self.topology_kind not in ("folded_torus", "mesh"):
+            raise ConfigError(f"unknown topology {self.topology_kind!r}")
+        if self.grid is not None:
+            width, height = self.grid
+            if width * height < self.n_nodes:
+                raise ConfigError(
+                    f"grid {width}x{height} too small for {self.n_nodes} nodes"
+                )
+        if self.eject_width < 1:
+            raise ConfigError("eject_width must be >= 1")
+        if self.write_buffer_depth < 1:
+            raise ConfigError("write_buffer_depth must be >= 1")
+        if self.cache_line_bytes != 16:
+            # The wire protocol (block transactions of 4 words, 4-bit seq)
+            # is built around 16-byte lines, like the reference design.
+            raise ConfigError("this implementation models 16-byte cache lines")
+        for name in ("mpmmu_service_overhead", "ddr_read_latency"):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be >= 1")
+
+    def with_changes(self, **changes: object) -> "SystemConfig":
+        """A copy with the given fields replaced (sweep convenience)."""
+        return replace(self, **changes)
+
+    def label(self) -> str:
+        """Short human label, e.g. ``8P_16k$_WB`` (paper figure style)."""
+        policy = self.policy.value.upper()
+        return f"{self.n_workers}P_{self.cache_size_kb}k$_{policy}"

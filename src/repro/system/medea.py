@@ -1,0 +1,240 @@
+"""MedeaSystem: builds and runs one complete architecture instance."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+
+from repro.bridge.arbiter import NocAccessArbiter
+from repro.bridge.pif2noc import AddressLut, Pif2NocBridge
+from repro.cache.l1 import L1Cache, WritePolicy
+from repro.cache.writebuffer import WriteBuffer
+from repro.empi.runtime import Empi
+from repro.errors import ConfigError, MemoryAccessError
+from repro.kernel.simulator import Simulator
+from repro.kernel.trace import Tracer
+from repro.mem.ddr import DdrModel
+from repro.mem.memory_map import MemoryMap
+from repro.mem.scratchpad import Scratchpad
+from repro.mem.values import words_to_float
+from repro.mpmmu.mpmmu import MpmmuNode
+from repro.noc.network import NocFabric
+from repro.noc.topology import FoldedTorusTopology, MeshTopology, grid_for_nodes
+from repro.pe.processor import ProcessorNode
+from repro.pe.program import ProgramContext
+from repro.pe.tie import TieInterface
+from repro.system.config import SystemConfig
+
+#: A program factory takes the rank's context and returns its generator.
+ProgramFactory = Callable[[ProgramContext], Generator]
+
+#: The MPMMU always occupies NoC node 0; worker rank r sits at node r + 1.
+MPMMU_NODE = 0
+
+
+class MedeaSystem:
+    """One MEDEA instance: NoC + MPMMU + worker tiles, ready to run programs."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        config.validate()
+        self.config = config
+        width, height = config.grid or grid_for_nodes(config.n_nodes)
+        if config.topology_kind == "mesh":
+            self.topology = MeshTopology(width, height)
+        else:
+            self.topology = FoldedTorusTopology(width, height)
+        self.sim = Simulator()
+        self.tracer = Tracer(enabled=config.trace)
+        self.fabric = NocFabric(
+            self.topology,
+            eject_capacity=config.eject_width,
+            strict_encoding=config.strict_encoding,
+            tracer=self.tracer,
+        )
+        self.sim.register(self.fabric)
+
+        self.map = MemoryMap(
+            config.n_workers,
+            shared_size=config.shared_size,
+            private_size=config.private_size,
+        )
+        self.ddr = DdrModel(
+            size_bytes=self.map.total_size,
+            read_latency=config.ddr_read_latency,
+            words_per_cycle=config.ddr_words_per_cycle,
+            posted_write_cost=config.ddr_posted_write_cost,
+        )
+        self.mpmmu = MpmmuNode(
+            self.fabric.ports_of(MPMMU_NODE),
+            cache=L1Cache(
+                config.mpmmu_cache_kb * 1024,
+                line_bytes=config.cache_line_bytes,
+                assoc=config.cache_assoc,
+                policy=WritePolicy.WRITE_BACK,
+                name="mpmmu.l1",
+            ),
+            ddr=self.ddr,
+            n_workers=config.n_workers,
+            service_overhead=config.mpmmu_service_overhead,
+            cache_hit_cycles=config.mpmmu_cache_hit_cycles,
+            out_fifo_depth=config.mpmmu_out_fifo_depth,
+            data_fifo_depth=config.mpmmu_data_fifo_depth,
+        )
+        self.sim.register(self.mpmmu)
+
+        self.rank_to_node = {
+            rank: rank + 1 for rank in range(config.n_workers)
+        }
+        self.notes: list[tuple[int, int, str]] = []
+        self.nodes: list[ProcessorNode] = []
+        for rank in range(config.n_workers):
+            self.nodes.append(self._build_worker(rank))
+        self.contexts: list[ProgramContext] = []
+
+    # -- construction -----------------------------------------------------------
+
+    def _build_worker(self, rank: int) -> ProcessorNode:
+        config = self.config
+        node_id = self.rank_to_node[rank]
+        ports = self.fabric.ports_of(node_id)
+        lut = AddressLut(MPMMU_NODE)
+        node = ProcessorNode(
+            rank=rank,
+            ports=ports,
+            cache=L1Cache(
+                config.cache_size_bytes,
+                line_bytes=config.cache_line_bytes,
+                assoc=config.cache_assoc,
+                policy=config.policy,
+                name=f"l1[{rank}]",
+            ),
+            write_buffer=WriteBuffer(config.write_buffer_depth, name=f"wbuf[{rank}]"),
+            bridge=Pif2NocBridge(node_id, lut, name=f"pif2noc[{rank}]"),
+            arbiter=NocAccessArbiter(
+                ports.inject,
+                mode=config.arbiter_mode,
+                fifo_depth=config.arbiter_fifo_depth,
+                high_priority=config.arbiter_high_priority,
+                name=f"arb[{rank}]",
+            ),
+            tie=TieInterface(node_id),
+            scratchpad=Scratchpad(config.local_mem_bytes, name=f"lmem[{rank}]"),
+            memory_map=self.map,
+            cost=config.fp,
+            lock_retry_backoff=config.lock_retry_backoff,
+            recv_overhead=config.recv_overhead,
+            notes=self.notes,
+        )
+        self.sim.register(node)
+        return node
+
+    def context_for(self, rank: int) -> ProgramContext:
+        """Build the architectural context handed to rank's program."""
+        config = self.config
+        ctx = ProgramContext(
+            rank=rank,
+            n_workers=config.n_workers,
+            node_id=self.rank_to_node[rank],
+            memory_map=self.map,
+            cost=config.fp,
+            rank_to_node=self.rank_to_node,
+            line_bytes=config.cache_line_bytes,
+            local_mem_bytes=config.local_mem_bytes,
+        )
+        ctx.empi = Empi(ctx, barrier_algorithm=config.empi_barrier)
+        return ctx
+
+    # -- program loading & running ---------------------------------------------------
+
+    def load_programs(self, factories: list[ProgramFactory]) -> None:
+        """Install one program per rank (list length must equal n_workers)."""
+        if len(factories) != self.config.n_workers:
+            raise ConfigError(
+                f"need {self.config.n_workers} programs, got {len(factories)}"
+            )
+        self.contexts = []
+        for rank, factory in enumerate(factories):
+            ctx = self.context_for(rank)
+            self.contexts.append(ctx)
+            self.nodes[rank].load_program(factory(ctx))
+
+    def finished(self) -> bool:
+        """True when every program ended and all traffic has drained."""
+        return (
+            all(node.drained for node in self.nodes)
+            and self.mpmmu.idle
+            and self.fabric.flits_in_network == 0
+        )
+
+    def run(self, max_cycles: int | None = None) -> int:
+        """Run to completion; returns elapsed cycles.
+
+        Raises :class:`~repro.errors.DeadlockError` (with per-component
+        diagnostics) if the system wedges, and
+        :class:`~repro.errors.SimulationError` if ``max_cycles`` elapse
+        first.
+        """
+        budget = max_cycles if max_cycles is not None else self.config.max_cycles
+        start = self.sim.cycle
+        self.sim.run(max_cycles=budget, until=self.finished)
+        return self.sim.cycle - start
+
+    @property
+    def cycle(self) -> int:
+        return self.sim.cycle
+
+    # -- post-run inspection -------------------------------------------------------------
+
+    def debug_read_word(self, addr: int) -> int:
+        """Architectural value of a word, wherever it currently lives.
+
+        Private segments: the owner's cache wins over DDR (it may hold
+        dirty lines).  Shared segment: any worker holding the line *dirty*
+        wins (at most one may, if the software protocol was followed);
+        otherwise DDR is authoritative.
+        """
+        segment = self.map.segment_of(addr)
+        if segment.owner >= 0:
+            line = self.nodes[segment.owner].cache.probe(addr)
+            if line is not None:
+                return line.words[(addr % self.config.cache_line_bytes) >> 2]
+            return self.ddr.store.read_word(addr)
+        dirty_value: int | None = None
+        for node in self.nodes:
+            line = node.cache.probe(addr)
+            if line is not None and line.dirty:
+                if dirty_value is not None:
+                    raise MemoryAccessError(
+                        f"two dirty copies of shared word {addr:#x}: "
+                        f"software coherence protocol was violated"
+                    )
+                dirty_value = line.words[(addr % self.config.cache_line_bytes) >> 2]
+        if dirty_value is not None:
+            return dirty_value
+        return self.ddr.store.read_word(addr)
+
+    def debug_read_double(self, addr: int) -> float:
+        return words_to_float(
+            self.debug_read_word(addr), self.debug_read_word(addr + 4)
+        )
+
+    def collect_stats(self) -> dict:
+        """Aggregate statistics for reports and tests."""
+        return {
+            "cycles": self.sim.cycle,
+            "noc": {
+                **self.fabric.stats.as_dict(),
+                "latency": self.fabric.latency.as_dict(),
+            },
+            "mpmmu": self.mpmmu.stats.as_dict(),
+            "workers": [
+                {
+                    "rank": node.rank,
+                    "core": node.stats.as_dict(),
+                    "cache": node.cache.stats.as_dict(),
+                    "bridge": node.bridge.stats.as_dict(),
+                    "bridge_latency": node.bridge.latency.as_dict(),
+                    "tie": node.tie.stats.as_dict(),
+                }
+                for node in self.nodes
+            ],
+        }

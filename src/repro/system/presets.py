@@ -1,0 +1,43 @@
+"""Canonical configurations: the reference machine and the paper's sweep."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.system.config import VALID_CACHE_SIZES_KB, SystemConfig
+
+
+def reference_config(**overrides: object) -> SystemConfig:
+    """The baseline machine of Section II: 4x4-capable folded torus,
+    dual-FIFO arbiter, Multiply-High core, 16 kB write-back caches."""
+    config = SystemConfig()
+    if overrides:
+        config = config.with_changes(**overrides)
+    return config
+
+
+def paper_sweep_configs(
+    workers: tuple[int, ...] | None = None,
+    cache_sizes_kb: tuple[int, ...] | None = None,
+    policies: tuple[str, ...] = ("wb", "wt"),
+    base: SystemConfig | None = None,
+) -> Iterator[SystemConfig]:
+    """The 168-point design space of Section III.
+
+    Cores 3-16 (= 2-15 workers plus the MPMMU) x cache 2-64 kB x WB/WT
+    gives 14 * 6 * 2 = 168 architectures, exactly the number the paper
+    simulated overnight on five servers.
+    """
+    if workers is None:
+        workers = tuple(range(2, 16))
+    if cache_sizes_kb is None:
+        cache_sizes_kb = VALID_CACHE_SIZES_KB
+    template = base if base is not None else SystemConfig()
+    for n_workers in workers:
+        for cache_kb in cache_sizes_kb:
+            for policy in policies:
+                yield template.with_changes(
+                    n_workers=n_workers,
+                    cache_size_kb=cache_kb,
+                    cache_policy=policy,
+                )

@@ -1,0 +1,85 @@
+"""Distributed dot product: both reduction strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.dotproduct import (
+    DotProductParams,
+    ReductionModel,
+    chunks_for,
+    reference_dot,
+    run_dotproduct,
+)
+from repro.errors import ConfigError
+from repro.system.config import SystemConfig
+
+
+def test_chunks_cover_everything():
+    chunks = chunks_for(10, 3)
+    assert [c.n_rows for c in chunks] == [4, 3, 3]
+    covered = []
+    for chunk in chunks:
+        covered.extend(range(chunk.first_row, chunk.first_row + chunk.n_rows))
+    assert covered == list(range(10))
+
+
+def test_reference_depends_on_worker_grouping():
+    # FP addition is not associative: different groupings, different bits.
+    assert reference_dot(64, 1) == pytest.approx(reference_dot(64, 4))
+
+
+def test_model_parse():
+    assert ReductionModel.parse("empi") is ReductionModel.EMPI
+    with pytest.raises(ConfigError):
+        ReductionModel.parse("tree")
+
+
+def test_params_validation():
+    with pytest.raises(ConfigError):
+        DotProductParams(n_elements=0)
+
+
+@pytest.mark.parametrize("model", ["empi", "pure_sm"])
+@pytest.mark.parametrize("n_workers", [1, 2, 4])
+def test_dotproduct_bit_exact(model, n_workers):
+    config = SystemConfig(n_workers=n_workers, cache_size_kb=4)
+    result = run_dotproduct(config, DotProductParams(64, model))
+    assert result.validated
+    assert result.value == result.expected
+
+
+def test_empi_reduction_beats_sm_reduction():
+    config = SystemConfig(n_workers=6, cache_size_kb=4)
+    empi = run_dotproduct(config, DotProductParams(120, "empi"))
+    pure = run_dotproduct(config, DotProductParams(120, "pure_sm"))
+    assert empi.validated and pure.validated
+    assert empi.reduction_cycles < pure.reduction_cycles
+
+
+def test_sm_reduction_uses_locks_empi_does_not():
+    config = SystemConfig(n_workers=3, cache_size_kb=4)
+    empi = run_dotproduct(config, DotProductParams(48, "empi"))
+    pure = run_dotproduct(config, DotProductParams(48, "pure_sm"))
+    assert empi.stats["mpmmu"].get("served_lock", 0) == 0
+    assert pure.stats["mpmmu"].get("served_lock", 0) >= 3
+
+
+def test_uneven_elements_validate():
+    config = SystemConfig(n_workers=3, cache_size_kb=4)
+    result = run_dotproduct(config, DotProductParams(50, "empi"))
+    assert result.validated
+
+
+def test_more_workers_than_elements():
+    config = SystemConfig(n_workers=6, cache_size_kb=4)
+    result = run_dotproduct(config, DotProductParams(4, "empi"))
+    assert result.validated
+
+
+def test_determinism():
+    config = SystemConfig(n_workers=4, cache_size_kb=4)
+    first = run_dotproduct(config, DotProductParams(64, "pure_sm"))
+    second = run_dotproduct(config, DotProductParams(64, "pure_sm"))
+    assert first.total_cycles == second.total_cycles
+    assert first.value == second.value

@@ -1,0 +1,78 @@
+"""Numpy Jacobi reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.jacobi.reference import (
+    initial_grid,
+    jacobi_reference,
+    step_reference,
+    stencil,
+)
+
+
+def test_initial_grid_boundaries():
+    grid = initial_grid(8)
+    assert grid.shape == (8, 8)
+    assert np.all(grid[0, 1:-1] == 1.0)
+    assert np.all(grid[-1, 1:-1] == -0.5)
+    assert grid[3, 0] == 0.75
+    assert grid[3, -1] == 0.25
+    assert np.all(grid[1:-1, 1:-1] == 0.0)
+
+
+def test_initial_grid_too_small():
+    with pytest.raises(ValueError):
+        initial_grid(2)
+
+
+def test_step_preserves_boundary():
+    grid = initial_grid(6)
+    new = step_reference(grid)
+    assert np.array_equal(new[0, :], grid[0, :])
+    assert np.array_equal(new[-1, :], grid[-1, :])
+    assert np.array_equal(new[:, 0], grid[:, 0])
+    assert np.array_equal(new[:, -1], grid[:, -1])
+
+
+def test_step_does_not_mutate_input():
+    grid = initial_grid(6)
+    copy = grid.copy()
+    step_reference(grid)
+    assert np.array_equal(grid, copy)
+
+
+def test_single_point_update_value():
+    grid = initial_grid(3)
+    new = step_reference(grid)
+    expected = stencil(grid[0, 1], grid[2, 1], grid[1, 0], grid[1, 2])
+    assert new[1, 1] == expected
+
+
+def test_scalar_stencil_matches_vectorized():
+    grid = initial_grid(7)
+    new = step_reference(grid)
+    for i in range(1, 6):
+        for j in range(1, 6):
+            assert new[i, j] == stencil(
+                grid[i - 1, j], grid[i + 1, j], grid[i, j - 1], grid[i, j + 1]
+            )
+
+
+def test_jacobi_reference_iterates():
+    grid = initial_grid(6)
+    twice = jacobi_reference(grid, 2)
+    assert np.array_equal(twice, step_reference(step_reference(grid)))
+
+
+def test_convergence_toward_harmonic_solution():
+    """Long Jacobi runs approach the fixed point (residual shrinks)."""
+    grid = initial_grid(10)
+    early = jacobi_reference(grid, 5)
+    late = jacobi_reference(grid, 200)
+    def residual(g):
+        interior = 0.25 * (g[:-2, 1:-1] + g[2:, 1:-1] + g[1:-1, :-2] + g[1:-1, 2:])
+        return np.max(np.abs(interior - g[1:-1, 1:-1]))
+    assert residual(late) < residual(early) / 10

@@ -1,0 +1,59 @@
+"""PIF transaction descriptors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bridge.pif import BLOCK_WORDS, MemTransaction
+from repro.errors import ProtocolError
+from repro.noc.packet import PacketType
+
+
+def test_block_words_matches_line():
+    assert BLOCK_WORDS == 4  # 16-byte line / 32-bit words
+
+
+def test_read_transaction_shape():
+    txn = MemTransaction(PacketType.BLOCK_READ, 0x100)
+    assert txn.expected_read_words == 4
+    assert txn.expected_write_words == 0
+    assert not txn.is_write
+
+
+def test_single_read_expects_one_word():
+    txn = MemTransaction(PacketType.SINGLE_READ, 0x100)
+    assert txn.expected_read_words == 1
+
+
+def test_write_transaction_requires_payload():
+    with pytest.raises(ProtocolError):
+        MemTransaction(PacketType.SINGLE_WRITE, 0x100)
+    txn = MemTransaction(PacketType.SINGLE_WRITE, 0x100, write_words=[7])
+    assert txn.is_write
+
+
+def test_block_write_requires_four_words():
+    with pytest.raises(ProtocolError):
+        MemTransaction(PacketType.BLOCK_WRITE, 0x100, write_words=[1, 2])
+    MemTransaction(PacketType.BLOCK_WRITE, 0x100, write_words=[1, 2, 3, 4])
+
+
+def test_lock_unlock_have_no_payload():
+    lock = MemTransaction(PacketType.LOCK, 0x40)
+    unlock = MemTransaction(PacketType.UNLOCK, 0x40)
+    assert lock.expected_read_words == 0
+    assert unlock.expected_write_words == 0
+
+
+def test_message_type_rejected():
+    with pytest.raises(ProtocolError):
+        MemTransaction(PacketType.MESSAGE, 0)
+
+
+def test_latency_requires_completion():
+    txn = MemTransaction(PacketType.SINGLE_READ, 0)
+    with pytest.raises(ProtocolError):
+        __ = txn.latency
+    txn.issued_at = 10
+    txn.completed_at = 25
+    assert txn.latency == 15

@@ -1,0 +1,95 @@
+"""Reorder buffer for out-of-order block-read replies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bridge.reorder import ReorderBuffer
+from repro.errors import ProtocolError
+
+
+def test_in_order_assembly():
+    buffer = ReorderBuffer(4)
+    buffer.begin(4)
+    assert not buffer.insert(0, 10)
+    assert not buffer.insert(1, 11)
+    assert not buffer.insert(2, 12)
+    assert buffer.insert(3, 13)
+    assert buffer.take() == [10, 11, 12, 13]
+
+
+def test_out_of_order_assembly():
+    buffer = ReorderBuffer(4)
+    buffer.begin(4)
+    for seq, word in [(3, 13), (0, 10), (2, 12), (1, 11)]:
+        done = buffer.insert(seq, word)
+    assert done
+    assert buffer.take() == [10, 11, 12, 13]
+    assert buffer.max_out_of_order == 3
+
+
+def test_partial_burst():
+    buffer = ReorderBuffer(4)
+    buffer.begin(1)
+    assert buffer.insert(0, 99)
+    assert buffer.take() == [99]
+
+
+def test_insert_without_begin_rejected():
+    with pytest.raises(ProtocolError):
+        ReorderBuffer(4).insert(0, 1)
+
+
+def test_sequence_outside_burst_rejected():
+    buffer = ReorderBuffer(4)
+    buffer.begin(2)
+    with pytest.raises(ProtocolError):
+        buffer.insert(2, 5)
+
+
+def test_duplicate_sequence_rejected():
+    buffer = ReorderBuffer(4)
+    buffer.begin(4)
+    buffer.insert(1, 5)
+    with pytest.raises(ProtocolError):
+        buffer.insert(1, 6)
+
+
+def test_take_before_complete_rejected():
+    buffer = ReorderBuffer(4)
+    buffer.begin(4)
+    buffer.insert(0, 1)
+    with pytest.raises(ProtocolError):
+        buffer.take()
+
+
+def test_begin_larger_than_depth_rejected():
+    buffer = ReorderBuffer(4)
+    with pytest.raises(ProtocolError):
+        buffer.begin(5)
+
+
+def test_reusable_after_take():
+    buffer = ReorderBuffer(4)
+    buffer.begin(2)
+    buffer.insert(0, 1)
+    buffer.insert(1, 2)
+    buffer.take()
+    assert not buffer.busy
+    buffer.begin(2)
+    buffer.insert(1, 4)
+    buffer.insert(0, 3)
+    assert buffer.take() == [3, 4]
+
+
+@given(order=st.permutations(list(range(4))))
+def test_any_arrival_order_reassembles(order):
+    buffer = ReorderBuffer(4)
+    buffer.begin(4)
+    done = False
+    for seq in order:
+        done = buffer.insert(seq, 100 + seq)
+    assert done
+    assert buffer.take() == [100, 101, 102, 103]

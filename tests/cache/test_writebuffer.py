@@ -1,0 +1,31 @@
+"""Write buffer semantics."""
+
+from __future__ import annotations
+
+from repro.cache.writebuffer import WriteBuffer
+
+
+def test_post_and_drain_in_order():
+    buffer = WriteBuffer(depth=2)
+    assert buffer.try_post(0x10, 1)
+    assert buffer.try_post(0x14, 2)
+    assert buffer.pop() == (0x10, 1)
+    assert buffer.pop() == (0x14, 2)
+
+
+def test_full_buffer_rejects():
+    buffer = WriteBuffer(depth=1)
+    assert buffer.try_post(0x0, 1)
+    assert not buffer.try_post(0x4, 2)
+
+
+def test_depth_property():
+    assert WriteBuffer(depth=4).depth == 4
+
+
+def test_len_and_empty():
+    buffer = WriteBuffer(depth=4)
+    assert buffer.empty
+    buffer.try_post(0, 0)
+    assert len(buffer) == 1
+    assert not buffer.empty

@@ -1,0 +1,35 @@
+"""Shared fixtures and helpers for the MEDEA test suite."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+
+import pytest
+
+from repro.system.config import SystemConfig
+from repro.system.medea import MedeaSystem
+
+
+def run_programs(
+    config: SystemConfig,
+    *programs: Callable[..., Generator],
+    max_cycles: int = 2_000_000,
+) -> MedeaSystem:
+    """Build a system, run one program per worker, return it for inspection."""
+    assert len(programs) == config.n_workers
+    system = MedeaSystem(config)
+    system.load_programs(list(programs))
+    system.run(max_cycles=max_cycles)
+    return system
+
+
+@pytest.fixture
+def tiny_config() -> SystemConfig:
+    """Two workers, small caches — the cheapest interesting machine."""
+    return SystemConfig(n_workers=2, cache_size_kb=2)
+
+
+@pytest.fixture
+def quad_config() -> SystemConfig:
+    """Four workers with the reference cache setup."""
+    return SystemConfig(n_workers=4, cache_size_kb=8)

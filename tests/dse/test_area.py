@@ -1,0 +1,46 @@
+"""Area model sanity."""
+
+from __future__ import annotations
+
+from repro.dse.area import AreaModel
+from repro.system.config import SystemConfig
+
+
+def test_area_monotonic_in_workers():
+    model = AreaModel()
+    small = model.chip_area(SystemConfig(n_workers=2, cache_size_kb=8))
+    large = model.chip_area(SystemConfig(n_workers=8, cache_size_kb=8))
+    assert large > small
+
+
+def test_area_monotonic_in_cache():
+    model = AreaModel()
+    small = model.chip_area(SystemConfig(n_workers=4, cache_size_kb=2))
+    large = model.chip_area(SystemConfig(n_workers=4, cache_size_kb=64))
+    assert large > small
+
+
+def test_policy_does_not_change_area():
+    model = AreaModel()
+    wb = model.chip_area(SystemConfig(n_workers=4, cache_policy="wb"))
+    wt = model.chip_area(SystemConfig(n_workers=4, cache_policy="wt"))
+    assert wb == wt
+
+
+def test_calibration_anchors_paper_range():
+    """Fig. 7's largest configs sit near 20-22 mm^2, smallest near 2-4."""
+    model = AreaModel()
+    largest = model.chip_area(SystemConfig(n_workers=15, cache_size_kb=32))
+    smallest = model.chip_area(SystemConfig(n_workers=2, cache_size_kb=2))
+    assert 18.0 <= largest <= 24.0
+    assert 2.0 <= smallest <= 5.0
+
+
+def test_noc_overhead_is_100_percent_of_core_logic():
+    model = AreaModel()
+    assert model.core_area(0) == 2 * model.core_logic_mm2
+
+
+def test_mpmmu_larger_than_core():
+    model = AreaModel()
+    assert model.mpmmu_area(16) > model.core_area(16)

@@ -1,0 +1,93 @@
+"""Experiment orchestration, run at miniature scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.jacobi.driver import JacobiParams
+from repro.dse.experiments import (
+    ALL_EXPERIMENTS,
+    execution_time_experiment,
+    experiment_noc,
+    experiment_simspeed,
+    full_scale_requested,
+    speedup_area_experiment,
+)
+from repro.system.config import SystemConfig
+from repro.dse.runner import run_sweep
+from repro.dse.space import SweepSpec
+
+
+def test_registry_covers_every_artifact():
+    assert set(ALL_EXPERIMENTS) == {
+        "fig6", "fig7", "fig8", "fig9", "compare", "noc", "simspeed",
+    }
+
+
+def test_full_scale_env(monkeypatch):
+    monkeypatch.delenv("MEDEA_FULL", raising=False)
+    assert not full_scale_requested()
+    monkeypatch.setenv("MEDEA_FULL", "1")
+    assert full_scale_requested()
+    monkeypatch.setenv("MEDEA_FULL", "0")
+    assert not full_scale_requested()
+
+
+def test_execution_time_experiment_miniature(tmp_path):
+    report = execution_time_experiment(
+        "mini6",
+        paper_size=60,
+        policies=("wb",),
+        paper_caches=(2,),
+        full=False,
+        jobs=1,
+        cache_dir=tmp_path,
+        quick_size=8,
+        quick_caches=(2, 4),
+        quick_workers=(1, 2),
+    )
+    assert "mini6" in report.text
+    assert "2kB$WB" in report.text
+    assert len(report.series) == 2
+    saved = report.save(tmp_path)
+    assert saved.exists()
+
+
+def test_speedup_area_experiment_miniature(tmp_path):
+    report = speedup_area_experiment(
+        "mini7", "mini6", 60, (2,),
+        full=False, jobs=1, cache_dir=tmp_path,
+        quick_size=8, quick_caches=(2, 4),
+    )
+    assert "speedup" in report.text
+    assert "pareto" in report.series
+    assert report.series["kill-rule"]
+    # Speedup is relative to the smallest-area config: its point is 1.0.
+    assert min(s for __, s in report.series["pareto"]) == pytest.approx(1.0)
+
+
+def test_noc_experiment_quick():
+    report = experiment_noc(full=False)
+    assert "all delivered" in report.text
+    assert all(row[-1] == "yes" for row in report.rows)
+
+
+def test_simspeed_reports_throughput():
+    report = experiment_simspeed(full=False)
+    assert "cycles/sec" in report.text
+    assert report.rows[0][2] > 0
+
+
+def test_validation_failure_aborts(tmp_path):
+    """A sweep whose results failed validation must raise, not report."""
+    spec = SweepSpec(
+        name="check", workers=(1,), cache_sizes_kb=(4,), policies=("wb",),
+        params=JacobiParams(n=6, iterations=2, warmup=0),
+    )
+    results = run_sweep(spec, jobs=1, cache_dir=tmp_path)
+    results[0].validated = False
+    from repro.dse.experiments import _check_validated
+
+    with pytest.raises(AssertionError):
+        _check_validated(results)
+    __ = SystemConfig  # silence unused-import linters

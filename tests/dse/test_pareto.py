@@ -1,0 +1,91 @@
+"""Pareto front and the kill rule."""
+
+from __future__ import annotations
+
+from repro.dse.pareto import FrontPoint, kill_rule_prune, pareto_front
+
+
+def fp(area: float, speedup: float, label: str = "") -> FrontPoint:
+    return FrontPoint(area, speedup, label or f"{area}/{speedup}")
+
+
+def test_dominated_points_removed():
+    points = [fp(1, 10), fp(2, 5), fp(3, 20)]
+    front = pareto_front(points)
+    assert [(p.area_mm2, p.speedup) for p in front] == [(1, 10), (3, 20)]
+
+
+def test_front_sorted_by_area():
+    points = [fp(5, 50), fp(1, 10), fp(3, 30)]
+    front = pareto_front(points)
+    assert [p.area_mm2 for p in front] == [1, 3, 5]
+
+
+def test_equal_area_keeps_fastest():
+    points = [fp(2, 10, "slow"), fp(2, 20, "fast")]
+    front = pareto_front(points)
+    assert len(front) == 1
+    assert front[0].label == "fast"
+
+
+def test_empty_front():
+    assert pareto_front([]) == []
+    assert kill_rule_prune([]) == []
+
+
+def test_kill_rule_keeps_linear_or_better():
+    # +100% area for +200% speedup: keep.
+    front = [fp(1, 10), fp(2, 30)]
+    kept = kill_rule_prune(front)
+    assert len(kept) == 2
+
+
+def test_kill_rule_drops_sublinear():
+    # +100% area for +10% speedup: kill.
+    front = [fp(1, 10), fp(2, 11)]
+    kept = kill_rule_prune(front)
+    assert len(kept) == 1
+
+
+def test_kill_rule_exactly_linear_is_kept():
+    front = [fp(1, 10), fp(2, 20)]  # +100% area, +100% speedup
+    kept = kill_rule_prune(front)
+    assert len(kept) == 2
+
+
+def test_kill_rule_cumulative_steps():
+    """Individually sublinear points can be bridged by a later jump."""
+    front = [fp(1, 10), fp(1.1, 10.1), fp(2.0, 25)]
+    kept = kill_rule_prune(front)
+    labels = [p.area_mm2 for p in kept]
+    assert 1 in labels
+    assert 2.0 in labels  # reached by the cumulative comparison from 1.0
+
+
+def test_kill_rule_threshold_parameter():
+    front = [fp(1, 10), fp(2, 15)]  # +100% area, +50% speedup
+    assert len(kill_rule_prune(front, threshold=1.0)) == 1
+    assert len(kill_rule_prune(front, threshold=0.4)) == 2
+
+
+def test_kill_rule_starts_from_smallest_area():
+    front = [fp(3, 30), fp(1, 10)]
+    kept = kill_rule_prune(front)
+    assert kept[0].area_mm2 == 1
+
+
+def test_paper_shaped_staircase():
+    """A knee followed by diminishing returns: the tail gets killed."""
+    cloud = [
+        fp(2.5, 1.0, "2P_2k$"),
+        fp(3.0, 1.2, "3P_2k$"),
+        fp(7.0, 4.0, "8P_16k$"),    # the knee: caches start fitting
+        fp(9.0, 9.0, "10P_16k$"),
+        fp(12.0, 10.0, "13P_16k$"),
+        fp(20.0, 10.5, "15P_64k$"),  # sublinear tail
+    ]
+    front = pareto_front(cloud)
+    kept = kill_rule_prune(front)
+    labels = [p.label for p in kept]
+    assert "10P_16k$" in labels
+    assert "15P_64k$" not in labels

@@ -1,0 +1,78 @@
+"""Sweep runner and its result cache."""
+
+from __future__ import annotations
+
+from repro.apps.jacobi.driver import JacobiParams
+from repro.dse.runner import ResultCache, SweepResult, evaluate_point, run_sweep
+from repro.dse.space import SweepSpec
+
+
+def tiny_spec(name: str = "tiny") -> SweepSpec:
+    return SweepSpec(
+        name=name,
+        workers=(1, 2),
+        cache_sizes_kb=(4,),
+        policies=("wb",),
+        params=JacobiParams(n=6, iterations=2, warmup=0),
+    )
+
+
+def test_evaluate_point_validates():
+    point = tiny_spec().points()[0]
+    result = evaluate_point(point)
+    assert result.validated
+    assert result.cycles_per_iteration > 0
+    assert result.n_workers == 1
+
+
+def test_run_sweep_inline_order_matches_points():
+    spec = tiny_spec()
+    results = run_sweep(spec, jobs=1)
+    assert [r.n_workers for r in results] == [1, 2]
+
+
+def test_run_sweep_parallel_pool():
+    spec = tiny_spec()
+    results = run_sweep(spec, jobs=2)
+    assert len(results) == 2
+    assert all(r.validated for r in results)
+
+
+def test_cache_reuse(tmp_path):
+    spec = tiny_spec("cached")
+    first = run_sweep(spec, jobs=1, cache_dir=tmp_path)
+    assert (tmp_path / "cached.json").exists()
+    second = run_sweep(spec, jobs=1, cache_dir=tmp_path)
+    assert [r.cycles_per_iteration for r in first] == [
+        r.cycles_per_iteration for r in second
+    ]
+
+
+def test_cache_does_not_leak_across_different_points(tmp_path):
+    spec_a = tiny_spec("shared_name")
+    run_sweep(spec_a, jobs=1, cache_dir=tmp_path)
+    spec_b = SweepSpec(
+        name="shared_name",
+        workers=(1,),
+        cache_sizes_kb=(8,),  # different cache size: a different key
+        policies=("wb",),
+        params=JacobiParams(n=6, iterations=2, warmup=0),
+    )
+    results = run_sweep(spec_b, jobs=1, cache_dir=tmp_path)
+    assert results[0].cache_kb == 8
+
+
+def test_result_round_trips_through_json(tmp_path):
+    cache = ResultCache(tmp_path, "roundtrip")
+    result = SweepResult(
+        label="2P_4k$_WB", n_workers=2, cache_kb=4, policy="wb",
+        model="hybrid_full", n=6, cycles_per_iteration=100.0,
+        iteration_cycles=[120, 100], total_cycles=400, validated=True,
+        wall_seconds=0.5,
+    )
+    cache.put("key", result)
+    cache.save()
+    reloaded = ResultCache(tmp_path, "roundtrip").get("key")
+    assert reloaded is not None
+    assert reloaded.label == result.label
+    assert reloaded.iteration_cycles == [120, 100]

@@ -1,0 +1,56 @@
+"""Sweep space definitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.jacobi.driver import JacobiParams
+from repro.dse.space import SweepPoint, SweepSpec
+from repro.errors import ConfigError
+from repro.system.config import SystemConfig
+
+
+def test_points_cross_product():
+    spec = SweepSpec(
+        name="t", workers=(2, 3), cache_sizes_kb=(4, 8), policies=("wb",),
+    )
+    points = spec.points()
+    assert len(points) == 4 == spec.n_points
+    labels = {p.config.label() for p in points}
+    assert labels == {"2P_4k$_WB", "2P_8k$_WB", "3P_4k$_WB", "3P_8k$_WB"}
+
+
+def test_empty_axis_rejected():
+    with pytest.raises(ConfigError):
+        SweepSpec(name="t", workers=())
+
+
+def test_key_stability_and_sensitivity():
+    spec = SweepSpec(name="t", workers=(2,), cache_sizes_kb=(4,),
+                     policies=("wb",))
+    point = spec.points()[0]
+    assert point.key() == spec.points()[0].key()
+    other = SweepPoint(point.config.with_changes(cache_size_kb=8),
+                       point.params)
+    assert other.key() != point.key()
+
+
+def test_key_sensitive_to_workload():
+    config = SystemConfig(n_workers=2)
+    small = SweepPoint(config, JacobiParams(n=8))
+    large = SweepPoint(config, JacobiParams(n=16))
+    assert small.key() != large.key()
+
+
+def test_key_sensitive_to_model():
+    config = SystemConfig(n_workers=2)
+    full = SweepPoint(config, JacobiParams(n=8, model="hybrid_full"))
+    pure = SweepPoint(config, JacobiParams(n=8, model="pure_sm"))
+    assert full.key() != pure.key()
+
+
+def test_base_config_propagates():
+    base = SystemConfig(ddr_read_latency=99)
+    spec = SweepSpec(name="t", workers=(2,), cache_sizes_kb=(4,),
+                     policies=("wb",), base_config=base)
+    assert spec.points()[0].config.ddr_read_latency == 99

@@ -1,0 +1,239 @@
+"""Kernel scheduling semantics: stepping, wakeups, fast-forward, deadlock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.kernel.component import Component
+from repro.kernel.simulator import Simulator
+
+
+class Recorder(Component):
+    """Steps for a fixed number of cycles, recording when it ran."""
+
+    def __init__(self, name: str, run_cycles: int = 1) -> None:
+        super().__init__(name)
+        self.seen: list[int] = []
+        self.remaining = run_cycles
+        self.active = True
+
+    def step(self, cycle: int) -> None:
+        self.seen.append(cycle)
+        self.remaining -= 1
+        if self.remaining <= 0:
+            self.sleep()
+
+
+class Sleeper(Component):
+    """Sleeps for `gap` cycles between steps, `repeats` times."""
+
+    def __init__(self, name: str, gap: int, repeats: int) -> None:
+        super().__init__(name)
+        self.gap = gap
+        self.repeats = repeats
+        self.seen: list[int] = []
+        self.active = True
+
+    def step(self, cycle: int) -> None:
+        self.seen.append(cycle)
+        self.repeats -= 1
+        if self.repeats > 0:
+            self.sleep(until=cycle + self.gap)
+        else:
+            self.sleep()
+
+
+def test_single_component_steps_each_cycle():
+    sim = Simulator()
+    comp = Recorder("a", run_cycles=5)
+    sim.register(comp)
+    sim.run(max_cycles=10)
+    assert comp.seen == [0, 1, 2, 3, 4]
+
+
+def test_run_returns_elapsed_cycles():
+    sim = Simulator()
+    sim.register(Recorder("a", run_cycles=3))
+    # Without `until`, run() stops at quiescence even under max_cycles.
+    elapsed = sim.run(max_cycles=10)
+    assert elapsed == 3
+    assert sim.cycle == 3
+
+
+def test_run_stops_when_idle_without_until():
+    sim = Simulator()
+    comp = Recorder("a", run_cycles=2)
+    sim.register(comp)
+    sim.run()  # no max_cycles: stops at quiescence
+    assert comp.seen == [0, 1]
+
+
+def test_fast_forward_jumps_over_idle_cycles():
+    sim = Simulator()
+    comp = Sleeper("s", gap=1000, repeats=3)
+    sim.register(comp)
+    sim.run()
+    assert comp.seen == [0, 1000, 2000]
+
+
+def test_fast_forward_equivalent_to_dense_stepping():
+    """A sleeping component must observe identical cycles either way."""
+    def run(gap: int, busy_partner: bool) -> list[int]:
+        sim = Simulator()
+        sleeper = Sleeper("s", gap=gap, repeats=4)
+        sim.register(sleeper)
+        if busy_partner:
+            # A partner active every cycle prevents any fast-forward.
+            sim.register(Recorder("busy", run_cycles=5 * gap))
+        sim.run(max_cycles=10 * gap)
+        return sleeper.seen
+
+    assert run(7, busy_partner=False) == run(7, busy_partner=True)
+
+
+def test_components_step_in_registration_order():
+    sim = Simulator()
+    order: list[str] = []
+
+    class Ordered(Component):
+        def __init__(self, name: str) -> None:
+            super().__init__(name)
+            self.active = True
+
+        def step(self, cycle: int) -> None:
+            order.append(self.name)
+            self.sleep()
+
+    for name in ("first", "second", "third"):
+        sim.register(Ordered(name))
+    sim.run(max_cycles=2)
+    assert order == ["first", "second", "third"]
+
+
+def test_wake_at_same_cycle_wakeups_run_in_schedule_order():
+    sim = Simulator()
+    comp_a = Sleeper("a", gap=5, repeats=2)
+    comp_b = Sleeper("b", gap=5, repeats=2)
+    sim.register(comp_a)
+    sim.register(comp_b)
+    sim.run()
+    assert comp_a.seen == comp_b.seen == [0, 5]
+
+
+def test_deadlock_raises_with_diagnostics():
+    sim = Simulator()
+
+    class Stuck(Component):
+        def step(self, cycle: int) -> None:  # pragma: no cover
+            raise AssertionError("never stepped")
+
+        def describe_state(self) -> str:
+            return "waiting for a reply that will never come"
+
+    sim.register(Stuck("stuck"))
+    with pytest.raises(DeadlockError) as exc:
+        sim.run(until=lambda: False)
+    assert "stuck" in str(exc.value)
+    assert "never come" in str(exc.value)
+
+
+def test_until_checked_before_stepping():
+    sim = Simulator()
+    comp = Recorder("a", run_cycles=100)
+    sim.register(comp)
+    sim.run(until=lambda: len(comp.seen) >= 3, max_cycles=100)
+    assert len(comp.seen) == 3
+
+
+def test_max_cycles_with_until_raises_when_exceeded():
+    sim = Simulator()
+    sim.register(Recorder("a", run_cycles=1000))
+    with pytest.raises(SimulationError):
+        sim.run(max_cycles=5, until=lambda: False)
+
+
+def test_wakeup_in_past_rejected():
+    sim = Simulator()
+    comp = Recorder("a", run_cycles=50)
+    sim.register(comp)
+    sim.run(max_cycles=10)
+    with pytest.raises(SimulationError):
+        sim.wake_at(comp, 3)
+
+
+def test_double_registration_rejected():
+    sim = Simulator()
+    comp = Recorder("a")
+    sim.register(comp)
+    with pytest.raises(SimulationError):
+        sim.register(comp)
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+
+    class Recursive(Component):
+        def __init__(self) -> None:
+            super().__init__("recursive")
+            self.active = True
+            self.error: Exception | None = None
+
+        def step(self, cycle: int) -> None:
+            try:
+                self.sim.run(max_cycles=1)
+            except SimulationError as exc:
+                self.error = exc
+            self.sleep()
+
+    comp = Recursive()
+    sim.register(comp)
+    sim.run(max_cycles=2)
+    assert isinstance(comp.error, SimulationError)
+
+
+def test_wake_is_idempotent():
+    sim = Simulator()
+    comp = Recorder("a", run_cycles=2)
+    sim.register(comp)
+    comp.wake()
+    comp.wake()
+    sim.run(max_cycles=5)
+    assert comp.seen == [0, 1]
+
+
+def test_duplicate_wakeups_step_component_once_per_cycle():
+    sim = Simulator()
+    comp = Sleeper("s", gap=3, repeats=2)
+    sim.register(comp)
+    sim.wake_at(comp, 3)
+    sim.wake_at(comp, 3)
+    sim.run()
+    assert comp.seen == [0, 3]
+
+
+def test_component_activated_mid_run_is_stepped():
+    sim = Simulator()
+    late = Recorder("late", run_cycles=2)
+    late.active = False
+
+    class Waker(Component):
+        def __init__(self) -> None:
+            super().__init__("waker")
+            self.active = True
+
+        def step(self, cycle: int) -> None:
+            if cycle == 4:
+                late.wake()
+                self.sleep()
+
+    sim.register(Waker())
+    sim.register(late)
+    sim.run(max_cycles=20)
+    assert late.seen == [4, 5]
+
+
+def test_empty_simulator_run_is_a_noop():
+    sim = Simulator()
+    assert sim.run(max_cycles=100) == 0
+    assert sim.cycle == 0

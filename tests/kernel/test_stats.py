@@ -1,0 +1,96 @@
+"""Counter and latency statistics."""
+
+from __future__ import annotations
+
+from repro.kernel.stats import CounterSet, LatencyStat
+
+
+def test_counter_increments():
+    counters = CounterSet("c")
+    counters.inc("hits")
+    counters.inc("hits", 4)
+    assert counters["hits"] == 5
+
+
+def test_counter_missing_key_is_zero():
+    counters = CounterSet("c")
+    assert counters["nothing"] == 0
+    assert counters.get("nothing", 7) == 7
+
+
+def test_counter_set_max():
+    counters = CounterSet("c")
+    counters.set_max("depth", 3)
+    counters.set_max("depth", 1)
+    counters.set_max("depth", 9)
+    assert counters["depth"] == 9
+
+
+def test_counter_merge():
+    left = CounterSet("l")
+    right = CounterSet("r")
+    left.inc("a", 2)
+    right.inc("a", 3)
+    right.inc("b", 1)
+    left.merge(right)
+    assert left["a"] == 5
+    assert left["b"] == 1
+
+
+def test_counter_contains_and_dict():
+    counters = CounterSet("c")
+    counters.inc("x")
+    assert "x" in counters
+    assert "y" not in counters
+    assert counters.as_dict() == {"x": 1}
+
+
+def test_latency_mean_min_max():
+    stat = LatencyStat()
+    for value in (2, 4, 12):
+        stat.record(value)
+    assert stat.count == 3
+    assert stat.min == 2
+    assert stat.max == 12
+    assert stat.mean == 6.0
+
+
+def test_latency_empty_mean_is_zero():
+    stat = LatencyStat()
+    assert stat.mean == 0.0
+    assert stat.percentile_bound(0.99) is None
+
+
+def test_latency_percentile_bound_brackets_tail():
+    stat = LatencyStat()
+    for __ in range(99):
+        stat.record(3)
+    stat.record(1000)
+    p99 = stat.percentile_bound(0.99)
+    assert p99 is not None
+    assert p99 <= 4  # 99% of samples are tiny
+    assert stat.percentile_bound(1.0) >= 1000 or stat.max == 1000
+
+
+def test_latency_bucket_overflow_goes_to_open_bucket():
+    stat = LatencyStat()
+    stat.record(10_000_000)
+    assert stat.buckets[-1] == 1
+
+
+def test_latency_as_dict():
+    stat = LatencyStat("lat")
+    stat.record(5)
+    data = stat.as_dict()
+    assert data["name"] == "lat"
+    assert data["count"] == 1
+    assert data["max"] == 5
+
+
+def test_latency_records_boundary_values():
+    stat = LatencyStat()
+    for bound in LatencyStat.BOUNDS:
+        stat.record(bound)
+    assert stat.count == len(LatencyStat.BOUNDS)
+    # Each boundary value lands in its own (closed) bucket.
+    assert all(bucket == 1 for bucket in stat.buckets[:-1])

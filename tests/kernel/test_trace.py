@@ -1,0 +1,66 @@
+"""Tracer behaviour."""
+
+from __future__ import annotations
+
+from repro.kernel.trace import Tracer
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(enabled=False)
+    tracer.emit(1, "a", "kind", x=1)
+    assert len(tracer) == 0
+
+
+def test_enabled_tracer_records_events():
+    tracer = Tracer(enabled=True)
+    tracer.emit(5, "noc", "eject", node=3)
+    assert len(tracer) == 1
+    event = tracer.events[0]
+    assert event.cycle == 5
+    assert event.source == "noc"
+    assert event.fields["node"] == 3
+
+
+def test_limit_drops_excess_events():
+    tracer = Tracer(enabled=True, limit=2)
+    for cycle in range(5):
+        tracer.emit(cycle, "s", "k")
+    assert len(tracer) == 2
+    assert tracer.dropped == 3
+
+
+def test_of_kind_filter():
+    tracer = Tracer(enabled=True)
+    tracer.emit(1, "a", "x")
+    tracer.emit(2, "a", "y")
+    tracer.emit(3, "b", "x")
+    assert [e.cycle for e in tracer.of_kind("x")] == [1, 3]
+
+
+def test_from_source_filter():
+    tracer = Tracer(enabled=True)
+    tracer.emit(1, "a", "x")
+    tracer.emit(2, "b", "x")
+    assert [e.cycle for e in tracer.from_source("b")] == [2]
+
+
+def test_kinds_enumeration():
+    tracer = Tracer(enabled=True)
+    tracer.emit(1, "a", "x")
+    tracer.emit(2, "a", "y")
+    assert set(tracer.kinds()) == {"x", "y"}
+
+
+def test_clear_resets():
+    tracer = Tracer(enabled=True, limit=1)
+    tracer.emit(1, "a", "x")
+    tracer.emit(2, "a", "x")
+    tracer.clear()
+    assert len(tracer) == 0
+    assert tracer.dropped == 0
+
+
+def test_event_repr_mentions_fields():
+    tracer = Tracer(enabled=True)
+    tracer.emit(7, "src", "kind", value=42)
+    assert "value=42" in repr(tracer.events[0])

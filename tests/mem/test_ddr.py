@@ -1,0 +1,53 @@
+"""DDR timing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.ddr import DdrModel
+
+
+def test_read_cost_latency_plus_burst():
+    ddr = DdrModel(read_latency=20, words_per_cycle=1)
+    assert ddr.read_cost(1) == 21
+    assert ddr.read_cost(4) == 24
+
+
+def test_read_cost_with_wider_interface():
+    ddr = DdrModel(read_latency=20, words_per_cycle=2)
+    assert ddr.read_cost(4) == 22
+    assert ddr.read_cost(3) == 22  # ceil(3/2) = 2
+
+
+def test_write_cost_posted():
+    ddr = DdrModel(posted_write_cost=2)
+    assert ddr.write_cost(1) == 2
+    assert ddr.write_cost(4) == 8
+
+
+def test_read_block_returns_data_and_cost():
+    ddr = DdrModel(size_bytes=1024, read_latency=10)
+    ddr.store.write_block(0, [5, 6, 7, 8])
+    words, cost = ddr.read_block(0, 4)
+    assert words == [5, 6, 7, 8]
+    assert cost == 14
+    assert ddr.reads == 1
+    assert ddr.busy_cycles == 14
+
+
+def test_write_block_commits_data():
+    ddr = DdrModel(size_bytes=1024)
+    cost = ddr.write_block(16, [1, 2])
+    assert cost == ddr.write_cost(2)
+    assert ddr.store.read_block(16, 2) == [1, 2]
+    assert ddr.writes == 1
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ConfigError):
+        DdrModel(read_latency=0)
+    with pytest.raises(ConfigError):
+        DdrModel(words_per_cycle=0)
+    with pytest.raises(ConfigError):
+        DdrModel(posted_write_cost=0)

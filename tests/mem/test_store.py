@@ -1,0 +1,78 @@
+"""Word store semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MemoryAccessError
+from repro.mem.store import WordStore
+
+
+def test_unwritten_words_read_zero():
+    store = WordStore(1024)
+    assert store.read_word(0) == 0
+    assert store.read_word(1020) == 0
+
+
+def test_write_read_round_trip():
+    store = WordStore(1024)
+    store.write_word(16, 0xCAFEBABE)
+    assert store.read_word(16) == 0xCAFEBABE
+
+
+def test_misaligned_access_rejected():
+    store = WordStore(1024)
+    with pytest.raises(MemoryAccessError):
+        store.read_word(2)
+    with pytest.raises(MemoryAccessError):
+        store.write_word(5, 1)
+
+
+def test_out_of_bounds_rejected():
+    store = WordStore(64)
+    with pytest.raises(MemoryAccessError):
+        store.read_word(64)
+    with pytest.raises(MemoryAccessError):
+        store.write_word(-4, 1)
+
+
+def test_value_must_fit_32_bits():
+    store = WordStore(64)
+    with pytest.raises(MemoryAccessError):
+        store.write_word(0, 1 << 32)
+    with pytest.raises(MemoryAccessError):
+        store.write_word(0, -1)
+
+
+def test_block_read_write():
+    store = WordStore(256)
+    store.write_block(32, [1, 2, 3, 4])
+    assert store.read_block(32, 4) == [1, 2, 3, 4]
+    assert store.read_block(48, 2) == [0, 0]
+
+
+def test_block_write_value_check():
+    store = WordStore(256)
+    with pytest.raises(MemoryAccessError):
+        store.write_block(0, [0, 1 << 33])
+
+
+def test_unbounded_store():
+    store = WordStore(None)
+    store.write_word(1 << 30, 5)
+    assert store.read_word(1 << 30) == 5
+
+
+def test_words_written_counts_unique():
+    store = WordStore(64)
+    store.write_word(0, 1)
+    store.write_word(0, 2)
+    store.write_word(4, 3)
+    assert store.words_written == 2
+
+
+def test_invalid_size_rejected():
+    with pytest.raises(MemoryAccessError):
+        WordStore(10)  # not a multiple of 4
+    with pytest.raises(MemoryAccessError):
+        WordStore(0)

@@ -1,0 +1,55 @@
+"""Write-assembly protocol checks inside the MPMMU."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.mpmmu.mpmmu import _WriteAssembly
+from repro.noc.flit import Flit
+from repro.noc.packet import PacketType, SubType
+
+
+def data_flit(src: int, seq: int, word: int) -> Flit:
+    return Flit(dst=0, src=src, ptype=PacketType.BLOCK_WRITE,
+                subtype=int(SubType.DATA), seq=seq, data=word)
+
+
+def test_assembles_in_any_order():
+    assembly = _WriteAssembly(src=3, addr=0x40, kind=PacketType.BLOCK_WRITE,
+                              expected=4)
+    done = False
+    for seq, word in [(2, 22), (0, 20), (3, 23), (1, 21)]:
+        done = assembly.insert(data_flit(3, seq, word))
+    assert done
+    assert assembly.words() == [20, 21, 22, 23]
+
+
+def test_rejects_data_from_wrong_source():
+    """Data from a node that was never granted the write is a protocol bug."""
+    assembly = _WriteAssembly(src=3, addr=0x40, kind=PacketType.BLOCK_WRITE,
+                              expected=4)
+    with pytest.raises(ProtocolError):
+        assembly.insert(data_flit(5, 0, 1))
+
+
+def test_rejects_duplicate_sequence():
+    assembly = _WriteAssembly(src=3, addr=0x40, kind=PacketType.BLOCK_WRITE,
+                              expected=4)
+    assembly.insert(data_flit(3, 1, 10))
+    with pytest.raises(ProtocolError):
+        assembly.insert(data_flit(3, 1, 11))
+
+
+def test_rejects_out_of_range_sequence():
+    assembly = _WriteAssembly(src=3, addr=0x40, kind=PacketType.SINGLE_WRITE,
+                              expected=1)
+    with pytest.raises(ProtocolError):
+        assembly.insert(data_flit(3, 1, 10))
+
+
+def test_single_word_write():
+    assembly = _WriteAssembly(src=2, addr=0x10, kind=PacketType.SINGLE_WRITE,
+                              expected=1)
+    assert assembly.insert(data_flit(2, 0, 99))
+    assert assembly.words() == [99]

@@ -1,0 +1,147 @@
+"""Folded torus and mesh topology properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.noc.coords import ALL_DIRECTIONS, EAST, NORTH, OPPOSITE, SOUTH, WEST
+from repro.noc.topology import (
+    FoldedTorusTopology,
+    MeshTopology,
+    grid_for_nodes,
+)
+
+
+def test_node_index_round_trip():
+    topo = FoldedTorusTopology(4, 3)
+    for node in range(topo.n_nodes):
+        x, y = topo.coords_of(node)
+        assert topo.node_at(x, y) == node
+
+
+def test_node_at_out_of_range_rejected():
+    topo = FoldedTorusTopology(4, 4)
+    with pytest.raises(ConfigError):
+        topo.node_at(4, 0)
+
+
+def test_torus_wraparound_neighbors():
+    topo = FoldedTorusTopology(4, 4)
+    # Node 0 is the top-left corner; the torus wraps on every edge.
+    assert topo.neighbor(0, WEST) == 3
+    assert topo.neighbor(0, NORTH) == 12
+    assert topo.neighbor(0, EAST) == 1
+    assert topo.neighbor(0, SOUTH) == 4
+
+
+def test_torus_neighbor_relation_is_symmetric():
+    topo = FoldedTorusTopology(4, 4)
+    for node in range(topo.n_nodes):
+        for direction in ALL_DIRECTIONS:
+            neighbor = topo.neighbor(node, direction)
+            assert topo.neighbor(neighbor, OPPOSITE[direction]) == node
+
+
+def test_mesh_has_no_wraparound():
+    topo = MeshTopology(3, 3)
+    assert topo.neighbor(0, NORTH) == -1
+    assert topo.neighbor(0, WEST) == -1
+    assert topo.neighbor(8, SOUTH) == -1
+    assert topo.neighbor(8, EAST) == -1
+    assert topo.neighbor(4, NORTH) == 1
+
+
+def test_mesh_ports_of_corner_and_center():
+    topo = MeshTopology(3, 3)
+    assert len(topo.ports_of(0)) == 2
+    assert len(topo.ports_of(4)) == 4
+
+
+def test_torus_all_nodes_have_four_ports():
+    topo = FoldedTorusTopology(4, 4)
+    for node in range(topo.n_nodes):
+        assert len(topo.ports_of(node)) == 4
+
+
+def test_productive_directions_empty_at_destination():
+    topo = FoldedTorusTopology(4, 4)
+    for node in range(topo.n_nodes):
+        assert topo.productive_directions(node, node) == ()
+
+
+def test_productive_directions_reduce_distance():
+    topo = FoldedTorusTopology(4, 4)
+    for src in range(topo.n_nodes):
+        for dst in range(topo.n_nodes):
+            if src == dst:
+                continue
+            distance = topo.hop_distance(src, dst)
+            for direction in topo.productive_directions(src, dst):
+                next_node = topo.neighbor(src, direction)
+                assert topo.hop_distance(next_node, dst) == distance - 1
+
+
+def test_productive_prefers_longest_dimension_first():
+    topo = FoldedTorusTopology(8, 8)
+    src = topo.node_at(0, 0)
+    dst = topo.node_at(3, 1)  # dx=3, dy=1 -> EAST before SOUTH
+    assert topo.productive_directions(src, dst)[0] == EAST
+
+
+def test_hop_distance_uses_wraparound():
+    topo = FoldedTorusTopology(4, 4)
+    assert topo.hop_distance(topo.node_at(0, 0), topo.node_at(3, 0)) == 1
+    assert topo.hop_distance(topo.node_at(0, 0), topo.node_at(2, 2)) == 4
+
+
+def test_mesh_hop_distance_is_manhattan():
+    topo = MeshTopology(4, 4)
+    assert topo.hop_distance(topo.node_at(0, 0), topo.node_at(3, 3)) == 6
+
+
+def test_mesh_productive_directions_reduce_distance():
+    topo = MeshTopology(4, 3)
+    for src in range(topo.n_nodes):
+        for dst in range(topo.n_nodes):
+            if src == dst:
+                continue
+            distance = topo.hop_distance(src, dst)
+            for direction in topo.productive_directions(src, dst):
+                next_node = topo.neighbor(src, direction)
+                assert next_node >= 0
+                assert topo.hop_distance(next_node, dst) == distance - 1
+
+
+@given(st.integers(2, 40))
+def test_grid_for_nodes_fits_and_is_compact(n_nodes):
+    width, height = grid_for_nodes(n_nodes)
+    assert width * height >= n_nodes
+    # Never more than one spare row's worth of waste.
+    assert width * height - n_nodes < width
+
+
+def test_grid_for_nodes_prefers_square_for_16():
+    assert grid_for_nodes(16) == (4, 4)
+
+
+def test_grid_for_nodes_rejects_tiny():
+    with pytest.raises(ConfigError):
+        grid_for_nodes(1)
+
+
+def test_degenerate_single_row_torus():
+    topo = FoldedTorusTopology(3, 1)
+    # North/south wrap onto the node itself; productive dirs never use them.
+    assert topo.neighbor(0, NORTH) == 0
+    for src in range(3):
+        for dst in range(3):
+            for direction in topo.productive_directions(src, dst):
+                assert direction in (EAST, WEST)
+
+
+def test_invalid_dimensions_rejected():
+    with pytest.raises(ConfigError):
+        FoldedTorusTopology(1, 4)

@@ -1,0 +1,89 @@
+"""SystemConfig validation and derivation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.l1 import WritePolicy
+from repro.errors import ConfigError
+from repro.system.config import VALID_CACHE_SIZES_KB, SystemConfig
+from repro.system.presets import paper_sweep_configs, reference_config
+
+
+def test_defaults_validate():
+    SystemConfig().validate()
+
+
+def test_n_nodes_includes_mpmmu():
+    assert SystemConfig(n_workers=5).n_nodes == 6
+
+
+def test_cache_size_conversion():
+    assert SystemConfig(cache_size_kb=8).cache_size_bytes == 8192
+
+
+def test_policy_property():
+    assert SystemConfig(cache_policy="wt").policy is WritePolicy.WRITE_THROUGH
+
+
+def test_label_format():
+    config = SystemConfig(n_workers=8, cache_size_kb=16, cache_policy="wb")
+    assert config.label() == "8P_16k$_WB"
+
+
+def test_with_changes_copies():
+    base = SystemConfig()
+    changed = base.with_changes(n_workers=9)
+    assert changed.n_workers == 9
+    assert base.n_workers != 9
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("n_workers", 0),
+        ("cache_size_kb", 3),
+        ("cache_policy", "weird"),
+        ("arbiter_mode", "bogus"),
+        ("topology_kind", "ring"),
+        ("eject_width", 0),
+        ("write_buffer_depth", 0),
+        ("cache_line_bytes", 32),
+        ("ddr_read_latency", 0),
+        ("grid", (2, 2)),  # too small for 5 nodes (default 4 workers)
+    ],
+)
+def test_invalid_settings_rejected(field, value):
+    with pytest.raises(ConfigError):
+        SystemConfig(**{field: value}).validate()
+
+
+def test_explicit_grid_accepted_when_large_enough():
+    SystemConfig(n_workers=4, grid=(3, 2)).validate()
+
+
+def test_reference_config_overrides():
+    config = reference_config(n_workers=7)
+    assert config.n_workers == 7
+    config.validate()
+
+
+def test_paper_sweep_is_168_points():
+    configs = list(paper_sweep_configs())
+    assert len(configs) == 168  # 14 worker counts x 6 caches x 2 policies
+    labels = {config.label() for config in configs}
+    assert len(labels) == 168
+
+
+def test_paper_sweep_axes():
+    configs = list(paper_sweep_configs())
+    assert {c.n_workers for c in configs} == set(range(2, 16))
+    assert {c.cache_size_kb for c in configs} == set(VALID_CACHE_SIZES_KB)
+
+
+def test_paper_sweep_respects_base():
+    base = SystemConfig(mpmmu_service_overhead=99)
+    configs = list(paper_sweep_configs(workers=(2,), cache_sizes_kb=(8,),
+                                       policies=("wb",), base=base))
+    assert len(configs) == 1
+    assert configs[0].mpmmu_service_overhead == 99

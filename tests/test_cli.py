@@ -1,0 +1,35 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_accepts_known_experiments():
+    parser = build_parser()
+    args = parser.parse_args(["fig6", "--full", "--jobs", "2"])
+    assert args.experiment == "fig6"
+    assert args.full
+    assert args.jobs == 2
+
+
+def test_parser_rejects_unknown_experiment():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["fig42"])
+
+
+def test_main_runs_noc_quick(tmp_path, capsys):
+    exit_code = main(["noc", "--out", str(tmp_path)])
+    assert exit_code == 0
+    captured = capsys.readouterr()
+    assert "all delivered" in captured.out
+    assert (tmp_path / "noc.txt").exists()
+
+
+def test_main_runs_simspeed(tmp_path, capsys):
+    exit_code = main(["simspeed", "--out", str(tmp_path)])
+    assert exit_code == 0
+    assert "cycles/sec" in capsys.readouterr().out
