@@ -1,0 +1,77 @@
+"""Perf-regression smoke: fast enough for every CI run (<60 s total).
+
+Two guards for future PRs, cheap enough to never be skipped:
+
+* **cycle-exactness** — the golden cycle counts committed in
+  ``BENCH_simspeed.json`` must keep reproducing bit-for-bit; a kernel or
+  NoC "optimization" that drifts the architecture's timing fails here
+  rather than silently shifting every figure;
+* **gross throughput** — each workload must finish within a generous
+  wall-time ceiling (~10x slower than the committed numbers on a slow
+  host), so an accidental O(n) regression in a per-cycle loop is caught
+  without making CI flaky on absolute cycles/sec.
+
+Needs no pytest plugins: plain ``pytest benchmarks/bench_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.apps.jacobi.driver import JacobiParams, run_jacobi
+from repro.system.config import SystemConfig
+
+BENCH_FILE = Path(__file__).parent.parent / "BENCH_simspeed.json"
+
+#: (config, params, wall-time ceiling in seconds) per committed workload.
+SMOKE_WORKLOADS = {
+    "reference_8w16kb_n30": (
+        SystemConfig(n_workers=8, cache_size_kb=16),
+        JacobiParams(n=30, iterations=3, warmup=1),
+        20.0,
+    ),
+    "small_2w4kb_n16": (
+        SystemConfig(n_workers=2, cache_size_kb=4),
+        JacobiParams(n=16, iterations=3, warmup=1),
+        10.0,
+    ),
+    "saturated_mpmmu_8w16kb_wt_n16": (
+        SystemConfig(n_workers=8, cache_size_kb=16, cache_policy="wt"),
+        JacobiParams(n=16, iterations=2, warmup=0),
+        20.0,
+    ),
+}
+
+
+def golden() -> dict:
+    return json.loads(BENCH_FILE.read_text())["workloads"]
+
+
+@pytest.mark.parametrize("name", sorted(SMOKE_WORKLOADS))
+def test_smoke_workload(name):
+    config, params, ceiling = SMOKE_WORKLOADS[name]
+    reference = golden()[name]
+    started = time.perf_counter()
+    result = run_jacobi(config, params)
+    wall = time.perf_counter() - started
+
+    assert result.validated, f"{name}: numerical validation failed"
+    assert result.total_cycles == reference["total_cycles"], (
+        f"{name}: total cycles drifted from the committed golden value "
+        f"({result.total_cycles} != {reference['total_cycles']}); either a "
+        f"timing bug or an intentional architecture change — if the latter, "
+        f"regenerate BENCH_simspeed.json"
+    )
+    assert result.iteration_cycles == reference["iteration_cycles"], (
+        f"{name}: per-iteration cycles drifted: {result.iteration_cycles}"
+    )
+    assert wall < ceiling, (
+        f"{name}: took {wall:.1f}s (ceiling {ceiling}s) — a gross "
+        f"throughput regression in the simulation hot path"
+    )
+    print(f"\n{name}: {result.total_cycles / wall:,.0f} cycles/sec "
+          f"({wall:.2f}s)")

@@ -1,0 +1,94 @@
+"""Regenerate the throughput numbers committed in BENCH_simspeed.json.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/record_simspeed.py            # print
+    PYTHONPATH=src python benchmarks/record_simspeed.py --write    # update
+
+Measures each workload (median of 7 timed runs after one warm-up run) and
+emits the full ``BENCH_simspeed.json`` schema.  When the committed file
+exists, its ``after`` numbers roll over into the new ``before`` column, so
+every perf PR carries its own before/after evidence; with ``--write`` the
+file is updated in place.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.apps.jacobi.driver import JacobiParams, run_jacobi
+from repro.system.config import SystemConfig
+
+BENCH_FILE = Path(__file__).parent.parent / "BENCH_simspeed.json"
+
+WORKLOADS = {
+    "reference_8w16kb_n30": (
+        "n_workers=8, cache_size_kb=16, wb",
+        SystemConfig(n_workers=8, cache_size_kb=16),
+        "JacobiParams(n=30, iterations=3, warmup=1)",
+        JacobiParams(n=30, iterations=3, warmup=1),
+    ),
+    "small_2w4kb_n16": (
+        "n_workers=2, cache_size_kb=4, wb",
+        SystemConfig(n_workers=2, cache_size_kb=4),
+        "JacobiParams(n=16, iterations=3, warmup=1)",
+        JacobiParams(n=16, iterations=3, warmup=1),
+    ),
+    "saturated_mpmmu_8w16kb_wt_n16": (
+        "n_workers=8, cache_size_kb=16, wt",
+        SystemConfig(n_workers=8, cache_size_kb=16, cache_policy="wt"),
+        "JacobiParams(n=16, iterations=2, warmup=0)",
+        JacobiParams(n=16, iterations=2, warmup=0),
+    ),
+}
+
+
+def measure(config: SystemConfig, params: JacobiParams, rounds: int = 7):
+    run_jacobi(config, params)  # warm-up
+    rates = []
+    result = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = run_jacobi(config, params)
+        rates.append(result.total_cycles / (time.perf_counter() - started))
+    assert result is not None and result.validated
+    return result, round(statistics.median(rates))
+
+
+def main(argv: list[str]) -> int:
+    committed = json.loads(BENCH_FILE.read_text()) if BENCH_FILE.exists() else {}
+    old_workloads = committed.get("workloads", {})
+    workloads = {}
+    for name, (config_label, config, params_label, params) in WORKLOADS.items():
+        result, median = measure(config, params)
+        before = old_workloads.get(name, {}).get("after_cycles_per_sec", median)
+        workloads[name] = {
+            "config": config_label,
+            "params": params_label,
+            "total_cycles": result.total_cycles,
+            "iteration_cycles": result.iteration_cycles,
+            "before_cycles_per_sec": before,
+            "after_cycles_per_sec": median,
+            "speedup": round(median / before, 2),
+        }
+    payload = {
+        key: committed.get(key, "")
+        for key in ("description", "methodology", "host_note")
+    }
+    payload["workloads"] = workloads
+    payload["cycle_exactness"] = committed.get("cycle_exactness", "")
+    text = json.dumps(payload, indent=2) + "\n"
+    if "--write" in argv:
+        BENCH_FILE.write_text(text)
+        print(f"updated {BENCH_FILE}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

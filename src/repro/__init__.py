@@ -31,7 +31,7 @@ from repro.system.config import SystemConfig
 from repro.system.medea import MedeaSystem
 from repro.system.presets import paper_sweep_configs, reference_config
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ConfigError",

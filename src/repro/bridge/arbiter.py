@@ -67,6 +67,13 @@ class NocAccessArbiter:
         self.name = name
         self.stats = CounterSet(name)
         self._last_granted: TrafficClass = TrafficClass.MEMORY
+        # _hp_q/_be_q (drain side) and _msg_q/_mem_q (offer side) are
+        # bound for the FIFO modes so the per-cycle paths never go through
+        # the dict; MUX keeps only the slot pair and leaves these None.
+        self._hp_q: Fifo[Flit] | None = None
+        self._be_q: Fifo[Flit] | None = None
+        self._msg_q: Fifo[Flit] | None = None
+        self._mem_q: Fifo[Flit] | None = None
         if self.mode is ArbiterMode.MUX:
             self._queues: dict[TrafficClass, Fifo[Flit]] = {}
             self._slots: dict[TrafficClass, Flit | None] = {
@@ -80,12 +87,19 @@ class NocAccessArbiter:
                 TrafficClass.MEMORY: shared,
             }
             self._slots = {}
+            self._hp_q = shared
+            self._msg_q = shared
+            self._mem_q = shared
         else:
             self._queues = {
                 TrafficClass.MESSAGE: Fifo(fifo_depth, name=f"{name}.hp"),
                 TrafficClass.MEMORY: Fifo(fifo_depth, name=f"{name}.be"),
             }
             self._slots = {}
+            self._hp_q = self._queues[self.high_priority]
+            self._be_q = self._queues[self._other(self.high_priority)]
+            self._msg_q = self._queues[TrafficClass.MESSAGE]
+            self._mem_q = self._queues[TrafficClass.MEMORY]
 
     # -- producer side ---------------------------------------------------------
 
@@ -97,7 +111,9 @@ class NocAccessArbiter:
                 return False
             self._slots[traffic_class] = flit
             return True
-        queue = self._queues[traffic_class]
+        return self._offer_queued(self._queues[traffic_class], flit)
+
+    def _offer_queued(self, queue: Fifo[Flit], flit: Flit) -> bool:
         if queue.full:
             self.stats.inc("fifo_full_rejects")
             return False
@@ -105,16 +121,22 @@ class NocAccessArbiter:
         return True
 
     def offer_message(self, flit: Flit) -> bool:
-        return self.offer(TrafficClass.MESSAGE, flit)
+        queue = self._msg_q
+        if queue is None:
+            return self.offer(TrafficClass.MESSAGE, flit)
+        return self._offer_queued(queue, flit)
 
     def offer_memory(self, flit: Flit) -> bool:
-        return self.offer(TrafficClass.MEMORY, flit)
+        queue = self._mem_q
+        if queue is None:
+            return self.offer(TrafficClass.MEMORY, flit)
+        return self._offer_queued(queue, flit)
 
     # -- clocked drain -------------------------------------------------------------
 
     def tick(self) -> None:
         """Move at most one flit toward the injection port this cycle."""
-        if self.port.busy:
+        if self.port.pending is not None:
             self.stats.inc("port_busy_cycles")
             return
         flit = self._select()
@@ -124,32 +146,23 @@ class NocAccessArbiter:
             self.stats.inc("flits_granted")
 
     def _select(self) -> Flit | None:
-        if self.mode is ArbiterMode.MUX:
-            first = self._other(self._last_granted)
-            for traffic_class in (first, self._last_granted):
-                flit = self._slots[traffic_class]
-                if flit is not None:
-                    self._slots[traffic_class] = None
-                    self._last_granted = traffic_class
-                    return flit
+        hp = self._hp_q
+        if hp is not None:
+            if hp._items:
+                return hp.pop()
+            be = self._be_q
+            if be is not None and be._items:
+                self.stats.inc("be_grants")
+                return be.pop()
             return None
-        if self.mode is ArbiterMode.SINGLE_FIFO:
-            queue = self._queues[TrafficClass.MESSAGE]
-            return queue.pop() if queue else None
-        hp = self._queues[self._hp_class()]
-        if hp:
-            return hp.pop()
-        be = self._queues[self._be_class()]
-        if be:
-            self.stats.inc("be_grants")
-            return be.pop()
+        first = self._other(self._last_granted)
+        for traffic_class in (first, self._last_granted):
+            flit = self._slots[traffic_class]
+            if flit is not None:
+                self._slots[traffic_class] = None
+                self._last_granted = traffic_class
+                return flit
         return None
-
-    def _hp_class(self) -> TrafficClass:
-        return self.high_priority
-
-    def _be_class(self) -> TrafficClass:
-        return self._other(self.high_priority)
 
     @staticmethod
     def _other(traffic_class: TrafficClass) -> TrafficClass:
@@ -161,9 +174,11 @@ class NocAccessArbiter:
 
     @property
     def has_pending(self) -> bool:
-        if self.mode is ArbiterMode.MUX:
-            return any(flit is not None for flit in self._slots.values())
-        return any(bool(queue) for queue in self._queues.values())
+        hp = self._hp_q
+        if hp is not None:
+            be = self._be_q
+            return bool(hp._items) or (be is not None and bool(be._items))
+        return any(flit is not None for flit in self._slots.values())
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<NocAccessArbiter {self.name} {self.mode.value}>"

@@ -48,6 +48,10 @@ class AddressLut:
         return self.default_node
 
 
+#: Per-transaction counter keys, precomputed so start() builds no strings.
+_TXN_KEY = {kind: f"txn_{kind.name.lower()}" for kind in PacketType}
+
+
 class _BridgeState(enum.Enum):
     IDLE = "idle"
     SEND_REQ = "send_req"
@@ -101,7 +105,7 @@ class Pif2NocBridge:
             )
         ]
         self._state = _BridgeState.SEND_REQ
-        self.stats.inc(f"txn_{txn.kind.name.lower()}")
+        self.stats.inc(_TXN_KEY[txn.kind])
 
     # -- TX side (node offers our flits to the arbiter) -----------------------------
 

@@ -104,15 +104,19 @@ class L1Cache:
 
     def lookup(self, addr: int, is_write: bool = False) -> CacheLine | None:
         """Tag match with hit/miss accounting and LRU touch."""
-        set_index, tag = self._locate(addr)
-        kind = "write" if is_write else "read"
+        line_index = addr // self.line_bytes
+        set_index = line_index % self.n_sets
+        tag = line_index // self.n_sets
+        counters = self.stats._counters
         for line in self._sets[set_index]:
             if line.valid and line.tag == tag:
                 self._tick += 1
                 line.lru = self._tick
-                self.stats.inc(f"{kind}_hits")
+                key = "write_hits" if is_write else "read_hits"
+                counters[key] = counters.get(key, 0) + 1
                 return line
-        self.stats.inc(f"{kind}_misses")
+        key = "write_misses" if is_write else "read_misses"
+        counters[key] = counters.get(key, 0) + 1
         return None
 
     # -- data access (line must be present) ----------------------------------------

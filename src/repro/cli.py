@@ -42,6 +42,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=str(DEFAULT_RESULTS_DIR),
         help="directory for reports and the sweep cache (default: results)",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the top-20 cumulative entries, "
+             "so perf work starts from data rather than guesses",
+    )
     return parser
 
 
@@ -58,13 +63,49 @@ def run_experiment(
     return f"{report.text}\n[saved to {path}; wall {report.wall_seconds:.1f}s]\n"
 
 
+def run_experiments(names: list[str], full: bool | None, jobs: int | None,
+                    out: str) -> None:
+    for name in names:
+        print(f"=== {name} ===")
+        print(run_experiment(name, full, jobs, out))
+
+
+def run_profiled(names: list[str], full: bool | None, jobs: int | None,
+                 out: str) -> None:
+    """Run the experiments under cProfile and print the hot spots.
+
+    Sweeps are forced to ``jobs=1``: cProfile only sees this process, so
+    a multiprocessing pool would leave the profile full of IPC waits
+    instead of the simulator functions the flag exists to surface.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    if jobs is not None and jobs != 1:
+        print(f"--profile forces --jobs 1 (was {jobs}): child processes "
+              f"are invisible to cProfile", file=sys.stderr)
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        run_experiments(names, full, 1, out)
+    finally:
+        profile.disable()
+        stream = io.StringIO()
+        stats = pstats.Stats(profile, stream=stream)
+        stats.sort_stats("cumulative").print_stats(20)
+        print("=== profile (top 20 by cumulative time) ===")
+        print(stream.getvalue())
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     full = True if args.full else None  # None -> honour MEDEA_FULL
-    for name in names:
-        print(f"=== {name} ===")
-        print(run_experiment(name, full, args.jobs, args.out))
+    if args.profile:
+        run_profiled(names, full, args.jobs, args.out)
+    else:
+        run_experiments(names, full, args.jobs, args.out)
     return 0
 
 

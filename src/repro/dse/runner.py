@@ -16,6 +16,7 @@ import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
+from repro import __version__ as _repro_version
 from repro.apps.jacobi.driver import run_jacobi
 from repro.dse.space import SweepPoint, SweepSpec
 
@@ -75,14 +76,38 @@ def _pool_worker(item: tuple[str, SweepPoint]) -> tuple[str, SweepResult]:
     return key, evaluate_point(point)
 
 
+#: Bump whenever a change can alter simulated cycle counts (kernel/NoC/
+#: timing-model changes): cached sweep points are only trusted when they
+#: were produced by the same cache version, so a hot-path overhaul can
+#: never silently serve stale figures.  The schema part covers the JSON
+#: layout itself.
+CACHE_VERSION = f"2:{_repro_version}"
+
+
 class ResultCache:
-    """One JSON file per sweep name, mapping point keys to results."""
+    """One JSON file per sweep name, mapping point keys to results.
+
+    The file embeds :data:`CACHE_VERSION`; on load, any mismatch (including
+    the version-less seed layout) discards the cached points wholesale and
+    the sweep recomputes them.
+    """
 
     def __init__(self, directory: str | Path, name: str) -> None:
         self.path = Path(directory) / f"{name}.json"
         self._data: dict[str, dict] = {}
+        self.discarded_stale = False
         if self.path.exists():
-            self._data = json.loads(self.path.read_text())
+            raw = json.loads(self.path.read_text())
+            points = (
+                raw.get("points")
+                if isinstance(raw, dict)
+                and raw.get("__cache_version__") == CACHE_VERSION
+                else None
+            )
+            if isinstance(points, dict):
+                self._data = points
+            else:
+                self.discarded_stale = True
 
     def get(self, key: str) -> SweepResult | None:
         raw = self._data.get(key)
@@ -93,7 +118,8 @@ class ResultCache:
 
     def save(self) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text(json.dumps(self._data, indent=1, sort_keys=True))
+        payload = {"__cache_version__": CACHE_VERSION, "points": self._data}
+        self.path.write_text(json.dumps(payload, indent=1, sort_keys=True))
 
 
 def run_sweep(

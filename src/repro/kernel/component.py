@@ -24,6 +24,10 @@ class Component:
         self.sim: Simulator | None = None
         self.active = False
         self.stats = CounterSet(name)
+        #: Registration index (kernel phase order); set by Simulator.register.
+        self._order = -1
+        #: Index into the kernel's active array, or -1 while inactive.
+        self._active_slot = -1
 
     # -- kernel wiring -----------------------------------------------------
 
@@ -38,18 +42,24 @@ class Component:
     # -- activity control --------------------------------------------------
 
     def wake(self) -> None:
-        """Mark the component active so it is stepped from the next cycle."""
+        """Mark the component active so it is stepped from the next cycle
+        (or later this cycle, when woken by an earlier-phase component)."""
         if not self.active:
             self.active = True
             if self.sim is not None:
-                self.sim.notify_activated()
+                self.sim.notify_activated(self)
 
     def sleep(self, until: int | None = None) -> None:
-        """Stop being stepped; optionally schedule a wakeup at ``until``."""
+        """Stop being stepped; optionally schedule a wakeup at ``until``.
+
+        Only the component itself may call this (the kernel's self-sleep
+        invariant): the active-set scheduler assumes a component cannot be
+        put to sleep while queued in the current cycle's agenda.
+        """
         if self.active:
             self.active = False
             if self.sim is not None:
-                self.sim.notify_deactivated()
+                self.sim.notify_deactivated(self)
         if until is not None:
             assert self.sim is not None, "cannot schedule before attach()"
             self.sim.wake_at(self, until)

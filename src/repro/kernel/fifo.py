@@ -60,13 +60,16 @@ class Fifo(Generic[T]):
     # -- operations -------------------------------------------------------------
 
     def push(self, item: T) -> None:
-        if self.full:
+        items = self._items
+        capacity = self.capacity
+        if capacity is not None and len(items) >= capacity:
             self.full_rejections += 1
-            raise FifoFullError(f"{self.name}: push on full FIFO (cap={self.capacity})")
-        self._items.append(item)
+            raise FifoFullError(f"{self.name}: push on full FIFO (cap={capacity})")
+        items.append(item)
         self.pushes += 1
-        if len(self._items) > self.max_occupancy:
-            self.max_occupancy = len(self._items)
+        occupancy = len(items)
+        if occupancy > self.max_occupancy:
+            self.max_occupancy = occupancy
 
     def try_push(self, item: T) -> bool:
         """Push if space is available; return whether the push happened."""
@@ -77,10 +80,11 @@ class Fifo(Generic[T]):
         return True
 
     def pop(self) -> T:
-        if not self._items:
+        items = self._items
+        if not items:
             raise FifoEmptyError(f"{self.name}: pop on empty FIFO")
         self.pops += 1
-        return self._items.popleft()
+        return items.popleft()
 
     def peek(self) -> T:
         if not self._items:

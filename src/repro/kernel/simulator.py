@@ -7,14 +7,31 @@ registers the NoC fabric first, then the processing nodes, so ejected flits
 become visible to a node in the same cycle they leave the network, and
 injected flits enter the network on the following cycle).
 
-Two exact optimizations keep Python wall-clock time proportional to the
-number of *events* rather than the number of *cycles*:
+Three exact optimizations keep Python wall-clock time proportional to the
+number of *events* rather than the number of *cycles* or *components*:
 
 * components de-activate themselves when blocked and are re-activated
   either by a scheduled wakeup (time-blocked, e.g. a 19-cycle FP add) or
   by an explicit :meth:`~repro.kernel.component.Component.wake` from a peer
   (event-blocked, e.g. waiting for a reply flit);
-* when no component is active the clock jumps to the next wakeup.
+* when no component is active the clock jumps to the next wakeup;
+* a cycle only visits the *active* components: the kernel maintains an
+  explicit active set (a swap-remove array updated by ``wake``/``sleep``)
+  and steps it through a per-cycle min-heap of registration orders, so a
+  cycle costs O(active log active) rather than O(registered).
+
+Active-set invariants (relied on for cycle-exactness):
+
+* only a component itself calls ``sleep()`` (self-sleep invariant), so a
+  component scheduled in the current cycle's agenda cannot turn inactive
+  before it is popped;
+* a component woken *mid-cycle* by an earlier-registered component is
+  stepped in the same cycle (pushed into the agenda); one woken by a
+  later-registered component, or by itself, is stepped the next cycle —
+  byte-for-byte the behaviour of the original scan-all loop;
+* agenda pops are strictly ascending in registration order because a
+  mid-cycle push only happens for orders greater than the one currently
+  stepping.
 """
 
 from __future__ import annotations
@@ -32,10 +49,15 @@ class Simulator:
     def __init__(self) -> None:
         self.cycle = 0
         self._components: list[Component] = []
-        self._n_active = 0
+        #: Unordered active set; ``Component._active_slot`` indexes into it.
+        self._active: list[Component] = []
         self._wakeups: list[tuple[int, int, Component]] = []
         self._wakeup_seq = 0
         self._running = False
+        #: Registration order of the component currently stepping, or -1
+        #: outside the step loop.  Mid-cycle wakes compare against it.
+        self._stepping_order = -1
+        self._agenda: list[int] = []
 
     # -- registration -------------------------------------------------------
 
@@ -44,23 +66,40 @@ class Simulator:
         if component.sim is not None:
             raise SimulationError(f"{component.name} already registered")
         component.attach(self)
+        component._order = len(self._components)
         self._components.append(component)
         if component.active:
-            self._n_active += 1
+            component._active_slot = len(self._active)
+            self._active.append(component)
         return component
 
     @property
     def components(self) -> tuple[Component, ...]:
         return tuple(self._components)
 
+    @property
+    def n_active(self) -> int:
+        return len(self._active)
+
     # -- activity bookkeeping (called from Component) -----------------------
 
-    def notify_activated(self) -> None:
-        self._n_active += 1
+    def notify_activated(self, component: Component) -> None:
+        component._active_slot = len(self._active)
+        self._active.append(component)
+        if -1 < self._stepping_order < component._order:
+            # Woken mid-cycle by an earlier-phase component: step it this
+            # cycle, exactly where the registration-order scan would have.
+            heapq.heappush(self._agenda, component._order)
 
-    def notify_deactivated(self) -> None:
-        self._n_active -= 1
-        assert self._n_active >= 0, "activity accounting underflow"
+    def notify_deactivated(self, component: Component) -> None:
+        active = self._active
+        slot = component._active_slot
+        assert 0 <= slot < len(active), "activity accounting underflow"
+        last = active.pop()
+        if last is not component:
+            active[slot] = last
+            last._active_slot = slot
+        component._active_slot = -1
 
     def wake_at(self, component: Component, cycle: int) -> None:
         """Schedule ``component`` to become active at ``cycle`` (>= now)."""
@@ -78,6 +117,7 @@ class Simulator:
         self,
         max_cycles: int | None = None,
         until: Callable[[], bool] | None = None,
+        until_idle: bool = False,
     ) -> int:
         """Advance the clock until ``until()`` is true (or ``max_cycles``).
 
@@ -85,6 +125,12 @@ class Simulator:
         :class:`DeadlockError` if the system goes fully idle with no pending
         wakeup while ``until`` is still false — i.e. a genuine protocol
         deadlock, with a per-component diagnostic in the message.
+
+        ``until_idle=True`` is an exactness-preserving optimization for
+        stop conditions that can only become true when every component is
+        asleep (e.g. "all programs drained"): ``until`` is then consulted
+        only on cycles where the active set is empty, instead of every
+        cycle.
         """
         if self._running:
             raise SimulationError("run() is not reentrant")
@@ -93,10 +139,18 @@ class Simulator:
         deadline = None if max_cycles is None else start + max_cycles
         wakeups = self._wakeups
         components = self._components
+        active = self._active
+        agenda = self._agenda
+        heappop = heapq.heappop
+        heapify = heapq.heapify
         try:
             while True:
-                if until is not None and until():
-                    break
+                if active:
+                    if until is not None and not until_idle and until():
+                        break
+                else:
+                    if until is not None and until():
+                        break
                 if deadline is not None and self.cycle >= deadline:
                     if until is None:
                         break
@@ -105,7 +159,7 @@ class Simulator:
                         f"condition (now {self.cycle})"
                     )
                 # Fast-forward over idle time.
-                if self._n_active == 0:
+                if not active:
                     if not wakeups:
                         if until is None:
                             break
@@ -119,14 +173,31 @@ class Simulator:
                 # Release due wakeups.
                 now = self.cycle
                 while wakeups and wakeups[0][0] <= now:
-                    __, __, comp = heapq.heappop(wakeups)
+                    __, __, comp = heappop(wakeups)
                     comp.wake()
-                # Step every active component in phase order.
-                for comp in components:
+                # Step the active set in phase (registration) order.  The
+                # single-component case (very common once activity gating
+                # kicks in) skips the heap entirely; mid-cycle wakes of
+                # later-phase components land in the agenda either way.
+                if len(active) == 1:
+                    comp = active[0]
+                    self._stepping_order = comp._order
+                    comp.step(now)
+                else:
+                    for comp in active:
+                        agenda.append(comp._order)
+                    heapify(agenda)
+                while agenda:
+                    order = heappop(agenda)
+                    comp = components[order]
                     if comp.active:
+                        self._stepping_order = order
                         comp.step(now)
+                self._stepping_order = -1
                 self.cycle = now + 1
         finally:
+            del agenda[:]
+            self._stepping_order = -1
             self._running = False
         return self.cycle - start
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Any
 
 
@@ -10,15 +11,20 @@ class CounterSet:
 
     Counting must stay cheap (it happens on hot per-cycle paths), so this is
     a thin wrapper over a dict with convenience accessors and merge support
-    for aggregating across components or sweep runs.
+    for aggregating across components or sweep runs.  Hot call sites may
+    batch increments in plain local ints and flush them straight into
+    ``_counters`` once per step or sleep.
     """
+
+    __slots__ = ("name", "_counters")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
         self._counters: dict[str, int] = {}
 
     def inc(self, key: str, amount: int = 1) -> None:
-        self._counters[key] = self._counters.get(key, 0) + amount
+        counters = self._counters
+        counters[key] = counters.get(key, 0) + amount
 
     def set_max(self, key: str, value: int) -> None:
         if value > self._counters.get(key, 0):
@@ -56,6 +62,8 @@ class LatencyStat:
     #: Bucket upper bounds (inclusive); the last bucket is open-ended.
     BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384)
 
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
     def __init__(self, name: str = "latency") -> None:
         self.name = name
         self.count = 0
@@ -65,17 +73,15 @@ class LatencyStat:
         self.buckets = [0] * (len(self.BOUNDS) + 1)
 
     def record(self, value: int) -> None:
+        # O(1)-ish and allocation-free: bisect over the inclusive bounds
+        # lands values past the last bound in the open-ended bucket.
         self.count += 1
         self.total += value
         if self.min is None or value < self.min:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
-        for index, bound in enumerate(self.BOUNDS):
-            if value <= bound:
-                self.buckets[index] += 1
-                return
-        self.buckets[-1] += 1
+        self.buckets[bisect_left(self.BOUNDS, value)] += 1
 
     @property
     def mean(self) -> float:

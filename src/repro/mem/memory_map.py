@@ -89,7 +89,20 @@ class MemoryMap:
 
         Enforces the paper's ownership rule: private segments are only
         accessible to their owner.  Returns the containing segment.
+
+        This sits on the core's per-load/store path, so the common case
+        (an in-bounds access that stays inside one segment) is decided
+        with plain integer arithmetic before any Segment object is built.
         """
+        shared = self.shared
+        if addr < shared.size:
+            if addr + n_bytes <= shared.size and addr >= 0:
+                return shared
+        elif 0 <= rank < self.n_workers:
+            own = self.privates[rank]
+            base = own.base
+            if base <= addr and addr + n_bytes <= base + own.size:
+                return own
         segment = self.segment_of(addr)
         if not segment.contains(addr + n_bytes - 1):
             raise MemoryAccessError(

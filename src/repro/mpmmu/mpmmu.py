@@ -41,6 +41,10 @@ class _MpmmuState(enum.Enum):
     WAIT_DATA = "wait_data"
 
 
+#: Per-transaction counter keys, precomputed off the service path.
+_SERVED_KEY = {kind: f"served_{kind.name.lower()}" for kind in PacketType}
+
+
 class _WriteAssembly:
     """Collects the data flits of a granted write transaction."""
 
@@ -101,12 +105,30 @@ class MpmmuNode(Component):
         self._after_busy: list[Flit] = []
         self._after_state = _MpmmuState.IDLE
         self._assembly: _WriteAssembly | None = None
+        # Stable deque binding so an empty RX queue costs one truth test.
+        self._rx_items = ports.eject.queue._items
+        # Per-flit counters batched as plain ints; folded into the
+        # CounterSet when the node sleeps (see flush_stats).
+        self._n_requests = 0
+        self._n_data_flits = 0
+        self._n_replies = 0
 
     # -- clocked behaviour ---------------------------------------------------
 
     def step(self, cycle: int) -> None:
-        self._phase_rx()
-        self._phase_fsm(cycle)
+        if self._rx_items:
+            self._phase_rx()
+        # Inlined _phase_fsm guards: only enter the FSM body when it can
+        # actually transition this cycle.
+        state = self._state
+        if state is _MpmmuState.BUSY:
+            if cycle >= self._busy_until:
+                self._phase_fsm(cycle)
+        elif state is _MpmmuState.WAIT_DATA:
+            if self.data_fifo._items:
+                self._drain_write_data(cycle)
+        elif self.req_fifo._items:
+            self._begin_service(self.req_fifo.pop(), cycle)
         self._phase_out()
         self._phase_sleep(cycle)
 
@@ -124,12 +146,12 @@ class MpmmuNode(Component):
                 # a core broke the one-outstanding-transaction contract.
                 raise ProtocolError("mpmmu request FIFO overflow")
             self.req_fifo.push(queue.pop())
-            self.stats.inc("requests_received")
+            self._n_requests += 1
         elif flit.subtype == int(SubType.DATA):
             if self.data_fifo.full:
                 return  # leave it in the ejection queue until space frees
             self.data_fifo.push(queue.pop())
-            self.stats.inc("data_flits_received")
+            self._n_data_flits += 1
         else:
             raise ProtocolError(f"mpmmu got unexpected subtype in {flit!r}")
 
@@ -148,24 +170,43 @@ class MpmmuNode(Component):
             self._begin_service(self.req_fifo.pop(), cycle)
 
     def _phase_out(self) -> None:
-        if self.out_fifo and not self.ports.inject.busy:
+        if self.out_fifo._items and self.ports.inject.pending is None:
             accepted = self.ports.inject.try_inject(self.out_fifo.pop())
             assert accepted
-            self.stats.inc("reply_flits_sent")
+            self._n_replies += 1
 
     def _phase_sleep(self, cycle: int) -> None:
-        if not self.ports.eject.queue.empty or self.out_fifo or self.req_fifo:
+        if self._rx_items or self.out_fifo._items:
             return
         if self._state is _MpmmuState.BUSY:
-            if not self.out_fifo and self.ports.eject.queue.empty:
-                self.sleep(until=self._busy_until)
+            # Nothing can happen before _busy_until: the FSM is gated on
+            # it, the RX and out queues are empty, and a flit delivery
+            # re-wakes the node in its arrival cycle.  Queued requests
+            # keep (exactly) until the wakeup, so sleep through the
+            # service window even when req_fifo is non-empty.
+            self.flush_stats()
+            self.sleep(until=self._busy_until)
+            return
+        if self.req_fifo._items:
             return
         if self._state is _MpmmuState.WAIT_DATA and self.data_fifo:
             return
-        if self._state is _MpmmuState.IDLE:
-            self.sleep()
-            return
-        self.sleep()  # WAIT_DATA with nothing buffered: wake on delivery
+        # IDLE, or WAIT_DATA with nothing buffered: wake on delivery.
+        self.flush_stats()
+        self.sleep()
+
+    def flush_stats(self) -> None:
+        """Fold the batched per-flit counters into the CounterSet."""
+        inc = self.stats.inc
+        if self._n_requests:
+            inc("requests_received", self._n_requests)
+            self._n_requests = 0
+        if self._n_data_flits:
+            inc("data_flits_received", self._n_data_flits)
+            self._n_data_flits = 0
+        if self._n_replies:
+            inc("reply_flits_sent", self._n_replies)
+            self._n_replies = 0
 
     # -- transaction service -------------------------------------------------------
 
@@ -173,7 +214,7 @@ class MpmmuNode(Component):
         kind = flit.ptype
         addr = flit.data
         src = flit.src
-        self.stats.inc(f"served_{kind.name.lower()}")
+        self.stats.inc(_SERVED_KEY[kind])
         if kind in (PacketType.SINGLE_READ, PacketType.BLOCK_READ):
             n_words = 1 if kind is PacketType.SINGLE_READ else 4
             words, access = self._read_words(addr, n_words)

@@ -27,7 +27,7 @@ from repro.kernel.trace import Tracer
 from repro.noc.coords import OPPOSITE
 from repro.noc.flit import Flit
 from repro.noc.packet import FlitCodec
-from repro.noc.switch import route_node
+from repro.noc.switch import RoutingOutcome, route_node
 from repro.noc.topology import Topology
 
 
@@ -56,9 +56,18 @@ class InjectionPort:
         """Offer a flit to the network; False when the slot is still busy."""
         if self.pending is not None:
             return False
-        self.fabric.validate_flit(flit)
+        fabric = self.fabric
+        # Inline the common validate_flit fast path; the full check (with
+        # its error message / strict wire encoding) runs only when needed.
+        n = fabric.topology.n_nodes
+        if fabric.strict_encoding or not (
+            0 <= flit.dst < n and 0 <= flit.src < n
+        ):
+            fabric.validate_flit(flit)
         self.pending = flit
-        self.fabric.wake()
+        fabric._work.add(self.node)
+        fabric._flit_count += 1
+        fabric.wake()
         return True
 
 
@@ -114,12 +123,19 @@ class NocFabric(Component):
         n = topology.n_nodes
         # regs[node][direction] = flit latched on that input link.
         self.regs: list[list[Flit | None]] = [[None] * 4 for _ in range(n)]
-        self._occupied: set[int] = set()
+        # Incremental worklist: nodes with a latched flit or pending
+        # injection.  Maintained by try_inject and the commit phase so a
+        # step never scans the whole fabric.
+        self._work: set[int] = set()
+        # Running count of flits in the network (regs + injection slots):
+        # +1 on accepted injection, -1 on ejection.
+        self._flit_count = 0
+        self._moves: list[tuple[int, int, Flit]] = []
+        self._scratch = RoutingOutcome()
         self.ports: list[NodePorts] = [
             NodePorts(node, InjectionPort(node, self), EjectionPort(node))
             for node in range(n)
         ]
-        self.in_flight = 0
         self.latency = LatencyStat("noc_latency")
 
     # -- node-facing API -----------------------------------------------------
@@ -142,21 +158,29 @@ class NocFabric(Component):
     # -- clocked behaviour ------------------------------------------------------
 
     def step(self, cycle: int) -> None:
-        moves: list[tuple[int, int, Flit]] = []
-        work_nodes = self._nodes_with_work()
-        if not work_nodes:
+        work = self._work
+        if not work:
             self.sleep()
             return
-        occupied = self._occupied
+        if len(work) == 1:
+            work_nodes = list(work)
+        else:
+            work_nodes = sorted(work)
+        work.clear()  # re-populated below by the commit phase / stalls
+        moves = self._moves
+        del moves[:]
         regs = self.regs
         topo = self.topology
+        ports = self.ports
+        neighbor_table = topo.neighbor_table
+        eject_capacity = self.eject_capacity
+        scratch = self._scratch
+        # Per-step counter accumulation; flushed once into the CounterSet.
+        flits_injected = injection_stalls = deflections = eject_overflows = 0
+        flits_ejected = flit_hops = 0
         for node in work_nodes:
             row = regs[node]
-            inputs = [flit for flit in row if flit is not None]
-            if inputs:
-                row[0] = row[1] = row[2] = row[3] = None
-                occupied.discard(node)
-            port = self.ports[node]
+            port = ports[node]
             inject = port.inject.pending
 
             # A self-addressed flit bypasses the switch entirely.
@@ -164,27 +188,38 @@ class NocFabric(Component):
                 inject.injected_at = cycle
                 port.inject.pending = None
                 port.inject.injected += 1
-                self.stats.inc("flits_injected")
+                flits_injected += 1
+                flits_ejected += 1
+                flit_hops += inject.hops
                 self._eject(port, inject, cycle, zero_hop=True)
                 inject = None
 
-            outcome = route_node(node, inputs, inject, topo, self.eject_capacity)
+            # The register row is handed to the router as-is (it skips
+            # idle links); clear it only after routing has read it.
+            outcome = route_node(node, row, inject, topo, eject_capacity,
+                                 out=scratch)
+            row[0] = row[1] = row[2] = row[3] = None
             for flit in outcome.ejected:
+                flits_ejected += 1
+                flit_hops += flit.hops
                 self._eject(port, flit, cycle)
             if inject is not None:
                 if outcome.injected:
                     inject.injected_at = cycle
                     port.inject.pending = None
                     port.inject.injected += 1
-                    self.stats.inc("flits_injected")
+                    flits_injected += 1
                 else:
                     port.inject.stalled_cycles += 1
-                    self.stats.inc("injection_stalls")
-            self.stats.inc("deflections", outcome.deflections)
-            self.stats.inc("eject_overflows", outcome.eject_overflow)
-            for direction, flit in enumerate(outcome.outputs):
+                    injection_stalls += 1
+                    work.add(node)  # the slot retries next cycle
+            deflections += outcome.deflections
+            eject_overflows += outcome.eject_overflow
+            outputs = outcome.outputs
+            for direction in range(4):
+                flit = outputs[direction]
                 if flit is not None:
-                    neighbor = topo.neighbor(node, direction)
+                    neighbor = neighbor_table[node][direction]
                     assert neighbor >= 0, "routed to a missing link"
                     flit.hops += 1
                     moves.append((neighbor, OPPOSITE[direction], flit))
@@ -196,40 +231,41 @@ class NocFabric(Component):
                     f"link register collision at node {neighbor} dir {in_dir}"
                 )
             regs[neighbor][in_dir] = flit
-            occupied.add(neighbor)
-        if not moves and not any(p.inject.pending for p in self.ports):
+            work.add(neighbor)
+        inc = self.stats.inc
+        if flits_injected:
+            inc("flits_injected", flits_injected)
+        if injection_stalls:
+            inc("injection_stalls", injection_stalls)
+        if deflections:
+            inc("deflections", deflections)
+        if eject_overflows:
+            inc("eject_overflows", eject_overflows)
+        if flits_ejected:
+            inc("flits_ejected", flits_ejected)
+            inc("flit_hops", flit_hops)
+        if not work:
             self.sleep()
-
-    def _nodes_with_work(self) -> list[int]:
-        pending = {
-            port.node for port in self.ports if port.inject.pending is not None
-        }
-        if pending:
-            work = self._occupied | pending
-        else:
-            work = self._occupied
-        return sorted(work)
 
     def _eject(
         self, port: NodePorts, flit: Flit, cycle: int, zero_hop: bool = False
     ) -> None:
         latency = 0 if zero_hop else cycle - flit.injected_at + 1
         self.latency.record(latency)
-        self.stats.inc("flits_ejected")
-        self.stats.inc("flit_hops", flit.hops)
-        self.tracer.emit(
-            cycle, "noc", "eject",
-            node=port.node, uid=flit.uid, ptype=flit.ptype.name, latency=latency,
-        )
+        self._flit_count -= 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                cycle, "noc", "eject",
+                node=port.node, uid=flit.uid, ptype=flit.ptype.name,
+                latency=latency,
+            )
         port.eject.deliver(flit)
 
     # -- introspection -------------------------------------------------------------
 
     @property
     def flits_in_network(self) -> int:
-        return sum(
-            1 for row in self.regs for flit in row if flit is not None
-        ) + sum(1 for port in self.ports if port.inject.pending is not None)
+        return self._flit_count
 
     def describe_state(self) -> str:
         return (

@@ -11,29 +11,47 @@ which the property tests exercise under saturating load.
 Keeping the per-switch routing a pure function of (inputs, pending
 injection) makes the fabric's two-phase update order-independent and the
 routing unit-testable in isolation.
+
+This function sits on the per-flit hot path of every simulated cycle, so
+it is written to avoid allocation: free ports are a bitmask rather than a
+set, sorting is skipped when at most one flit contends, the topology's
+precomputed tables are indexed directly, and the caller may pass a
+reusable :class:`RoutingOutcome` scratch structure via ``out``.
 """
 
 from __future__ import annotations
 
+from operator import attrgetter
+
 from repro.noc.flit import Flit
 from repro.noc.topology import Topology
 
+#: Oldest-first priority with a stable tie-break, as a C-level sort key
+#: (equivalent to :meth:`Flit.age_key`, without the per-flit method call).
+_AGE_KEY = attrgetter("injected_at", "uid")
+
 
 class RoutingOutcome:
-    """Result of routing one switch for one cycle."""
+    """Result of routing one switch for one cycle.
+
+    May be reused across calls as a scratch structure (see
+    :func:`route_node`'s ``out`` parameter); ``ejected`` and ``outputs``
+    are then overwritten in place.
+    """
 
     __slots__ = ("ejected", "outputs", "injected", "deflections", "eject_overflow")
 
     def __init__(
         self,
-        ejected: list[Flit],
-        outputs: list[Flit | None],
-        injected: bool,
-        deflections: int,
-        eject_overflow: int,
+        ejected: list[Flit] | None = None,
+        outputs: list[Flit | None] | None = None,
+        injected: bool = False,
+        deflections: int = 0,
+        eject_overflow: int = 0,
     ) -> None:
-        self.ejected = ejected
-        self.outputs = outputs  # indexed by direction, None = idle port
+        self.ejected = [] if ejected is None else ejected
+        # outputs is indexed by direction, None = idle port.
+        self.outputs = [None, None, None, None] if outputs is None else outputs
         self.injected = injected
         self.deflections = deflections
         self.eject_overflow = eject_overflow
@@ -41,10 +59,11 @@ class RoutingOutcome:
 
 def route_node(
     node: int,
-    inputs: list[Flit],
+    inputs: list[Flit | None],
     inject: Flit | None,
     topology: Topology,
     eject_capacity: int = 1,
+    out: RoutingOutcome | None = None,
 ) -> RoutingOutcome:
     """Route all flits present at ``node`` for this cycle.
 
@@ -57,57 +76,99 @@ def route_node(
     local port, oldest first; any excess arrival is deflected back into the
     network and will retry — the hot-potato answer to an ejection-port
     conflict.
+
+    When ``out`` is given, its lists are recycled and it is returned;
+    otherwise a fresh :class:`RoutingOutcome` is allocated.  ``inputs``
+    may contain ``None`` entries (idle links), which lets the fabric pass
+    its register row without building a filtered list; the caller must
+    never present more flits than the node has links.
     """
-    ports = topology.ports_of(node)
-    n_ports = len(ports)
-    assert len(inputs) <= n_ports, "more input flits than links"
+    if out is None:
+        out = RoutingOutcome()
+        ejected = out.ejected
+        outputs = out.outputs
+    else:
+        ejected = out.ejected
+        ejected.clear()
+        outputs = out.outputs
+        outputs[0] = outputs[1] = outputs[2] = outputs[3] = None
+        out.injected = False
 
-    arrived = [flit for flit in inputs if flit.dst == node]
-    transit = [flit for flit in inputs if flit.dst != node]
+    arrived: list[Flit] | None = None
+    contenders: list[Flit] | None = None
+    for flit in inputs:
+        if flit is None:
+            continue
+        if flit.dst == node:
+            if arrived is None:
+                arrived = [flit]
+            else:
+                arrived.append(flit)
+        else:
+            if contenders is None:
+                contenders = [flit]
+            else:
+                contenders.append(flit)
 
-    arrived.sort(key=Flit.age_key)
-    ejected = arrived[:eject_capacity]
-    recirculating = arrived[eject_capacity:]
-    eject_overflow = len(recirculating)
+    eject_overflow = 0
+    if arrived is not None:
+        if len(arrived) > 1:
+            arrived.sort(key=_AGE_KEY)
+        ejected.extend(arrived[:eject_capacity])
+        recirculating = arrived[eject_capacity:]
+        if recirculating:
+            eject_overflow = len(recirculating)
+            if contenders is None:
+                contenders = recirculating
+            else:
+                contenders.extend(recirculating)
+    out.eject_overflow = eject_overflow
 
-    outputs: list[Flit | None] = [None, None, None, None]
+    free_mask = topology.port_mask_table[node]
+    productive = topology.productive_table
+    base = node * topology.n_nodes
     deflections = 0
-    free = set(ports)
 
-    # Oldest flit gets first pick of ports: the practical livelock guard.
-    contenders = sorted(transit + recirculating, key=Flit.age_key)
-    for flit in contenders:
-        placed = False
-        for direction in topology.productive_directions(node, flit.dst):
-            if direction in free:
-                outputs[direction] = flit
-                free.discard(direction)
-                placed = True
-                break
-        if not placed:
-            # Deflect: any free port, deterministic scan order.
-            for direction in ports:
-                if direction in free:
+    if contenders is not None:
+        # Oldest flit gets first pick of ports: the practical livelock guard.
+        if len(contenders) > 1:
+            contenders.sort(key=_AGE_KEY)
+        ports = topology.ports_table[node]
+        for flit in contenders:
+            placed = False
+            for direction in productive[base + flit.dst]:
+                bit = 1 << direction
+                if free_mask & bit:
                     outputs[direction] = flit
-                    free.discard(direction)
+                    free_mask ^= bit
                     placed = True
-                    flit.deflections += 1
-                    deflections += 1
                     break
-        assert placed, "deflection routing must always place a transit flit"
+            if not placed:
+                # Deflect: any free port, deterministic scan order.
+                for direction in ports:
+                    bit = 1 << direction
+                    if free_mask & bit:
+                        outputs[direction] = flit
+                        free_mask ^= bit
+                        placed = True
+                        flit.deflections += 1
+                        deflections += 1
+                        break
+            assert placed, "deflection routing must always place a transit flit"
+    out.deflections = deflections
 
-    injected = False
-    if inject is not None and free:
-        for direction in topology.productive_directions(node, inject.dst):
-            if direction in free:
+    if inject is not None and free_mask:
+        injected = False
+        for direction in productive[base + inject.dst]:
+            bit = 1 << direction
+            if free_mask & bit:
                 outputs[direction] = inject
-                free.discard(direction)
                 injected = True
                 break
         if not injected:
-            direction = min(free)
+            # Lowest free direction index, matching min() over the old set.
+            direction = (free_mask & -free_mask).bit_length() - 1
             outputs[direction] = inject
-            free.discard(direction)
-            injected = True
+        out.injected = True
 
-    return RoutingOutcome(ejected, outputs, injected, deflections, eject_overflow)
+    return out

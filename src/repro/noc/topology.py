@@ -57,6 +57,15 @@ class Topology:
             for src in range(self.n_nodes)
             for dst in range(self.n_nodes)
         ]
+        # ports_table[node] -> directions with an attached link, ascending;
+        # port_mask_table[node] -> the same set as a bitmask over directions.
+        self.ports_table: list[tuple[int, ...]] = [
+            tuple(d for d in ALL_DIRECTIONS if self.neighbor_table[node][d] >= 0)
+            for node in range(self.n_nodes)
+        ]
+        self.port_mask_table: list[int] = [
+            sum(1 << d for d in ports) for ports in self.ports_table
+        ]
 
     # -- coordinates ---------------------------------------------------------
 
@@ -83,8 +92,7 @@ class Topology:
 
     def ports_of(self, node: int) -> tuple[int, ...]:
         """Directions with an attached link (all four on a torus)."""
-        row = self.neighbor_table[node]
-        return tuple(d for d in ALL_DIRECTIONS if row[d] >= 0)
+        return self.ports_table[node]
 
     # -- construction hooks ------------------------------------------------------
 

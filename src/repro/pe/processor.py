@@ -54,6 +54,12 @@ class CoreState(enum.Enum):
     DONE = "done"
 
 
+#: Pre-built counter keys, so state changes and blocking ops never build
+#: f-strings on the per-cycle path.
+_CYCLES_KEY = {state: f"cycles_{state.value}" for state in CoreState}
+_OPS_TAG_KEY = {tag: f"ops_{tag}" for tag in ("uload", "lock", "unlock")}
+
+
 class _Job:
     """One queued memory-pipeline transaction."""
 
@@ -112,6 +118,21 @@ class ProcessorNode(Component):
         self._wait_msg: tuple[int, int] | None = None
         self._pending_req_flit: Flit | None = None
         self._last_op: tuple | None = None
+        # Hot-path bindings: the deques backing the RX queue and the TIE
+        # credit queue are stable objects, so step() can test them without
+        # attribute chains or property calls.
+        self._rx_items = ports.eject.queue._items
+        self._credit_items = tie.pending_credits._items
+        # Hot op counters, batched as plain ints and flushed into the
+        # CounterSet whenever the node sleeps (see flush_op_stats).
+        self._n_compute = 0
+        self._n_compute_cycles = 0
+        self._n_load_hit = 0
+        self._n_load_miss = 0
+        self._n_store_wt = 0
+        self._n_store_hit = 0
+        self._n_store_miss = 0
+        self._n_lmem = 0
 
     # -- program control -------------------------------------------------------
 
@@ -151,12 +172,38 @@ class ProcessorNode(Component):
     # -- clocked behaviour ----------------------------------------------------------
 
     def step(self, cycle: int) -> None:
-        self._phase_rx(cycle)
-        self._phase_issue_job(cycle)
-        self._phase_bridge_tx()
-        self._phase_tie_tx(cycle)
-        self._phase_core(cycle)
-        self.arbiter.tick()
+        # The six phases of the module docstring, with each phase's cheap
+        # emptiness guard inlined so an idle phase costs one attribute test.
+        bridge = self.bridge
+        tie = self.tie
+        if self._rx_items:
+            self._phase_rx(cycle)
+        if self._jobs and self._active_job is None and bridge.idle:
+            job = self._jobs[0]
+            if job.not_before <= cycle:
+                self._jobs.popleft()
+                self._active_job = job
+                bridge.start(job.txn, cycle)
+        arbiter = self.arbiter
+        outgoing = bridge._outgoing
+        if outgoing and arbiter.offer_memory(outgoing[0]):
+            bridge.output_sent()
+        if (
+            self._credit_items
+            or self._pending_req_flit is not None
+            or tie.tx is not None
+        ):
+            self._phase_tie_tx(cycle)
+        # Core phase (inlined _phase_core).
+        if self.state is not CoreState.RUNNING:
+            self._try_unblock(cycle)
+        tie.rx_event = False
+        if self.state is CoreState.RUNNING and self._ready_at <= cycle:
+            self._execute(cycle)
+        # Arbiter grant: skipped when it has no flit and no busy port to
+        # account for (tick would be side-effect free).
+        if arbiter.port.pending is not None or arbiter.has_pending:
+            arbiter.tick()
         self._phase_sleep(cycle)
 
     # 1 -------------------------------------------------------------------------------
@@ -172,27 +219,6 @@ class ProcessorNode(Component):
             completed = self.bridge.on_reply(flit, cycle)
             if completed is not None:
                 self._job_completed(cycle)
-
-    # 2 -------------------------------------------------------------------------------
-
-    def _phase_issue_job(self, cycle: int) -> None:
-        if self._active_job is not None or not self.bridge.idle:
-            return
-        if not self._jobs:
-            return
-        job = self._jobs[0]
-        if job.not_before > cycle:
-            return
-        self._jobs.popleft()
-        self._active_job = job
-        self.bridge.start(job.txn, cycle)
-
-    # 3 -------------------------------------------------------------------------------
-
-    def _phase_bridge_tx(self) -> None:
-        flit = self.bridge.poll_output()
-        if flit is not None and self.arbiter.offer_memory(flit):
-            self.bridge.output_sent()
 
     # 4 -------------------------------------------------------------------------------
 
@@ -217,14 +243,6 @@ class ProcessorNode(Component):
                 self._resume(cycle, cost=1)
 
     # 5 -------------------------------------------------------------------------------
-
-    def _phase_core(self, cycle: int) -> None:
-        self._try_unblock(cycle)
-        if self.state is not CoreState.RUNNING or self._ready_at > cycle:
-            self.tie.rx_event = False
-            return
-        self.tie.rx_event = False
-        self._execute(cycle)
 
     def _try_unblock(self, cycle: int) -> None:
         state = self.state
@@ -252,7 +270,7 @@ class ProcessorNode(Component):
     def _change_state(self, new_state: CoreState, cycle: int) -> None:
         old = self.state
         if old is not new_state:
-            self.stats.inc(f"cycles_{old.value}", cycle - self._state_since)
+            self.stats.inc(_CYCLES_KEY[old], cycle - self._state_since)
             self._state_since = cycle
             self.state = new_state
 
@@ -274,8 +292,8 @@ class ProcessorNode(Component):
                 if cycles <= 0:
                     continue
                 self._ready_at = cycle + cycles
-                self.stats.inc("ops_compute")
-                self.stats.inc("compute_cycles", cycles)
+                self._n_compute += 1
+                self._n_compute_cycles += cycles
                 return
             if code == "load":
                 if self._op_load(cycle, op[1]):
@@ -288,12 +306,12 @@ class ProcessorNode(Component):
             if code == "lmem_read":
                 self._send_value = self.scratchpad.read_word(op[1])
                 self._ready_at = cycle + Scratchpad.ACCESS_CYCLES
-                self.stats.inc("ops_lmem")
+                self._n_lmem += 1
                 return
             if code == "lmem_write":
                 self.scratchpad.write_word(op[1], op[2])
                 self._ready_at = cycle + Scratchpad.ACCESS_CYCLES
-                self.stats.inc("ops_lmem")
+                self._n_lmem += 1
                 return
             if code == "send":
                 self.tie.begin_send(op[1], op[2])
@@ -379,20 +397,20 @@ class ProcessorNode(Component):
 
     def _op_load(self, cycle: int, addr: int) -> bool:
         """Returns True when the core must stop executing this cycle."""
-        self._check(addr)
+        self.map.check_access(self.rank, addr)
         line = self.cache.lookup(addr)
         if line is not None:
             self._send_value = line.words[(addr % self.cache.line_bytes) >> 2]
             self._ready_at = cycle + 1
-            self.stats.inc("ops_load_hit")
+            self._n_load_hit += 1
             return True
-        self.stats.inc("ops_load_miss")
+        self._n_load_miss += 1
         self._start_refill(addr, cycle, ("load", addr))
         return True
 
     def _op_store(self, cycle: int, op: tuple) -> bool:
         __, addr, value = op
-        self._check(addr)
+        self.map.check_access(self.rank, addr)
         if self.cache.policy is WritePolicy.WRITE_THROUGH:
             line = self.cache.lookup(addr, is_write=True)
             if not self._post_write(addr, [value], PacketType.SINGLE_WRITE, op):
@@ -402,16 +420,16 @@ class ProcessorNode(Component):
                 # Keep the cached copy coherent with memory; stays clean.
                 self.cache.write_word(addr, value, mark_dirty=False)
             self._ready_at = cycle + 1
-            self.stats.inc("ops_store_wt")
+            self._n_store_wt += 1
             return True
         # Write-back: write-allocate on miss.
         line = self.cache.lookup(addr, is_write=True)
         if line is not None:
             self.cache.write_word(addr, value, mark_dirty=True)
             self._ready_at = cycle + 1
-            self.stats.inc("ops_store_hit")
+            self._n_store_hit += 1
             return True
-        self.stats.inc("ops_store_miss")
+        self._n_store_miss += 1
         self._start_refill(addr, cycle, ("store_fill", addr, value))
         return True
 
@@ -486,7 +504,7 @@ class ProcessorNode(Component):
         self._jobs.append(_Job(txn, tag))
         self._change_state(CoreState.WAIT_MEM if tag != "lock" else CoreState.WAIT_LOCK,
                            cycle)
-        self.stats.inc(f"ops_{tag}")
+        self.stats.inc(_OPS_TAG_KEY[tag])
 
     # -- job completion ----------------------------------------------------------------------
 
@@ -540,16 +558,20 @@ class ProcessorNode(Component):
     # -- sleep decision --------------------------------------------------------------------------
 
     def _phase_sleep(self, cycle: int) -> None:
-        if not self.ports.eject.queue.empty:
+        # Fast path: a running core that will be ready within a cycle
+        # always stays awake, whatever else is pending.
+        if self.state is CoreState.RUNNING and self._ready_at <= cycle + 1:
             return
-        if self.bridge.poll_output() is not None:
+        if self._rx_items:
+            return
+        if self.bridge._outgoing:
             return
         if self.arbiter.has_pending:
             return
         if (
-            self.tie.tx_busy
+            self.tie.tx is not None
             or self._pending_req_flit is not None
-            or not self.tie.pending_credits.empty
+            or self._credit_items
         ):
             return
         if self._active_job is None and self._jobs:
@@ -557,20 +579,54 @@ class ProcessorNode(Component):
             if head.not_before <= cycle + 1:
                 return
             if self._nothing_but_backoff():
+                self.flush_op_stats()
                 self.sleep(until=head.not_before)
                 return
             return
         if self.state is CoreState.RUNNING:
             if self._ready_at > cycle + 1:
+                self.flush_op_stats()
                 self.sleep(until=self._ready_at)
             return
         if self.state is CoreState.WAIT_FENCE and self._pipeline_empty():
             return
         # Blocked on an external event (reply flit, message, token) or done.
+        self.flush_op_stats()
         self.sleep()
 
     def _nothing_but_backoff(self) -> bool:
         return self.state is CoreState.WAIT_LOCK and self.bridge.idle
+
+    def flush_op_stats(self) -> None:
+        """Fold the batched hot-path op counters into the CounterSet.
+
+        Called on every transition to sleep and before any external stats
+        read (``MedeaSystem.collect_stats``), so observers see exact values.
+        """
+        inc = self.stats.inc
+        if self._n_compute:
+            inc("ops_compute", self._n_compute)
+            inc("compute_cycles", self._n_compute_cycles)
+            self._n_compute = 0
+            self._n_compute_cycles = 0
+        if self._n_load_hit:
+            inc("ops_load_hit", self._n_load_hit)
+            self._n_load_hit = 0
+        if self._n_load_miss:
+            inc("ops_load_miss", self._n_load_miss)
+            self._n_load_miss = 0
+        if self._n_store_wt:
+            inc("ops_store_wt", self._n_store_wt)
+            self._n_store_wt = 0
+        if self._n_store_hit:
+            inc("ops_store_hit", self._n_store_hit)
+            self._n_store_hit = 0
+        if self._n_store_miss:
+            inc("ops_store_miss", self._n_store_miss)
+            self._n_store_miss = 0
+        if self._n_lmem:
+            inc("ops_lmem", self._n_lmem)
+            self._n_lmem = 0
 
     # -- diagnostics --------------------------------------------------------------------------------
 

@@ -175,7 +175,10 @@ class MedeaSystem:
         """
         budget = max_cycles if max_cycles is not None else self.config.max_cycles
         start = self.sim.cycle
-        self.sim.run(max_cycles=budget, until=self.finished)
+        # A finished system is necessarily quiescent (every component has
+        # slept), so the drained/idle scan only needs to run on cycles
+        # where the kernel's active set is empty.
+        self.sim.run(max_cycles=budget, until=self.finished, until_idle=True)
         return self.sim.cycle - start
 
     @property
@@ -219,6 +222,9 @@ class MedeaSystem:
 
     def collect_stats(self) -> dict:
         """Aggregate statistics for reports and tests."""
+        for node in self.nodes:
+            node.flush_op_stats()
+        self.mpmmu.flush_stats()
         return {
             "cycles": self.sim.cycle,
             "noc": {

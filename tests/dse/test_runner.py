@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 from repro.apps.jacobi.driver import JacobiParams
 from repro.dse.runner import ResultCache, SweepResult, evaluate_point, run_sweep
 from repro.dse.space import SweepSpec
@@ -76,3 +78,47 @@ def test_result_round_trips_through_json(tmp_path):
     assert reloaded is not None
     assert reloaded.label == result.label
     assert reloaded.iteration_cycles == [120, 100]
+
+
+def test_cache_discards_versionless_seed_layout(tmp_path):
+    # The pre-versioning layout (a flat key->result dict) must be treated
+    # as stale: hot-path changes that alter cycle counts would otherwise
+    # be served from the old cache.
+    from repro.dse.runner import CACHE_VERSION
+
+    spec = tiny_spec("versioned")
+    first = run_sweep(spec, jobs=1, cache_dir=tmp_path)
+    path = tmp_path / "versioned.json"
+    payload = json.loads(path.read_text())
+    assert payload["__cache_version__"] == CACHE_VERSION
+
+    # Rewrite the file in the legacy flat layout; the cache must discard it.
+    path.write_text(json.dumps(payload["points"]))
+    cache = ResultCache(tmp_path, "versioned")
+    assert cache.discarded_stale
+    assert cache.get(spec.points()[0].key()) is None
+
+    # A sweep over the discarded cache recomputes and re-versions the file.
+    second = run_sweep(spec, jobs=1, cache_dir=tmp_path)
+    assert [r.total_cycles for r in first] == [r.total_cycles for r in second]
+    assert "__cache_version__" in json.loads(path.read_text())
+
+
+def test_cache_discards_mismatched_version(tmp_path):
+    spec = tiny_spec("stale")
+    run_sweep(spec, jobs=1, cache_dir=tmp_path)
+    path = tmp_path / "stale.json"
+    payload = json.loads(path.read_text())
+    payload["__cache_version__"] = "0:ancient"
+    path.write_text(json.dumps(payload))
+    cache = ResultCache(tmp_path, "stale")
+    assert cache.discarded_stale
+    assert cache.get(spec.points()[0].key()) is None
+
+
+def test_cache_matching_version_is_reused(tmp_path):
+    spec = tiny_spec("fresh")
+    run_sweep(spec, jobs=1, cache_dir=tmp_path)
+    cache = ResultCache(tmp_path, "fresh")
+    assert not cache.discarded_stale
+    assert cache.get(spec.points()[0].key()) is not None

@@ -1,0 +1,50 @@
+"""Determinism guard for the active-set kernel refactor.
+
+The kernel's explicit active set (wake/sleep maintained, stepped through a
+per-cycle order heap) must not introduce any iteration-order dependence:
+two identical runs of the 8-worker Jacobi reference configuration have to
+agree on every cycle count and every statistic, bit for bit.  This is the
+test that fails first if agenda ordering, worklist sets, or batched
+counter flushing ever become nondeterministic.
+"""
+
+from __future__ import annotations
+
+from repro.apps.jacobi.driver import JacobiParams, run_jacobi
+from repro.system.config import SystemConfig
+
+
+def _reference_run():
+    config = SystemConfig(n_workers=8, cache_size_kb=16)
+    params = JacobiParams(n=12, iterations=3, warmup=1)
+    return run_jacobi(config, params)
+
+
+def test_double_run_is_bit_identical():
+    first = _reference_run()
+    second = _reference_run()
+
+    assert first.validated and second.validated
+    assert first.total_cycles == second.total_cycles
+    assert first.iteration_cycles == second.iteration_cycles
+    assert first.cycles_per_iteration == second.cycles_per_iteration
+
+    # Full stats equality: NoC counters and latency histogram, MPMMU,
+    # and every worker's core/cache/bridge/TIE counters.
+    assert first.stats["noc"] == second.stats["noc"]
+    assert first.stats["mpmmu"] == second.stats["mpmmu"]
+    assert first.stats["workers"] == second.stats["workers"]
+    assert first.stats["cycles"] == second.stats["cycles"]
+
+
+def test_wt_policy_double_run_is_bit_identical():
+    # The write-through config saturates the MPMMU and exercises the
+    # fabric worklist under heavy contention.
+    config = SystemConfig(n_workers=8, cache_size_kb=16, cache_policy="wt")
+    params = JacobiParams(n=10, iterations=2, warmup=0)
+    first = run_jacobi(config, params)
+    second = run_jacobi(config, params)
+    assert first.total_cycles == second.total_cycles
+    assert first.iteration_cycles == second.iteration_cycles
+    assert first.stats["noc"] == second.stats["noc"]
+    assert first.stats["mpmmu"] == second.stats["mpmmu"]

@@ -1,0 +1,186 @@
+"""Golden-equivalence property test for the optimized deflection router.
+
+``_reference_route_node`` below is a deliberately straightforward
+transcription of the original (pre-optimization) switch: free ports as a
+set, unconditional sorting, productive directions through the topology
+method.  The optimized ``route_node`` (bitmasks, skipped sorts, scratch
+reuse) must produce identical outcomes flit-for-flit over randomized
+configurations on both torus and mesh topologies — including the mutation
+of per-flit deflection counters.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.noc.flit import Flit
+from repro.noc.packet import PacketType
+from repro.noc.switch import RoutingOutcome, route_node
+from repro.noc.topology import FoldedTorusTopology, MeshTopology
+
+
+def _reference_route_node(node, inputs, inject, topology, eject_capacity=1):
+    """The seed implementation of route_node, kept verbatim-simple."""
+    ports = topology.ports_of(node)
+
+    arrived = [flit for flit in inputs if flit.dst == node]
+    transit = [flit for flit in inputs if flit.dst != node]
+
+    arrived.sort(key=Flit.age_key)
+    ejected = arrived[:eject_capacity]
+    recirculating = arrived[eject_capacity:]
+    eject_overflow = len(recirculating)
+
+    outputs = [None, None, None, None]
+    deflections = 0
+    free = set(ports)
+
+    contenders = sorted(transit + recirculating, key=Flit.age_key)
+    for flit in contenders:
+        placed = False
+        for direction in topology.productive_directions(node, flit.dst):
+            if direction in free:
+                outputs[direction] = flit
+                free.discard(direction)
+                placed = True
+                break
+        if not placed:
+            for direction in ports:
+                if direction in free:
+                    outputs[direction] = flit
+                    free.discard(direction)
+                    placed = True
+                    flit.deflections += 1
+                    deflections += 1
+                    break
+        assert placed
+    injected = False
+    if inject is not None and free:
+        for direction in topology.productive_directions(node, inject.dst):
+            if direction in free:
+                outputs[direction] = inject
+                free.discard(direction)
+                injected = True
+                break
+        if not injected:
+            direction = min(free)
+            outputs[direction] = inject
+            free.discard(direction)
+            injected = True
+    return RoutingOutcome(ejected, outputs, injected, deflections,
+                          eject_overflow)
+
+
+def _random_flit(rng, n_nodes, uid):
+    return Flit(
+        dst=rng.randrange(n_nodes),
+        src=rng.randrange(n_nodes),
+        ptype=PacketType.MESSAGE,
+        uid=uid,
+        injected_at=rng.randrange(0, 50),
+        deflections=rng.randrange(0, 3),
+    )
+
+
+def _clone(flit):
+    return Flit(
+        dst=flit.dst, src=flit.src, ptype=flit.ptype, subtype=flit.subtype,
+        seq=flit.seq, burst=flit.burst, data=flit.data, uid=flit.uid,
+        injected_at=flit.injected_at, hops=flit.hops,
+        deflections=flit.deflections,
+    )
+
+
+def _assert_same_outcome(case, got, expected, flits, ref_flits):
+    got_ej = [f.uid for f in got.ejected]
+    exp_ej = [f.uid for f in expected.ejected]
+    assert got_ej == exp_ej, f"{case}: ejected differ {got_ej} != {exp_ej}"
+    got_out = [f.uid if f is not None else None for f in got.outputs]
+    exp_out = [f.uid if f is not None else None for f in expected.outputs]
+    assert got_out == exp_out, f"{case}: outputs differ {got_out} != {exp_out}"
+    assert got.injected == expected.injected, f"{case}: injected differs"
+    assert got.deflections == expected.deflections, f"{case}: deflections"
+    assert got.eject_overflow == expected.eject_overflow, f"{case}: overflow"
+    # The per-flit deflection counters must mutate identically.
+    for mine, ref in zip(flits, ref_flits):
+        assert mine.deflections == ref.deflections, (
+            f"{case}: flit #{mine.uid} deflection counter diverged"
+        )
+
+
+def _run_equivalence(topology, rng, rounds, reuse_scratch):
+    n_nodes = topology.n_nodes
+    scratch = RoutingOutcome() if reuse_scratch else None
+    uid = 0
+    for case in range(rounds):
+        node = rng.randrange(n_nodes)
+        ports = topology.ports_of(node)
+        n_inputs = rng.randrange(0, len(ports) + 1)
+        flits = []
+        for _ in range(n_inputs):
+            flits.append(_random_flit(rng, n_nodes, uid))
+            uid += 1
+        inject = None
+        if rng.random() < 0.7:
+            inject = _random_flit(rng, n_nodes, uid)
+            # The fabric strips self-addressed injections before routing.
+            if inject.dst == node:
+                inject.dst = (node + 1) % n_nodes
+            uid += 1
+        eject_capacity = rng.choice((1, 2))
+
+        ref_flits = [_clone(f) for f in flits]
+        ref_inject = _clone(inject) if inject is not None else None
+        expected = _reference_route_node(
+            node, ref_flits, ref_inject, topology, eject_capacity
+        )
+        got = route_node(node, flits, inject, topology, eject_capacity,
+                         out=scratch)
+        _assert_same_outcome(
+            f"case {case} node {node}", got, expected,
+            flits + ([inject] if inject else []),
+            ref_flits + ([ref_inject] if ref_inject else []),
+        )
+
+
+def test_optimized_router_matches_reference_on_torus():
+    rng = random.Random(0xC0FFEE)
+    _run_equivalence(FoldedTorusTopology(4, 4), rng, rounds=2000,
+                     reuse_scratch=False)
+
+
+def test_optimized_router_matches_reference_on_torus_with_scratch_reuse():
+    rng = random.Random(0xBEEF)
+    _run_equivalence(FoldedTorusTopology(3, 3), rng, rounds=2000,
+                     reuse_scratch=True)
+
+
+def test_optimized_router_matches_reference_on_mesh():
+    # Mesh corners/edges have fewer ports, exercising partial port masks.
+    rng = random.Random(42)
+    _run_equivalence(MeshTopology(4, 3), rng, rounds=2000,
+                     reuse_scratch=True)
+
+
+def test_scratch_reuse_is_equivalent_to_fresh_outcomes():
+    topo = FoldedTorusTopology(4, 4)
+    rng = random.Random(7)
+    scratch = RoutingOutcome()
+    uid = 0
+    for _ in range(500):
+        node = rng.randrange(topo.n_nodes)
+        flits, clones = [], []
+        for _ in range(rng.randrange(0, 5)):
+            flit = _random_flit(rng, topo.n_nodes, uid)
+            uid += 1
+            flits.append(flit)
+            clones.append(_clone(flit))
+        fresh = route_node(node, clones, None, topo)
+        reused = route_node(node, flits, None, topo, out=scratch)
+        assert [f.uid for f in reused.ejected] == [f.uid for f in fresh.ejected]
+        assert (
+            [f.uid if f else None for f in reused.outputs]
+            == [f.uid if f else None for f in fresh.outputs]
+        )
+        assert reused.deflections == fresh.deflections
+        assert reused.eject_overflow == fresh.eject_overflow

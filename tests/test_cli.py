@@ -33,3 +33,17 @@ def test_main_runs_simspeed(tmp_path, capsys):
     exit_code = main(["simspeed", "--out", str(tmp_path)])
     assert exit_code == 0
     assert "cycles/sec" in capsys.readouterr().out
+
+
+def test_parser_accepts_profile_flag():
+    args = build_parser().parse_args(["simspeed", "--profile"])
+    assert args.profile
+
+
+def test_main_profile_prints_hot_spots(tmp_path, capsys):
+    exit_code = main(["simspeed", "--out", str(tmp_path), "--profile"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "profile (top 20 by cumulative time)" in out
+    assert "cumtime" in out  # the pstats table actually rendered
+    assert "cycles/sec" in out  # the experiment itself still ran
