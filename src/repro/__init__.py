@@ -29,7 +29,11 @@ from repro.errors import (
 )
 from repro.system.config import SystemConfig
 from repro.system.medea import MedeaSystem
-from repro.system.presets import paper_sweep_configs, reference_config
+from repro.system.presets import (
+    mesh_sweep_configs,
+    paper_sweep_configs,
+    reference_config,
+)
 
 __version__ = "1.1.0"
 
@@ -42,6 +46,7 @@ __all__ = [
     "SimulationError",
     "SystemConfig",
     "__version__",
+    "mesh_sweep_configs",
     "paper_sweep_configs",
     "reference_config",
 ]

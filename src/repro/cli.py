@@ -6,6 +6,9 @@ Usage::
     python -m repro fig7 --full     # the paper's full 168-point sweep
     python -m repro all --jobs 8    # every experiment
     python -m repro compare         # hybrid vs sync-only vs pure-SM
+    python -m repro collectives     # collective x algorithm x model x mesh
+    python -m repro matmul          # tiled matmul (bcast + reduce)
+    python -m repro stream          # producer/consumer pipeline
 
 Reports are printed and saved under ``--out`` (default ``./results``);
 sweep points are cached there too, so derived figures (7, 9) reuse the
@@ -53,12 +56,10 @@ def build_parser() -> argparse.ArgumentParser:
 def run_experiment(
     name: str, full: bool | None, jobs: int | None, out: str
 ) -> str:
-    # full=None defers to the MEDEA_FULL environment variable.
-    runner = ALL_EXPERIMENTS[name]
-    if name in ("noc", "simspeed"):
-        report = runner(full=full)
-    else:
-        report = runner(full=full, jobs=jobs, cache_dir=out)
+    # full=None defers to the MEDEA_FULL environment variable.  Every
+    # experiment shares the (full, jobs, cache_dir) signature; inline
+    # experiments accept and ignore the sweep arguments.
+    report = ALL_EXPERIMENTS[name](full=full, jobs=jobs, cache_dir=out)
     path = report.save(out)
     return f"{report.text}\n[saved to {path}; wall {report.wall_seconds:.1f}s]\n"
 

@@ -18,9 +18,17 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.apps.collective_bench import (
+    COLLECTIVES,
+    CollectiveBenchParams,
+    run_collective_bench,
+)
 from repro.apps.jacobi.driver import JacobiParams, run_jacobi
+from repro.apps.matmul import MatmulParams, run_matmul
+from repro.apps.stream import StreamParams, run_stream
 from repro.apps.synthetic import latency_throughput_sweep
 from repro.dse.area import AreaModel
+from repro.system.presets import mesh_sweep_configs
 from repro.dse.pareto import FrontPoint, kill_rule_prune, pareto_front
 from repro.dse.report import ascii_plot, format_table
 from repro.dse.runner import SweepResult, run_sweep
@@ -386,12 +394,221 @@ def experiment_compare(
 
 
 # ---------------------------------------------------------------------------
+# Collectives and the collective-heavy workloads (matmul, stream)
+# ---------------------------------------------------------------------------
+
+
+def _assert_validated(label: str, ok: bool) -> None:
+    if not ok:
+        raise AssertionError(f"numerical validation failed for: {label}")
+
+
+def experiment_collectives(
+    full: bool | None = None,
+    jobs: int | None = None,
+    cache_dir: str | Path | None = None,
+) -> ExperimentReport:
+    """Cycles per collective op: algorithm x programming model x mesh size.
+
+    The per-collective generalization of the paper's barrier comparison:
+    broadcast / reduce / allreduce / scatter / gather, each timed over
+    the eMPI message path and the shared-memory MPMMU path.  Points are
+    seconds-scale, so the sweep runs inline (``jobs`` and ``cache_dir``
+    are accepted for CLI uniformity and ignored).
+    """
+    del jobs, cache_dir
+    started = time.perf_counter()
+    full = full_scale_requested() if full is None else full
+    workers = (2, 4, 8, 15) if full else (4, 8)
+    n_values = 16 if full else 8
+    repeats = 8 if full else 4
+    rows = []
+    series: dict[str, list[tuple[float, float]]] = {}
+    for config in mesh_sweep_configs(workers):
+        sm_bcast_cycles: float | None = None
+        for collective in COLLECTIVES:
+            # Scatter/gather are root-centric by definition: linear only.
+            algorithms = (
+                ("linear", "tree")
+                if collective in ("bcast", "reduce", "allreduce")
+                else ("linear",)
+            )
+            for algorithm in algorithms:
+                cycles = {}
+                for model in ("empi", "pure_sm"):
+                    if (collective == "bcast" and model == "pure_sm"
+                            and sm_bcast_cycles is not None):
+                        # The SM broadcast ignores the algorithm (the
+                        # MPMMU serializes all readers either way), so
+                        # the tree point would be a bit-identical rerun.
+                        cycles[model] = sm_bcast_cycles
+                    else:
+                        result = run_collective_bench(
+                            config,
+                            CollectiveBenchParams(
+                                collective=collective, model=model,
+                                algorithm=algorithm, n_values=n_values,
+                                repeats=repeats,
+                            ),
+                        )
+                        _assert_validated(
+                            f"{collective}/{algorithm}/{model}/"
+                            f"{config.n_workers}w",
+                            result.validated,
+                        )
+                        cycles[model] = result.cycles_per_op
+                        if collective == "bcast" and model == "pure_sm":
+                            sm_bcast_cycles = result.cycles_per_op
+                    series.setdefault(
+                        f"{collective}_{algorithm}_{model}", []
+                    ).append((config.n_workers, cycles[model]))
+                rows.append([
+                    collective, algorithm, config.n_workers,
+                    f"{cycles['empi']:.0f}", f"{cycles['pure_sm']:.0f}",
+                    f"{cycles['pure_sm'] / cycles['empi']:.2f}x",
+                ])
+    text = (
+        f"collectives: cycles per op, {n_values} doubles, mean of "
+        f"{repeats} reps\n"
+        + _scale_note(full, f"{len(workers)} mesh sizes")
+        + format_table(
+            ["collective", "algorithm", "workers", "empi", "pure_sm",
+             "sm/empi"],
+            rows,
+        )
+        + "\npaper context (Table 1 generalized): every SM column is "
+          "serialized MPMMU traffic; the hybrid column never touches it\n"
+    )
+    return ExperimentReport(
+        experiment="collectives", full_scale=full, text=text,
+        series=series, rows=rows,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def experiment_matmul(
+    full: bool | None = None,
+    jobs: int | None = None,
+    cache_dir: str | Path | None = None,
+) -> ExperimentReport:
+    """Tiled matmul: total and reduce-phase cycles per model/algorithm."""
+    del jobs, cache_dir
+    started = time.perf_counter()
+    full = full_scale_requested() if full is None else full
+    workers = (2, 4, 8, 15) if full else (2, 4)
+    n, tile = (12, 4) if full else (6, 2)
+    rows = []
+    series: dict[str, list[tuple[float, float]]] = {}
+    for config in mesh_sweep_configs(workers):
+        for algorithm in ("linear", "tree"):
+            totals = {}
+            reduces = {}
+            for model in ("empi", "pure_sm"):
+                result = run_matmul(
+                    config,
+                    MatmulParams(n=n, tile=tile, model=model,
+                                 algorithm=algorithm),
+                )
+                _assert_validated(
+                    f"matmul/{algorithm}/{model}/{config.n_workers}w",
+                    result.validated,
+                )
+                totals[model] = result.total_cycles
+                reduces[model] = result.reduce_cycles
+                series.setdefault(f"{model}_{algorithm}", []).append(
+                    (config.n_workers, result.total_cycles)
+                )
+            rows.append([
+                config.n_workers, algorithm,
+                totals["empi"], totals["pure_sm"],
+                f"{totals['pure_sm'] / totals['empi']:.2f}x",
+                reduces["empi"], reduces["pure_sm"],
+                f"{reduces['pure_sm'] / reduces['empi']:.2f}x",
+            ])
+    text = (
+        f"matmul: {n}x{n} tiled (tile={tile}), row broadcast + "
+        f"partial-sum reduce\n"
+        + _scale_note(full, f"{n}x{n}, {len(workers)} mesh sizes")
+        + format_table(
+            ["workers", "algorithm", "empi_total", "sm_total", "sm/empi",
+             "empi_reduce", "sm_reduce", "reduce sm/empi"],
+            rows,
+        )
+        + "\n"
+        + ascii_plot(
+            series, x_label="worker cores", y_label="total cycles",
+            title="matmul: execution time vs cores, by model/algorithm",
+        )
+    )
+    return ExperimentReport(
+        experiment="matmul", full_scale=full, text=text,
+        series=series, rows=rows,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def experiment_stream(
+    full: bool | None = None,
+    jobs: int | None = None,
+    cache_dir: str | Path | None = None,
+) -> ExperimentReport:
+    """Stream pipeline: cycles per block, TIE streams vs SM mailboxes."""
+    del jobs, cache_dir
+    started = time.perf_counter()
+    full = full_scale_requested() if full is None else full
+    workers = (2, 4, 8) if full else (2, 4)
+    n_blocks, block_values = (16, 16) if full else (4, 8)
+    rows = []
+    series: dict[str, list[tuple[float, float]]] = {}
+    for config in mesh_sweep_configs(workers):
+        cycles = {}
+        for model in ("empi", "pure_sm"):
+            result = run_stream(
+                config,
+                StreamParams(n_blocks=n_blocks, block_values=block_values,
+                             model=model),
+            )
+            _assert_validated(
+                f"stream/{model}/{config.n_workers}w", result.validated
+            )
+            cycles[model] = result.cycles_per_block
+            series.setdefault(model, []).append(
+                (config.n_workers, result.cycles_per_block)
+            )
+        rows.append([
+            config.n_workers,
+            f"{cycles['empi']:.0f}", f"{cycles['pure_sm']:.0f}",
+            f"{cycles['pure_sm'] / cycles['empi']:.2f}x",
+        ])
+    text = (
+        f"stream: {n_blocks} blocks of {block_values} doubles through a "
+        f"worker pipeline\n"
+        + _scale_note(full, f"{len(workers)} pipeline depths")
+        + format_table(
+            ["workers", "empi cyc/blk", "sm cyc/blk", "sm/empi"], rows
+        )
+        + "\npipeline depth = worker count; empi rides the TIE streams, "
+          "pure_sm polls shared-memory mailboxes through the MPMMU\n"
+    )
+    return ExperimentReport(
+        experiment="stream", full_scale=full, text=text,
+        series=series, rows=rows,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+# ---------------------------------------------------------------------------
 # NoC characterization + simulator speed
 # ---------------------------------------------------------------------------
 
 
-def experiment_noc(full: bool | None = None) -> ExperimentReport:
+def experiment_noc(
+    full: bool | None = None,
+    jobs: int | None = None,
+    cache_dir: str | Path | None = None,
+) -> ExperimentReport:
     """Deflection-routing latency/throughput and outlier behaviour."""
+    del jobs, cache_dir  # accepted for CLI uniformity; runs inline
     started = time.perf_counter()
     full = full_scale_requested() if full is None else full
     rates = (0.02, 0.05, 0.1, 0.2, 0.3, 0.45) if full else (0.05, 0.2, 0.45)
@@ -434,8 +651,13 @@ def experiment_noc(full: bool | None = None) -> ExperimentReport:
     )
 
 
-def experiment_simspeed(full: bool | None = None) -> ExperimentReport:
+def experiment_simspeed(
+    full: bool | None = None,
+    jobs: int | None = None,
+    cache_dir: str | Path | None = None,
+) -> ExperimentReport:
     """Simulator-throughput counterpart of the paper's 15x HDL-ISS claim."""
+    del jobs, cache_dir  # accepted for CLI uniformity; runs inline
     started = time.perf_counter()
     full = full_scale_requested() if full is None else full
     config = SystemConfig(n_workers=8, cache_size_kb=16)
@@ -486,6 +708,9 @@ ALL_EXPERIMENTS = {
     "fig8": experiment_fig8,
     "fig9": experiment_fig9,
     "compare": experiment_compare,
+    "collectives": experiment_collectives,
+    "matmul": experiment_matmul,
+    "stream": experiment_stream,
     "noc": experiment_noc,
     "simspeed": experiment_simspeed,
 }

@@ -1,0 +1,256 @@
+"""Collective communication: algorithms, references, and the backend facade.
+
+The paper's evaluation stops at barriers; its future-work section asks for
+"standard parallel benchmarks", and those live or die on collectives.
+This module gives MEDEA programs MPI-style collectives — broadcast,
+reduce, allreduce, scatter and gather — each runnable over **both**
+programming models:
+
+* the hybrid message-passing path (:class:`EmpiCollectives`, delegating
+  to the vector collectives on :class:`~repro.empi.runtime.Empi`): data
+  rides the TIE streams, synchronization rides single-flit request
+  tokens, and the MPMMU is never touched;
+* the pure shared-memory path
+  (:class:`~repro.empi.smsync.SharedMemoryCollectives`): every word is an
+  uncached MPMMU round trip and every phase is a shared-memory barrier —
+  the serialization cost the hybrid architecture exists to remove.
+
+Floating-point reduction is not associative, so each (algorithm, op)
+pair fixes one combine order and the pure-python reference functions here
+replicate it *exactly*.  Apps validate bit for bit against these
+references, never against a reordered numpy shortcut.
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+
+from repro.errors import ConfigError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pe.program import Program, ProgramContext
+
+
+class CollectiveAlgorithm(enum.Enum):
+    """How a rooted collective moves data between ranks.
+
+    * ``linear`` — the root exchanges with every other rank directly:
+      O(P) messages all touching the root, one hop of software latency;
+    * ``tree`` — a binomial tree: O(P) messages but only ceil(log2 P)
+      rounds on the critical path, the classic large-P win.
+
+    Scatter and gather are root-centric by definition (every payload
+    word starts or ends at the root), so they always run linear.
+    """
+
+    LINEAR = "linear"
+    TREE = "tree"
+
+    @classmethod
+    def parse(cls, value: "CollectiveAlgorithm | str") -> "CollectiveAlgorithm":
+        if isinstance(value, CollectiveAlgorithm):
+            return value
+        try:
+            return cls(value.lower())
+        except ValueError:
+            raise ConfigError(
+                f"unknown collective algorithm {value!r}; use 'linear' or 'tree'"
+            ) from None
+
+
+class ReduceOp(enum.Enum):
+    SUM = "sum"
+    MAX = "max"
+
+    @classmethod
+    def parse(cls, value: "ReduceOp | str") -> "ReduceOp":
+        if isinstance(value, ReduceOp):
+            return value
+        try:
+            return cls(value.lower())
+        except ValueError:
+            raise ConfigError(
+                f"unknown reduce op {value!r}; use 'sum' or 'max'"
+            ) from None
+
+
+class CommModel(enum.Enum):
+    """Which programming model carries the collectives."""
+
+    EMPI = "empi"
+    PURE_SM = "pure_sm"
+
+    @classmethod
+    def parse(cls, value: "CommModel | str") -> "CommModel":
+        if isinstance(value, CommModel):
+            return value
+        try:
+            return cls(value.lower())
+        except ValueError:
+            raise ConfigError(
+                f"unknown comm model {value!r}; use 'empi' or 'pure_sm'"
+            ) from None
+
+
+def combine_cost(cost, n_values: int, op: ReduceOp) -> int:
+    """Core cycles for one elementwise combine of ``n_values`` doubles.
+
+    Shared by both backends so their timing can never drift apart —
+    the hybrid-vs-SM comparison must charge identical FP work.
+    """
+    unit = cost.fp_add if op is ReduceOp.SUM else cost.fp_cmp
+    return n_values * unit + cost.loop_overhead
+
+
+def combine_values(
+    acc: list[float], other: list[float], op: ReduceOp | str
+) -> list[float]:
+    """Elementwise ``acc op other`` — the one combine everybody shares.
+
+    Both backends and both reference functions call exactly this, so a
+    reduction's bit pattern is fixed by its combine *order* alone.
+    """
+    op = ReduceOp.parse(op)
+    if len(acc) != len(other):
+        raise ConfigError(
+            f"reduce length mismatch: {len(acc)} vs {len(other)}"
+        )
+    if op is ReduceOp.SUM:
+        return [a + b for a, b in zip(acc, other)]
+    return [a if a >= b else b for a, b in zip(acc, other)]
+
+
+# ---------------------------------------------------------------------------
+# Pure-python references (exact combine orders)
+# ---------------------------------------------------------------------------
+
+
+def reference_reduce(
+    contributions: list[list[float]],
+    root: int,
+    op: ReduceOp | str = ReduceOp.SUM,
+    algorithm: CollectiveAlgorithm | str = CollectiveAlgorithm.LINEAR,
+) -> list[float]:
+    """The exact vector a machine reduce must deliver at ``root``.
+
+    ``linear``: the root combines contributions in ascending rank order
+    (its own in place).  ``tree``: the binomial recursion — at mask m,
+    every subtree root with relative rank ``rr`` (``rr & m == 0``)
+    absorbs the finished accumulator of relative rank ``rr | m``.
+    """
+    algorithm = CollectiveAlgorithm.parse(algorithm)
+    n = len(contributions)
+    if algorithm is CollectiveAlgorithm.LINEAR:
+        acc = list(contributions[0])
+        for rank in range(1, n):
+            acc = combine_values(acc, contributions[rank], op)
+        return acc
+    accs = [list(contributions[(rr + root) % n]) for rr in range(n)]
+    mask = 1
+    while mask < n:
+        for rr in range(n):
+            peer = rr | mask
+            if rr & mask == 0 and peer != rr and peer < n:
+                accs[rr] = combine_values(accs[rr], accs[peer], op)
+        mask <<= 1
+    return accs[0]
+
+
+def reference_allreduce(
+    contributions: list[list[float]],
+    op: ReduceOp | str = ReduceOp.SUM,
+    algorithm: CollectiveAlgorithm | str = CollectiveAlgorithm.LINEAR,
+) -> list[float]:
+    """Allreduce = reduce at rank 0 + broadcast; same vector everywhere."""
+    return reference_reduce(contributions, 0, op, algorithm)
+
+
+# ---------------------------------------------------------------------------
+# The backend facade
+# ---------------------------------------------------------------------------
+
+
+class EmpiCollectives:
+    """Message-passing backend: collectives over TIE streams and tokens.
+
+    A thin adapter presenting the shared collective interface (``barrier``
+    / ``bcast`` / ``reduce`` / ``allreduce`` / ``scatter`` / ``gather``)
+    on top of :class:`~repro.empi.runtime.Empi`, with the algorithm
+    chosen once at construction — the sweep axis the DSE harness turns.
+    """
+
+    model = CommModel.EMPI
+
+    def __init__(
+        self,
+        ctx: "ProgramContext",
+        algorithm: CollectiveAlgorithm | str = CollectiveAlgorithm.LINEAR,
+    ) -> None:
+        if ctx.empi is None:
+            raise ConfigError("context has no eMPI endpoint bound")
+        self.ctx = ctx
+        self.empi = ctx.empi
+        self.algorithm = CollectiveAlgorithm.parse(algorithm)
+
+    def barrier(self) -> "Program":
+        yield from self.empi.barrier()
+
+    def bcast(self, root: int, values: list[float] | None,
+              n_values: int) -> "Program":
+        result = yield from self.empi.bcast_doubles(
+            root, values, n_values, algorithm=self.algorithm
+        )
+        return result
+
+    def reduce(self, root: int, values: list[float],
+               op: ReduceOp | str = ReduceOp.SUM) -> "Program":
+        result = yield from self.empi.reduce_doubles(
+            root, values, op=op, algorithm=self.algorithm
+        )
+        return result
+
+    def allreduce(self, values: list[float],
+                  op: ReduceOp | str = ReduceOp.SUM) -> "Program":
+        result = yield from self.empi.allreduce_doubles(
+            values, op=op, algorithm=self.algorithm
+        )
+        return result
+
+    def scatter(self, root: int, chunks: list[list[float]] | None,
+                n_values: int) -> "Program":
+        result = yield from self.empi.scatter_doubles(root, chunks, n_values)
+        return result
+
+    def gather(self, root: int, values: list[float]) -> "Program":
+        result = yield from self.empi.gather_doubles(root, values)
+        return result
+
+
+def make_comm(
+    ctx: "ProgramContext",
+    model: CommModel | str,
+    algorithm: CollectiveAlgorithm | str = CollectiveAlgorithm.LINEAR,
+    base_addr: int | None = None,
+    max_values: int = 64,
+    poll_backoff: int = 24,
+):
+    """Build the collective backend for one rank's program.
+
+    ``empi`` ignores the shared-memory arguments; ``pure_sm`` carves its
+    slot arena at ``base_addr`` (default: the bottom of the shared
+    segment) sized for vectors of up to ``max_values`` doubles.  Returns
+    an object with the common collective interface.
+    """
+    model = CommModel.parse(model)
+    if model is CommModel.EMPI:
+        return EmpiCollectives(ctx, algorithm)
+    from repro.empi.smsync import SharedMemoryCollectives
+
+    return SharedMemoryCollectives(
+        ctx,
+        base_addr=base_addr,
+        max_values=max_values,
+        algorithm=algorithm,
+        poll_backoff=poll_backoff,
+    )

@@ -22,6 +22,12 @@ from __future__ import annotations
 import enum
 import typing
 
+from repro.empi.collectives import (
+    CollectiveAlgorithm,
+    ReduceOp,
+    combine_cost,
+    combine_values,
+)
 from repro.errors import ProgramError
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -159,7 +165,172 @@ class Empi:
             distance <<= 1
             round_index += 1
 
-    # -- collectives built on the primitives ----------------------------------------------
+    # -- vector collectives ----------------------------------------------------------------
+
+    def _combine_cost(self, n_values: int, op: ReduceOp) -> int:
+        return combine_cost(self.ctx.cost, n_values, op)
+
+    def bcast_doubles(
+        self,
+        root: int,
+        values: list[float] | None,
+        n_values: int,
+        algorithm: CollectiveAlgorithm | str = CollectiveAlgorithm.LINEAR,
+    ) -> "Program":
+        """MPI_bcast: every rank returns the root's ``n_values`` doubles.
+
+        ``linear`` has the root stream to each rank in ascending order;
+        ``tree`` runs the binomial broadcast (each holder forwards down
+        its subtree, largest subtree first), ceil(log2 P) token rounds on
+        the critical path.
+        """
+        algorithm = CollectiveAlgorithm.parse(algorithm)
+        ctx = self.ctx
+        n = ctx.n_workers
+        if ctx.rank == root:
+            if values is None or len(values) != n_values:
+                raise ProgramError("broadcast root must supply the payload")
+        if n == 1:
+            return list(values)  # type: ignore[arg-type]
+        if algorithm is CollectiveAlgorithm.LINEAR:
+            if ctx.rank == root:
+                for rank in range(n):
+                    if rank != root:
+                        yield from self.send_doubles(rank, values)
+                return list(values)
+            received = yield from self.recv_doubles(root, n_values)
+            return received
+        # Binomial tree over relative ranks (root -> relative 0).
+        relative = (ctx.rank - root) % n
+        if relative == 0:
+            data = list(values)  # type: ignore[arg-type]
+            mask = 1
+            while mask < n:
+                mask <<= 1
+        else:
+            mask = 1
+            while not relative & mask:
+                mask <<= 1
+            # mask is the lowest set bit: the parent cleared it.
+            parent = ((relative - mask) + root) % n
+            data = yield from self.recv_doubles(parent, n_values)
+        # Forward down the subtree, largest half first; every mask below
+        # the receive bit is clear in ``relative``, so relative + mask is
+        # always a descendant.
+        mask >>= 1
+        while mask:
+            child = relative + mask
+            if child < n:
+                yield from self.send_doubles((child + root) % n, data)
+            mask >>= 1
+        return data
+
+    def reduce_doubles(
+        self,
+        root: int,
+        values: list[float],
+        op: ReduceOp | str = ReduceOp.SUM,
+        algorithm: CollectiveAlgorithm | str = CollectiveAlgorithm.LINEAR,
+    ) -> "Program":
+        """MPI_reduce: elementwise ``op`` of every rank's vector, at root.
+
+        Returns the combined vector at ``root`` and ``None`` elsewhere.
+        The combine order is exactly the one
+        :func:`~repro.empi.collectives.reference_reduce` replicates, so
+        results validate bit for bit.
+        """
+        op = ReduceOp.parse(op)
+        algorithm = CollectiveAlgorithm.parse(algorithm)
+        ctx = self.ctx
+        n = ctx.n_workers
+        n_values = len(values)
+        if n == 1:
+            return list(values)
+        if algorithm is CollectiveAlgorithm.LINEAR:
+            if ctx.rank != root:
+                yield from self.send_doubles(root, values)
+                return None
+            acc: list[float] | None = None
+            for rank in range(n):
+                if rank == root:
+                    contrib = list(values)
+                else:
+                    contrib = yield from self.recv_doubles(rank, n_values)
+                if acc is None:
+                    acc = contrib
+                else:
+                    acc = combine_values(acc, contrib, op)
+                    yield ("compute", self._combine_cost(n_values, op))
+            return acc
+        # Binomial tree: at mask m every subtree root absorbs peer rr|m.
+        relative = (ctx.rank - root) % n
+        acc = list(values)
+        mask = 1
+        while mask < n:
+            if relative & mask:
+                parent = ((relative - mask) + root) % n
+                yield from self.send_doubles(parent, acc)
+                return None
+            peer = relative | mask
+            if peer != relative and peer < n:
+                other = yield from self.recv_doubles((peer + root) % n, n_values)
+                acc = combine_values(acc, other, op)
+                yield ("compute", self._combine_cost(n_values, op))
+            mask <<= 1
+        return acc
+
+    def allreduce_doubles(
+        self,
+        values: list[float],
+        op: ReduceOp | str = ReduceOp.SUM,
+        algorithm: CollectiveAlgorithm | str = CollectiveAlgorithm.LINEAR,
+    ) -> "Program":
+        """MPI_allreduce: reduce at rank 0, then broadcast the result."""
+        n_values = len(values)
+        reduced = yield from self.reduce_doubles(0, values, op, algorithm)
+        result = yield from self.bcast_doubles(0, reduced, n_values, algorithm)
+        return result
+
+    def scatter_doubles(
+        self,
+        root: int,
+        chunks: list[list[float]] | None,
+        n_values: int,
+    ) -> "Program":
+        """MPI_scatter: rank r returns the root's ``chunks[r]``.
+
+        Root-centric by definition, so always linear (see
+        :class:`~repro.empi.collectives.CollectiveAlgorithm`).
+        """
+        ctx = self.ctx
+        n = ctx.n_workers
+        if ctx.rank == root:
+            if chunks is None or len(chunks) != n:
+                raise ProgramError("scatter root must supply one chunk per rank")
+            if any(len(chunk) != n_values for chunk in chunks):
+                raise ProgramError(f"scatter chunks must hold {n_values} values")
+            for rank in range(n):
+                if rank != root:
+                    yield from self.send_doubles(rank, chunks[rank])
+            return list(chunks[root])
+        received = yield from self.recv_doubles(root, n_values)
+        return received
+
+    def gather_doubles(self, root: int, values: list[float]) -> "Program":
+        """MPI_gather: root returns every rank's vector, in rank order."""
+        ctx = self.ctx
+        n = ctx.n_workers
+        if ctx.rank != root:
+            yield from self.send_doubles(root, values)
+            return None
+        gathered: list[list[float] | None] = [None] * n
+        gathered[root] = list(values)
+        for rank in range(n):
+            if rank != root:
+                gathered[rank] = yield from self.recv_doubles(rank, len(values))
+        return gathered
+
+    # -- legacy scalar collectives ---------------------------------------------------------
 
     def broadcast_doubles(self, root: int, values: list[float] | None,
                           n_values: int) -> "Program":

@@ -12,10 +12,22 @@ from __future__ import annotations
 
 import typing
 
+from repro.empi.collectives import (
+    CollectiveAlgorithm,
+    CommModel,
+    ReduceOp,
+    combine_cost,
+    combine_values,
+)
 from repro.errors import ProgramError
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.pe.program import Program, ProgramContext
+
+
+def _lines(n_bytes: int) -> int:
+    """Round a byte count up to whole 16-byte cache lines."""
+    return (n_bytes + 15) & ~15
 
 
 class SharedMemoryLock:
@@ -95,3 +107,305 @@ class SharedMemoryBarrier:
             if flag == my_sense:
                 return
             yield ("compute", self.poll_backoff)
+
+
+class SharedMemoryCollectives:
+    """Collectives over the MPMMU: the pure-SM baseline's answer to eMPI.
+
+    Layout (all in the shared segment, uncacheably accessed):
+
+    * a :class:`SharedMemoryBarrier` at ``base_addr``;
+    * one payload slot per rank, each ``max_values`` doubles rounded to
+      whole cache lines, so no slot shares a line with another writer.
+
+    Every payload word is an uncached MPMMU round trip and every phase
+    boundary is a full shared-memory barrier — the serialization the
+    paper's Section III charges against the pure-SM model, now measurable
+    per collective.  Combine orders match the message-passing backend
+    exactly (``linear``: root reads slots in ascending rank order;
+    ``tree``: binomial rounds where the parent absorbs the peer's slot),
+    so a program's numerical result is identical under either backend.
+    """
+
+    model = CommModel.PURE_SM
+
+    def __init__(
+        self,
+        ctx: "ProgramContext",
+        base_addr: int | None = None,
+        max_values: int = 64,
+        algorithm: CollectiveAlgorithm | str = CollectiveAlgorithm.LINEAR,
+        n_workers: int | None = None,
+        poll_backoff: int = 24,
+    ) -> None:
+        if max_values < 1:
+            raise ProgramError("collective arena needs at least one value slot")
+        base = ctx.shared_base if base_addr is None else base_addr
+        if not ctx.map.is_shared(base):
+            raise ProgramError(
+                f"collective arena {base:#x} must live in the shared segment"
+            )
+        self.ctx = ctx
+        self.algorithm = CollectiveAlgorithm.parse(algorithm)
+        self.n_workers = n_workers if n_workers is not None else ctx.n_workers
+        self.max_values = max_values
+        self.barrier_state = SharedMemoryBarrier(
+            ctx, base, n_workers=self.n_workers, poll_backoff=poll_backoff
+        )
+        self.slot_stride = _lines(max_values * 8)
+        self.slot_base = base + SharedMemoryBarrier.FOOTPRINT
+        #: Total shared bytes this arena occupies (for callers placing
+        #: their own data after it).
+        self.footprint = (
+            SharedMemoryBarrier.FOOTPRINT + self.n_workers * self.slot_stride
+        )
+
+    def _slot(self, index: int) -> int:
+        return self.slot_base + index * self.slot_stride
+
+    # -- slot plumbing ------------------------------------------------------
+
+    def _write_slot(self, index: int, values: list[float]) -> "Program":
+        """Uncached-store a vector into a slot and drain it to memory."""
+        if len(values) > self.max_values:
+            raise ProgramError(
+                f"vector of {len(values)} exceeds arena slots "
+                f"({self.max_values} values)"
+            )
+        addr = self._slot(index)
+        for offset, value in enumerate(values):
+            yield from self.ctx.uncached_store_double(addr + 8 * offset, value)
+        yield ("fence",)
+
+    def _read_slot(self, index: int, n_values: int) -> "Program":
+        addr = self._slot(index)
+        values = []
+        for offset in range(n_values):
+            value = yield from self.ctx.uncached_load_double(addr + 8 * offset)
+            values.append(value)
+        return values
+
+    def _combine_cost(self, n_values: int, op: ReduceOp) -> int:
+        return combine_cost(self.ctx.cost, n_values, op)
+
+    # -- the collective interface (mirrors EmpiCollectives) -----------------
+
+    def barrier(self) -> "Program":
+        yield from self.barrier_state.wait()
+
+    def bcast(self, root: int, values: list[float] | None,
+              n_values: int) -> "Program":
+        """Root publishes its slot; everyone reads it back uncached.
+
+        The MPMMU serializes all readers whatever the software does, so
+        there is a single sensible SM broadcast and the configured
+        algorithm does not change the traffic pattern.
+        """
+        ctx = self.ctx
+        if ctx.rank == root:
+            if values is None or len(values) != n_values:
+                raise ProgramError("broadcast root must supply the payload")
+            if self.n_workers == 1:
+                return list(values)
+            yield from self._write_slot(root, values)
+            yield from self.barrier()
+            result = list(values)
+        else:
+            yield from self.barrier()
+            result = yield from self._read_slot(root, n_values)
+        # Root may not reuse the arena until every rank has read it.
+        yield from self.barrier()
+        return result
+
+    def reduce(self, root: int, values: list[float],
+               op: ReduceOp | str = ReduceOp.SUM) -> "Program":
+        op = ReduceOp.parse(op)
+        n = self.n_workers
+        if n == 1:
+            return list(values)
+        if self.algorithm is CollectiveAlgorithm.LINEAR:
+            result = yield from self._reduce_linear(root, values, op)
+        else:
+            result = yield from self._reduce_tree(root, values, op)
+        yield from self.barrier()
+        return result
+
+    def _reduce_linear(self, root: int, values: list[float],
+                       op: ReduceOp) -> "Program":
+        """Everyone publishes; the root combines in ascending rank order."""
+        ctx = self.ctx
+        n_values = len(values)
+        yield from self._write_slot(ctx.rank, values)
+        yield from self.barrier()
+        if ctx.rank != root:
+            return None
+        acc: list[float] | None = None
+        for rank in range(self.n_workers):
+            if rank == ctx.rank:
+                contrib = list(values)
+            else:
+                contrib = yield from self._read_slot(rank, n_values)
+            if acc is None:
+                acc = contrib
+            else:
+                acc = combine_values(acc, contrib, op)
+                yield ("compute", self._combine_cost(n_values, op))
+        return acc
+
+    def _reduce_tree(self, root: int, values: list[float],
+                     op: ReduceOp) -> "Program":
+        """Binomial rounds: parents absorb their peer's slot each round.
+
+        Slots are indexed by *relative* rank so the tree arithmetic
+        matches the message-passing backend bit for bit; a barrier
+        separates rounds (a parent may only read a slot its child has
+        finished updating).
+        """
+        ctx = self.ctx
+        n = self.n_workers
+        n_values = len(values)
+        relative = (ctx.rank - root) % n
+        yield from self._write_slot(relative, values)
+        acc = list(values)
+        done = False
+        mask = 1
+        while mask < n:
+            yield from self.barrier()
+            if not done:
+                if relative & mask:
+                    # Our accumulator is final; the parent reads our slot.
+                    done = True
+                else:
+                    peer = relative | mask
+                    if peer != relative and peer < n:
+                        other = yield from self._read_slot(peer, n_values)
+                        acc = combine_values(acc, other, op)
+                        yield ("compute", self._combine_cost(n_values, op))
+                        yield from self._write_slot(relative, acc)
+            mask <<= 1
+        yield from self.barrier()
+        return acc if ctx.rank == root else None
+
+    def allreduce(self, values: list[float],
+                  op: ReduceOp | str = ReduceOp.SUM) -> "Program":
+        reduced = yield from self.reduce(0, values, op)
+        if self.ctx.rank == 0:
+            result = yield from self.bcast(0, reduced, len(values))
+        else:
+            result = yield from self.bcast(0, None, len(values))
+        return result
+
+    def scatter(self, root: int, chunks: list[list[float]] | None,
+                n_values: int) -> "Program":
+        ctx = self.ctx
+        n = self.n_workers
+        if ctx.rank == root:
+            if chunks is None or len(chunks) != n:
+                raise ProgramError("scatter root must supply one chunk per rank")
+            if any(len(chunk) != n_values for chunk in chunks):
+                raise ProgramError(f"scatter chunks must hold {n_values} values")
+            if n == 1:
+                return list(chunks[root])
+            for rank in range(n):
+                if rank != root:
+                    yield from self._write_slot(rank, chunks[rank])
+            yield from self.barrier()
+            result = list(chunks[root])
+        else:
+            yield from self.barrier()
+            result = yield from self._read_slot(ctx.rank, n_values)
+        yield from self.barrier()
+        return result
+
+    def gather(self, root: int, values: list[float]) -> "Program":
+        ctx = self.ctx
+        n = self.n_workers
+        if n == 1:
+            return [list(values)]
+        yield from self._write_slot(ctx.rank, values)
+        yield from self.barrier()
+        result = None
+        if ctx.rank == root:
+            gathered: list[list[float] | None] = [None] * n
+            gathered[root] = list(values)
+            for rank in range(n):
+                if rank != root:
+                    gathered[rank] = yield from self._read_slot(rank, len(values))
+            result = gathered
+        yield from self.barrier()
+        return result
+
+
+class SharedMemoryChannel:
+    """Single-slot producer/consumer mailbox in shared memory.
+
+    One flag word plus a payload area, on separate cache lines.  The
+    producer polls the flag EMPTY, uncached-stores the payload, fences
+    (the paper's producer obligation: data must be globally visible
+    before the flag flips), then raises the flag; the consumer polls
+    FULL, reads the payload and lowers the flag.  Every poll is a
+    complete MPMMU round trip — the streaming counterpart of the
+    spin-barrier cost, and the SM baseline the TIE streams beat.
+    """
+
+    EMPTY = 0
+    FULL = 1
+
+    def __init__(
+        self,
+        ctx: "ProgramContext",
+        base_addr: int,
+        capacity_values: int,
+        poll_backoff: int = 24,
+    ) -> None:
+        if not ctx.map.is_shared(base_addr):
+            raise ProgramError(
+                f"channel state {base_addr:#x} must live in the shared segment"
+            )
+        if capacity_values < 1:
+            raise ProgramError("channel capacity must be >= 1 value")
+        self.ctx = ctx
+        self.flag_addr = base_addr
+        self.data_addr = base_addr + 16
+        self.capacity_values = capacity_values
+        self.poll_backoff = poll_backoff
+        self.footprint = self.footprint_for(capacity_values)
+
+    @staticmethod
+    def footprint_for(capacity_values: int) -> int:
+        """Shared bytes one channel occupies (for layout planning)."""
+        return 16 + _lines(capacity_values * 8)
+
+    def _await_flag(self, wanted: int) -> "Program":
+        while True:
+            flag = yield ("uload", self.flag_addr)
+            if flag == wanted:
+                return
+            yield ("compute", self.poll_backoff)
+
+    def send(self, values: list[float]) -> "Program":
+        if len(values) > self.capacity_values:
+            raise ProgramError(
+                f"message of {len(values)} exceeds channel capacity "
+                f"({self.capacity_values} values)"
+            )
+        yield from self._await_flag(self.EMPTY)
+        for offset, value in enumerate(values):
+            yield from self.ctx.uncached_store_double(
+                self.data_addr + 8 * offset, value
+            )
+        yield ("fence",)
+        yield ("ustore", self.flag_addr, self.FULL)
+        yield ("fence",)
+
+    def recv(self, n_values: int) -> "Program":
+        yield from self._await_flag(self.FULL)
+        values = []
+        for offset in range(n_values):
+            value = yield from self.ctx.uncached_load_double(
+                self.data_addr + 8 * offset
+            )
+            values.append(value)
+        yield ("ustore", self.flag_addr, self.EMPTY)
+        yield ("fence",)
+        return values

@@ -24,10 +24,10 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from collections.abc import Callable, Generator
+from collections.abc import Generator
 
 from repro.bridge.arbiter import NocAccessArbiter
-from repro.bridge.pif import BLOCK_WORDS, MemTransaction
+from repro.bridge.pif import MemTransaction
 from repro.bridge.pif2noc import Pif2NocBridge
 from repro.cache.l1 import L1Cache, WritePolicy
 from repro.cache.writebuffer import WriteBuffer
@@ -603,6 +603,7 @@ class ProcessorNode(Component):
         Called on every transition to sleep and before any external stats
         read (``MedeaSystem.collect_stats``), so observers see exact values.
         """
+        self.tie.flush_stats()
         inc = self.stats.inc
         if self._n_compute:
             inc("ops_compute", self._n_compute)

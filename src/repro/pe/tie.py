@@ -150,6 +150,12 @@ class TieInterface:
         self.stats = CounterSet(f"tie[{node_id}]")
         #: Set when a flit arrives; the node uses it to re-check waiters.
         self.rx_event = False
+        # Per-flit hot counters, batched as plain ints and folded into the
+        # CounterSet by flush_stats() whenever the owning node sleeps —
+        # the same pattern as the core/MPMMU counters.
+        self._n_data_flits_sent = 0
+        self._n_data_flits_received = 0
+        self._n_credit_stall_cycles = 0
 
     # -- RX ------------------------------------------------------------------
 
@@ -173,7 +179,7 @@ class TieInterface:
             stream = ReceiveStream()
             self.streams[flit.src] = stream
         stream.insert(flit.seq, flit.data)
-        self.stats.inc("data_flits_received")
+        self._n_data_flits_received += 1
         # Flow control: one credit per CREDIT_WINDOW contiguous slots.
         while stream.lowest_missing >= stream.credited_upto + CREDIT_WINDOW:
             stream.credited_upto += CREDIT_WINDOW
@@ -241,7 +247,7 @@ class TieInterface:
         # Credit gate: never exceed the peer-confirmed window.
         limit = self._credit_limit.get(self.tx.dst_node, CREDIT_LIMIT)
         if self.tx.current_slot() >= limit:
-            self.stats.inc("credit_stall_cycles")
+            self._n_credit_stall_cycles += 1
             return None
         return self.tx.current()
 
@@ -267,8 +273,25 @@ class TieInterface:
         """Mark the current flit accepted; True when the message finished."""
         assert self.tx is not None
         self.tx.index += 1
-        self.stats.inc("data_flits_sent")
+        self._n_data_flits_sent += 1
         if self.tx.done:
             self.tx = None
             return True
         return False
+
+    def flush_stats(self) -> None:
+        """Fold the batched per-flit counters into the CounterSet.
+
+        The owning node calls this from its own stats flush (every
+        transition to sleep and before any external stats read), so
+        observers always see exact values.
+        """
+        if self._n_data_flits_sent:
+            self.stats.inc("data_flits_sent", self._n_data_flits_sent)
+            self._n_data_flits_sent = 0
+        if self._n_data_flits_received:
+            self.stats.inc("data_flits_received", self._n_data_flits_received)
+            self._n_data_flits_received = 0
+        if self._n_credit_stall_cycles:
+            self.stats.inc("credit_stall_cycles", self._n_credit_stall_cycles)
+            self._n_credit_stall_cycles = 0

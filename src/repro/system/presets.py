@@ -16,6 +16,23 @@ def reference_config(**overrides: object) -> SystemConfig:
     return config
 
 
+def mesh_sweep_configs(
+    workers: tuple[int, ...] | None = None,
+    base: SystemConfig | None = None,
+) -> Iterator[SystemConfig]:
+    """Reference machines across mesh sizes (worker counts only).
+
+    The axis the collective and workload sweeps turn: everything stays at
+    the Section II reference point except the worker count (the NoC grid
+    grows with it automatically).
+    """
+    if workers is None:
+        workers = tuple(range(2, 16))
+    template = base if base is not None else SystemConfig()
+    for n_workers in workers:
+        yield template.with_changes(n_workers=n_workers)
+
+
 def paper_sweep_configs(
     workers: tuple[int, ...] | None = None,
     cache_sizes_kb: tuple[int, ...] | None = None,

@@ -1,0 +1,66 @@
+"""Pipelined stream kernel: exact results, real pipelining, both models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.stream import StreamParams, reference_stream, run_stream
+from repro.errors import ConfigError
+from repro.system.config import SystemConfig
+
+
+def config_for(n_workers: int) -> SystemConfig:
+    return SystemConfig(n_workers=n_workers, cache_size_kb=4)
+
+
+@pytest.mark.parametrize("model", ["empi", "pure_sm"])
+@pytest.mark.parametrize("algorithm", ["linear", "tree"])
+def test_stream_validates_bit_for_bit(model, algorithm):
+    result = run_stream(
+        config_for(3),
+        StreamParams(n_blocks=4, block_values=4, model=model,
+                     algorithm=algorithm),
+    )
+    assert result.validated
+    assert result.total == result.expected_total
+    assert result.checksum == result.expected_checksum
+
+
+def test_single_worker_degenerates_cleanly():
+    result = run_stream(config_for(1), StreamParams(n_blocks=3, block_values=4))
+    assert result.validated
+    # One stage: the consumer checksum is the only stage sum.
+    total, checksum = reference_stream(result.params, 1)
+    assert result.total == total == checksum
+
+
+def test_deeper_pipeline_still_validates():
+    result = run_stream(config_for(5), StreamParams(n_blocks=4, block_values=4))
+    assert result.validated
+
+
+def test_pipeline_actually_overlaps():
+    """Doubling the block count must cost much less than double the
+    fill+drain latency: stages work concurrently."""
+    short = run_stream(config_for(3), StreamParams(n_blocks=2, block_values=8))
+    long = run_stream(config_for(3), StreamParams(n_blocks=8, block_values=8))
+    assert short.validated and long.validated
+    # 4x the blocks; a non-pipelined implementation would take ~4x the
+    # cycles. Allow generous slack while still proving overlap.
+    assert long.pipeline_cycles < 3.0 * short.pipeline_cycles
+
+
+def test_hybrid_beats_pure_sm_streaming():
+    empi = run_stream(config_for(3), StreamParams(model="empi"))
+    sm = run_stream(config_for(3), StreamParams(model="pure_sm"))
+    assert empi.validated and sm.validated
+    assert empi.pipeline_cycles < sm.pipeline_cycles
+
+
+def test_params_validation():
+    with pytest.raises(ConfigError):
+        StreamParams(n_blocks=0)
+    with pytest.raises(ConfigError):
+        StreamParams(block_values=0)
+    with pytest.raises(ConfigError):
+        StreamParams(model="tcp")

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bridge.arbiter import ArbiterMode, NocAccessArbiter, TrafficClass
+from repro.bridge.arbiter import ArbiterMode, NocAccessArbiter
 from repro.errors import ConfigError
 from repro.kernel.simulator import Simulator
 from repro.noc.flit import Flit

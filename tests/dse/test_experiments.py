@@ -8,8 +8,11 @@ from repro.apps.jacobi.driver import JacobiParams
 from repro.dse.experiments import (
     ALL_EXPERIMENTS,
     execution_time_experiment,
+    experiment_collectives,
+    experiment_matmul,
     experiment_noc,
     experiment_simspeed,
+    experiment_stream,
     full_scale_requested,
     speedup_area_experiment,
 )
@@ -21,7 +24,18 @@ from repro.dse.space import SweepSpec
 def test_registry_covers_every_artifact():
     assert set(ALL_EXPERIMENTS) == {
         "fig6", "fig7", "fig8", "fig9", "compare", "noc", "simspeed",
+        "collectives", "matmul", "stream",
     }
+
+
+def test_every_experiment_shares_the_cli_signature():
+    """The CLI calls every runner as f(full, jobs, cache_dir)."""
+    import inspect
+
+    for name, runner in ALL_EXPERIMENTS.items():
+        parameters = inspect.signature(runner).parameters
+        for arg in ("full", "jobs", "cache_dir"):
+            assert arg in parameters, f"{name} lacks {arg}"
 
 
 def test_full_scale_env(monkeypatch):
@@ -76,6 +90,28 @@ def test_simspeed_reports_throughput():
     report = experiment_simspeed(full=False)
     assert "cycles/sec" in report.text
     assert report.rows[0][2] > 0
+
+
+def test_collectives_experiment_quick():
+    report = experiment_collectives(full=False)
+    assert "sm/empi" in report.text
+    # Every collective appears, and every SM point costs more than eMPI
+    # (the paper's headline claim, per collective).
+    names = {row[0] for row in report.rows}
+    assert names == {"bcast", "reduce", "allreduce", "scatter", "gather"}
+    assert all(float(row[-1][:-1]) > 1.0 for row in report.rows)
+
+
+def test_matmul_experiment_quick():
+    report = experiment_matmul(full=False)
+    assert "reduce sm/empi" in report.text
+    assert {row[1] for row in report.rows} == {"linear", "tree"}
+
+
+def test_stream_experiment_quick():
+    report = experiment_stream(full=False)
+    assert "cyc/blk" in report.text
+    assert len(report.series["empi"]) == len(report.series["pure_sm"]) == 2
 
 
 def test_validation_failure_aborts(tmp_path):

@@ -46,6 +46,6 @@ def test_ascii_plot_single_point():
 def test_ascii_plot_extremes_at_edges():
     series = {"s": [(0.0, 0.0), (10.0, 10.0)]}
     text = ascii_plot(series, width=11, height=5, title="T")
-    lines = [l for l in text.splitlines() if l.startswith("|")]
+    lines = [row for row in text.splitlines() if row.startswith("|")]
     assert lines[0].rstrip().endswith("o")   # max lands top-right
     assert lines[-1][1] == "o"               # min lands bottom-left

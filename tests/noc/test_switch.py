@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.noc.coords import EAST, NORTH, SOUTH, WEST
+from repro.noc.coords import EAST
 from repro.noc.flit import Flit
 from repro.noc.packet import PacketType
 from repro.noc.switch import route_node

@@ -264,3 +264,38 @@ def test_request_flit_shape():
 
 def test_max_span_is_two_windows():
     assert MAX_SPAN == 2 * SEQ_WINDOW
+
+
+def test_per_flit_counters_batch_until_flush():
+    """The hot per-flit counters live in plain ints between flushes and
+    fold into the CounterSet exactly (the core/MPMMU batching pattern)."""
+    tie = TieInterface(node_id=0)
+    tie.begin_send(1, [1, 2, 3])
+    tie.tx_advance()
+    tie.tx_advance()
+    tie.tx_advance()
+    for seq in range(4):
+        tie.accept(data_flit(src=2, seq=seq, word=seq))
+    assert tie.stats.get("data_flits_sent", 0) == 0
+    assert tie.stats.get("data_flits_received", 0) == 0
+    tie.flush_stats()
+    assert tie.stats["data_flits_sent"] == 3
+    assert tie.stats["data_flits_received"] == 4
+    # A second flush must not double-count.
+    tie.flush_stats()
+    assert tie.stats["data_flits_sent"] == 3
+
+
+def test_credit_stall_cycles_batch_until_flush():
+    from repro.pe.tie import CREDIT_LIMIT
+
+    tie = TieInterface(node_id=0)
+    tie.begin_send(1, list(range(CREDIT_LIMIT + 4)))
+    sent = 0
+    while tie.tx_current() is not None:
+        tie.tx_advance()
+        sent += 1
+    assert sent == CREDIT_LIMIT  # stalled at the credit gate
+    assert tie.tx_current() is None  # one more stalled cycle
+    tie.flush_stats()
+    assert tie.stats["credit_stall_cycles"] == 2
