@@ -11,6 +11,12 @@ Two guards for future PRs, cheap enough to never be skipped:
   host), so an accidental O(n) regression in a per-cycle loop is caught
   without making CI flaky on absolute cycles/sec.
 
+The workload set covers both traffic shapes: the Jacobi kernels guard
+the memory system (cache/bridge/MPMMU path) and the collective workload
+guards the communication layer (TIE streams, request tokens, the
+arbiter's message class), so a comm-layer timing regression is caught
+exactly like a kernel one.
+
 Needs no pytest plugins: plain ``pytest benchmarks/bench_smoke.py``.
 """
 
@@ -18,31 +24,59 @@ from __future__ import annotations
 
 import json
 import time
+from functools import partial
 from pathlib import Path
 
 import pytest
 
+from repro.apps.collective_bench import (
+    CollectiveBenchParams,
+    run_collective_bench,
+)
 from repro.apps.jacobi.driver import JacobiParams, run_jacobi
 from repro.system.config import SystemConfig
 
 BENCH_FILE = Path(__file__).parent.parent / "BENCH_simspeed.json"
 
-#: (config, params, wall-time ceiling in seconds) per committed workload.
+#: (runner, wall-time ceiling in seconds) per committed workload.  Each
+#: runner returns a result with ``validated``, ``total_cycles`` and —
+#: where meaningful — ``iteration_cycles``/``op_cycles``, which are
+#: checked against the golden file when committed there.
 SMOKE_WORKLOADS = {
     "reference_8w16kb_n30": (
-        SystemConfig(n_workers=8, cache_size_kb=16),
-        JacobiParams(n=30, iterations=3, warmup=1),
+        partial(
+            run_jacobi,
+            SystemConfig(n_workers=8, cache_size_kb=16),
+            JacobiParams(n=30, iterations=3, warmup=1),
+        ),
         20.0,
     ),
     "small_2w4kb_n16": (
-        SystemConfig(n_workers=2, cache_size_kb=4),
-        JacobiParams(n=16, iterations=3, warmup=1),
+        partial(
+            run_jacobi,
+            SystemConfig(n_workers=2, cache_size_kb=4),
+            JacobiParams(n=16, iterations=3, warmup=1),
+        ),
         10.0,
     ),
     "saturated_mpmmu_8w16kb_wt_n16": (
-        SystemConfig(n_workers=8, cache_size_kb=16, cache_policy="wt"),
-        JacobiParams(n=16, iterations=2, warmup=0),
+        partial(
+            run_jacobi,
+            SystemConfig(n_workers=8, cache_size_kb=16, cache_policy="wt"),
+            JacobiParams(n=16, iterations=2, warmup=0),
+        ),
         20.0,
+    ),
+    "collective_allreduce_8w_tree": (
+        partial(
+            run_collective_bench,
+            SystemConfig(n_workers=8, cache_size_kb=16),
+            CollectiveBenchParams(
+                collective="allreduce", model="empi", algorithm="tree",
+                n_values=16, repeats=4,
+            ),
+        ),
+        10.0,
     ),
 }
 
@@ -53,10 +87,10 @@ def golden() -> dict:
 
 @pytest.mark.parametrize("name", sorted(SMOKE_WORKLOADS))
 def test_smoke_workload(name):
-    config, params, ceiling = SMOKE_WORKLOADS[name]
+    runner, ceiling = SMOKE_WORKLOADS[name]
     reference = golden()[name]
     started = time.perf_counter()
-    result = run_jacobi(config, params)
+    result = runner()
     wall = time.perf_counter() - started
 
     assert result.validated, f"{name}: numerical validation failed"
@@ -66,9 +100,14 @@ def test_smoke_workload(name):
         f"timing bug or an intentional architecture change — if the latter, "
         f"regenerate BENCH_simspeed.json"
     )
-    assert result.iteration_cycles == reference["iteration_cycles"], (
-        f"{name}: per-iteration cycles drifted: {result.iteration_cycles}"
-    )
+    if "iteration_cycles" in reference:
+        assert result.iteration_cycles == reference["iteration_cycles"], (
+            f"{name}: per-iteration cycles drifted: {result.iteration_cycles}"
+        )
+    if "op_cycles" in reference:
+        assert result.op_cycles == reference["op_cycles"], (
+            f"{name}: collective op cycles drifted: {result.op_cycles}"
+        )
     assert wall < ceiling, (
         f"{name}: took {wall:.1f}s (ceiling {ceiling}s) — a gross "
         f"throughput regression in the simulation hot path"

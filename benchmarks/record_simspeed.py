@@ -18,8 +18,13 @@ import json
 import statistics
 import sys
 import time
+from functools import partial
 from pathlib import Path
 
+from repro.apps.collective_bench import (
+    CollectiveBenchParams,
+    run_collective_bench,
+)
 from repro.apps.jacobi.driver import JacobiParams, run_jacobi
 from repro.system.config import SystemConfig
 
@@ -28,32 +33,53 @@ BENCH_FILE = Path(__file__).parent.parent / "BENCH_simspeed.json"
 WORKLOADS = {
     "reference_8w16kb_n30": (
         "n_workers=8, cache_size_kb=16, wb",
-        SystemConfig(n_workers=8, cache_size_kb=16),
         "JacobiParams(n=30, iterations=3, warmup=1)",
-        JacobiParams(n=30, iterations=3, warmup=1),
+        partial(
+            run_jacobi,
+            SystemConfig(n_workers=8, cache_size_kb=16),
+            JacobiParams(n=30, iterations=3, warmup=1),
+        ),
     ),
     "small_2w4kb_n16": (
         "n_workers=2, cache_size_kb=4, wb",
-        SystemConfig(n_workers=2, cache_size_kb=4),
         "JacobiParams(n=16, iterations=3, warmup=1)",
-        JacobiParams(n=16, iterations=3, warmup=1),
+        partial(
+            run_jacobi,
+            SystemConfig(n_workers=2, cache_size_kb=4),
+            JacobiParams(n=16, iterations=3, warmup=1),
+        ),
     ),
     "saturated_mpmmu_8w16kb_wt_n16": (
         "n_workers=8, cache_size_kb=16, wt",
-        SystemConfig(n_workers=8, cache_size_kb=16, cache_policy="wt"),
         "JacobiParams(n=16, iterations=2, warmup=0)",
-        JacobiParams(n=16, iterations=2, warmup=0),
+        partial(
+            run_jacobi,
+            SystemConfig(n_workers=8, cache_size_kb=16, cache_policy="wt"),
+            JacobiParams(n=16, iterations=2, warmup=0),
+        ),
+    ),
+    "collective_allreduce_8w_tree": (
+        "n_workers=8, cache_size_kb=16, wb",
+        "CollectiveBenchParams(allreduce, empi, tree, n_values=16, repeats=4)",
+        partial(
+            run_collective_bench,
+            SystemConfig(n_workers=8, cache_size_kb=16),
+            CollectiveBenchParams(
+                collective="allreduce", model="empi", algorithm="tree",
+                n_values=16, repeats=4,
+            ),
+        ),
     ),
 }
 
 
-def measure(config: SystemConfig, params: JacobiParams, rounds: int = 7):
-    run_jacobi(config, params)  # warm-up
+def measure(runner, rounds: int = 7):
+    runner()  # warm-up
     rates = []
     result = None
     for _ in range(rounds):
         started = time.perf_counter()
-        result = run_jacobi(config, params)
+        result = runner()
         rates.append(result.total_cycles / (time.perf_counter() - started))
     assert result is not None and result.validated
     return result, round(statistics.median(rates))
@@ -63,18 +89,20 @@ def main(argv: list[str]) -> int:
     committed = json.loads(BENCH_FILE.read_text()) if BENCH_FILE.exists() else {}
     old_workloads = committed.get("workloads", {})
     workloads = {}
-    for name, (config_label, config, params_label, params) in WORKLOADS.items():
-        result, median = measure(config, params)
+    for name, (config_label, params_label, runner) in WORKLOADS.items():
+        result, median = measure(runner)
         before = old_workloads.get(name, {}).get("after_cycles_per_sec", median)
         workloads[name] = {
             "config": config_label,
             "params": params_label,
             "total_cycles": result.total_cycles,
-            "iteration_cycles": result.iteration_cycles,
             "before_cycles_per_sec": before,
             "after_cycles_per_sec": median,
             "speedup": round(median / before, 2),
         }
+        for extra in ("iteration_cycles", "op_cycles"):
+            if hasattr(result, extra):
+                workloads[name][extra] = getattr(result, extra)
     payload = {
         key: committed.get(key, "")
         for key in ("description", "methodology", "host_note")

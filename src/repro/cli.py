@@ -9,6 +9,7 @@ Usage::
     python -m repro collectives     # collective x algorithm x model x mesh
     python -m repro matmul          # tiled matmul (bcast + reduce)
     python -m repro stream          # producer/consumer pipeline
+    python -m repro cg              # CG solver, overlap on/off sweep
 
 Reports are printed and saved under ``--out`` (default ``./results``);
 sweep points are cached there too, so derived figures (7, 9) reuse the

@@ -90,6 +90,11 @@ class ResultCache:
     The file embeds :data:`CACHE_VERSION`; on load, any mismatch (including
     the version-less seed layout) discards the cached points wholesale and
     the sweep recomputes them.
+
+    Two layers of access: ``get``/``put`` speak :class:`SweepResult` (the
+    Jacobi-shaped sweeps), ``get_raw``/``put_raw`` speak plain JSON dicts
+    so any experiment — collectives, CG, future apps — can reuse the same
+    versioned store without forcing its results into the sweep schema.
     """
 
     def __init__(self, directory: str | Path, name: str) -> None:
@@ -109,12 +114,18 @@ class ResultCache:
             else:
                 self.discarded_stale = True
 
+    def get_raw(self, key: str) -> dict | None:
+        return self._data.get(key)
+
+    def put_raw(self, key: str, payload: dict) -> None:
+        self._data[key] = payload
+
     def get(self, key: str) -> SweepResult | None:
-        raw = self._data.get(key)
+        raw = self.get_raw(key)
         return SweepResult.from_json(raw) if raw is not None else None
 
     def put(self, key: str, result: SweepResult) -> None:
-        self._data[key] = asdict(result)
+        self.put_raw(key, asdict(result))
 
     def save(self) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)

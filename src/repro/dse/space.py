@@ -1,13 +1,41 @@
-"""Declarative sweep definitions."""
+"""Declarative sweep definitions and result-cache key construction."""
 
 from __future__ import annotations
 
 import dataclasses
+import enum
 from dataclasses import dataclass, field
 
 from repro.apps.jacobi.driver import JacobiParams
 from repro.errors import ConfigError
 from repro.system.config import VALID_CACHE_SIZES_KB, SystemConfig
+
+
+def _dataclass_cache_key(instance) -> str:
+    """Stable ``k=v|...`` serialization of a dataclass, enum-tolerant.
+
+    Every field participates, so any knob that can affect a simulated
+    result changes the key; enum members stringify the same whether the
+    caller passed the member or its string alias.
+    """
+    data = dataclasses.asdict(instance)
+    parts = []
+    for name in sorted(data):
+        value = data[name]
+        if isinstance(value, enum.Enum):
+            value = str(value)
+        parts.append(f"{name}={value}")
+    return "|".join(parts)
+
+
+def config_cache_key(config: SystemConfig) -> str:
+    """Cache-key fragment for one architecture point."""
+    return _dataclass_cache_key(config)
+
+
+def params_cache_key(params) -> str:
+    """Cache-key fragment for any app's params dataclass."""
+    return _dataclass_cache_key(params)
 
 
 @dataclass(frozen=True)
@@ -19,18 +47,7 @@ class SweepPoint:
 
     def key(self) -> str:
         """Stable cache key over every field that affects the result."""
-        config_dict = dataclasses.asdict(self.config)
-        params_dict = dataclasses.asdict(self.params)
-        params_dict["model"] = str(params_dict["model"])
-        config_dict["cache_policy"] = str(config_dict["cache_policy"])
-        config_dict["arbiter_mode"] = str(config_dict["arbiter_mode"])
-        config_dict["arbiter_high_priority"] = str(
-            config_dict["arbiter_high_priority"]
-        )
-        config_dict["empi_barrier"] = str(config_dict["empi_barrier"])
-        parts = [f"{k}={config_dict[k]}" for k in sorted(config_dict)]
-        parts += [f"{k}={params_dict[k]}" for k in sorted(params_dict)]
-        return "|".join(parts)
+        return f"{config_cache_key(self.config)}|{params_cache_key(self.params)}"
 
 
 @dataclass

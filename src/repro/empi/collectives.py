@@ -196,6 +196,15 @@ class EmpiCollectives:
     def barrier(self) -> "Program":
         yield from self.empi.barrier()
 
+    def send(self, dst_rank: int, values: list[float]) -> "Program":
+        """Blocking point-to-point send of doubles (MPI_send)."""
+        yield from self.empi.send_doubles(dst_rank, values)
+
+    def recv(self, src_rank: int, n_values: int) -> "Program":
+        """Blocking point-to-point receive of doubles (MPI_receive)."""
+        result = yield from self.empi.recv_doubles(src_rank, n_values)
+        return result
+
     def bcast(self, root: int, values: list[float] | None,
               n_values: int) -> "Program":
         result = yield from self.empi.bcast_doubles(
@@ -226,6 +235,61 @@ class EmpiCollectives:
         result = yield from self.empi.gather_doubles(root, values)
         return result
 
+    # -- non-blocking interface (mirrored by SharedMemoryCollectives) -------
+    #
+    # Thin delegation to the Empi request layer, with the backend's
+    # configured algorithm applied to the collectives, so application
+    # code is backend-agnostic for overlap exactly as it is for the
+    # blocking collectives.
+
+    def isend(self, dst_rank: int, values: list[float]) -> "Program":
+        request = yield from self.empi.isend(dst_rank, values)
+        return request
+
+    def irecv(self, src_rank: int, n_values: int) -> "Program":
+        request = yield from self.empi.irecv(src_rank, n_values)
+        return request
+
+    def ibcast(self, root: int, values: list[float] | None,
+               n_values: int) -> "Program":
+        request = yield from self.empi.ibcast_doubles(
+            root, values, n_values, algorithm=self.algorithm
+        )
+        return request
+
+    def ireduce(self, root: int, values: list[float],
+                op: ReduceOp | str = ReduceOp.SUM) -> "Program":
+        request = yield from self.empi.ireduce_doubles(
+            root, values, op=op, algorithm=self.algorithm
+        )
+        return request
+
+    def iallreduce(self, values: list[float],
+                   op: ReduceOp | str = ReduceOp.SUM) -> "Program":
+        request = yield from self.empi.iallreduce_doubles(
+            values, op=op, algorithm=self.algorithm
+        )
+        return request
+
+    def wait(self, request) -> "Program":
+        result = yield from self.empi.wait(request)
+        return result
+
+    def waitall(self, requests) -> "Program":
+        results = yield from self.empi.waitall(requests)
+        return results
+
+    def test(self, request) -> "Program":
+        done = yield from self.empi.test(request)
+        return done
+
+    def progress(self) -> "Program":
+        yield from self.empi.progress()
+
+    def overlap(self, frag: "Program", poll_interval: int = 2) -> "Program":
+        result = yield from self.empi.overlap(frag, poll_interval)
+        return result
+
 
 def make_comm(
     ctx: "ProgramContext",
@@ -234,13 +298,17 @@ def make_comm(
     base_addr: int | None = None,
     max_values: int = 64,
     poll_backoff: int = 24,
+    p2p_values: int = 0,
 ):
     """Build the collective backend for one rank's program.
 
     ``empi`` ignores the shared-memory arguments; ``pure_sm`` carves its
     slot arena at ``base_addr`` (default: the bottom of the shared
-    segment) sized for vectors of up to ``max_values`` doubles.  Returns
-    an object with the common collective interface.
+    segment) sized for vectors of up to ``max_values`` doubles, plus —
+    when ``p2p_values`` > 0 — an n x n mailbox matrix sized for
+    ``p2p_values``-double messages, backing isend/irecv.  Returns an
+    object with the common collective interface (blocking and
+    non-blocking).
     """
     model = CommModel.parse(model)
     if model is CommModel.EMPI:
@@ -253,4 +321,5 @@ def make_comm(
         max_values=max_values,
         algorithm=algorithm,
         poll_backoff=poll_backoff,
+        p2p_values=p2p_values,
     )

@@ -1,0 +1,316 @@
+"""Non-blocking communication: request handles and the progress engine.
+
+MEDEA's hybrid model only pays off when communication hides behind
+computation.  The blocking eMPI layer serializes the two: a ``send``
+parks the core in WAIT_TX while the TIE streams, a ``recv`` parks it in
+WAIT_MSG until the words arrive.  This module adds the MPI-style split:
+an operation is *posted* (returning a :class:`Request`), the hardware
+makes progress on its own (the TIE streams a posted TX descriptor one
+flit per cycle; arriving flits land in the per-source receive streams),
+and the program *completes* the operation later with ``wait``/``test``.
+
+Because MEDEA programs are cooperative generators, the runtime part of
+an operation is a **communication fragment**: a generator that yields
+ordinary machine ops (status polls, descriptor writes, uncached loads)
+and the :data:`RESCHEDULE` sentinel whenever it cannot progress until
+some external event.  The :class:`ProgressEngine` owns all live
+fragments and interleaves them — with each other, and with user compute
+via :meth:`ProgressEngine.overlap` — giving each fragment one slice per
+progress round, in posting order, which keeps every run bit-for-bit
+deterministic.
+
+Matching semantics (both backends):
+
+* operations on the same peer complete in the order their fragments
+  first run — posting order for plain ``isend``/``irecv``; programs must
+  post matching operations in the same relative order on both ends
+  (MPI's ordered-matching rule);
+* at most one non-blocking *collective* is in flight per engine at a
+  time (later ones queue behind it), and every rank must post the same
+  collectives in the same order — MPI-3's rule for non-blocking
+  collectives;
+* blocking data-path operations must not be issued while any request is
+  outstanding (the engine owns the TIE TX port and the receive-stream
+  fronts); barriers ride the request-token segment and stay safe.
+
+Overlap instrumentation rides the zero-cycle ``note`` channel: the
+engine brackets every request's in-flight window with ``ireq+``/``ireq-``
+notes and every :meth:`overlap` region with ``ov+``/``ov-`` notes, and
+:func:`overlap_stats` reduces a run's notes to per-rank *overlap
+efficiency* — the fraction of in-flight communication cycles during
+which the core was simultaneously computing.
+"""
+
+from __future__ import annotations
+
+import typing
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ProgramError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pe.program import Program
+
+
+class _Reschedule:
+    """Singleton sentinel a fragment yields when it cannot progress."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "RESCHEDULE"
+
+
+#: Yield this from a communication fragment to hand the slice back to the
+#: progress engine (zero machine cycles; the fragment resumes next round).
+RESCHEDULE = _Reschedule()
+
+#: Note labels bracketing request in-flight windows and overlap regions.
+NOTE_REQUEST_POST = "ireq+"
+NOTE_REQUEST_DONE = "ireq-"
+NOTE_OVERLAP_ENTER = "ov+"
+NOTE_OVERLAP_EXIT = "ov-"
+
+
+class Request:
+    """Handle for one posted non-blocking operation."""
+
+    __slots__ = ("label", "complete", "result", "_frag")
+
+    def __init__(self, frag: "Program", label: str) -> None:
+        self.label = label
+        self.complete = False
+        self.result: object = None
+        self._frag = frag
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "complete" if self.complete else "pending"
+        return f"Request({self.label}, {state})"
+
+
+class TurnQueue:
+    """Deterministic FIFO turn-taking for one serialized resource.
+
+    Fragments contending for a resource (the TIE TX port, the front of a
+    per-source receive stream, the collective arena) enter the queue and
+    only act while they hold the head, so concurrent requests can never
+    steal each other's hardware.
+    """
+
+    __slots__ = ("_queue",)
+
+    def __init__(self) -> None:
+        self._queue: deque[object] = deque()
+
+    def enter(self, token: object) -> None:
+        self._queue.append(token)
+
+    def holds(self, token: object) -> bool:
+        return bool(self._queue) and self._queue[0] is token
+
+    def leave(self, token: object) -> None:
+        if not self.holds(token):
+            raise ProgramError("turn queue released out of order")
+        self._queue.popleft()
+
+
+class ProgressEngine:
+    """Cooperative scheduler for communication fragments (one per rank).
+
+    Backend-agnostic: the eMPI runtime posts fragments built from TIE
+    descriptor/poll ops, the shared-memory backend posts fragments built
+    from uncached MPMMU accesses.  The engine only ever sees op tuples
+    and :data:`RESCHEDULE`.
+    """
+
+    def __init__(self) -> None:
+        self._active: list[Request] = []
+        self._turns: dict[object, TurnQueue] = {}
+
+    # -- resource turn-taking -------------------------------------------------
+
+    def turn(self, key: object) -> TurnQueue:
+        """The (created-on-demand) turn queue for one resource key."""
+        queue = self._turns.get(key)
+        if queue is None:
+            queue = TurnQueue()
+            self._turns[key] = queue
+        return queue
+
+    # -- posting and progressing ----------------------------------------------
+
+    @property
+    def idle(self) -> bool:
+        """True when no posted request is still in flight."""
+        return not self._active
+
+    @property
+    def n_active(self) -> int:
+        return len(self._active)
+
+    def post(self, frag: "Program", label: str = "request") -> "Program":
+        """Post a fragment; returns its :class:`Request` after one slice.
+
+        The immediate first slice is what makes posting *eager*: an
+        ``isend`` with an idle TX port starts the hardware right away and
+        an ``irecv`` whose data already arrived completes on the spot.
+        """
+        request = Request(frag, label)
+        self._active.append(request)
+        yield ("note", NOTE_REQUEST_POST)
+        yield from self._slice(request)
+        return request
+
+    def _slice(self, request: Request) -> "Program":
+        """Run one fragment until it reschedules or completes."""
+        frag = request._frag
+        send_value: object = None
+        while True:
+            try:
+                item = frag.send(send_value)
+            except StopIteration as stop:
+                request.result = stop.value
+                request.complete = True
+                self._active.remove(request)
+                yield ("note", NOTE_REQUEST_DONE)
+                return
+            if item is RESCHEDULE:
+                return
+            send_value = yield item
+
+    def progress(self) -> "Program":
+        """One progress round: a slice for every live request, post order."""
+        for request in list(self._active):
+            if not request.complete:
+                yield from self._slice(request)
+
+    # -- completion -----------------------------------------------------------
+
+    def wait(self, request: Request) -> "Program":
+        """Progress until ``request`` completes; returns its result.
+
+        Progressing always issues at least one machine op per round for
+        whichever fragment holds each resource head (a status poll costs
+        one cycle), so simulated time advances and the spin terminates
+        when the awaited event arrives.
+        """
+        while not request.complete:
+            yield from self.progress()
+        return request.result
+
+    def waitall(self, requests: list[Request]) -> "Program":
+        results = []
+        for request in requests:
+            result = yield from self.wait(request)
+            results.append(result)
+        return results
+
+    def test(self, request: Request) -> "Program":
+        """One progress round, then report whether ``request`` finished."""
+        if not request.complete:
+            yield from self.progress()
+        return request.complete
+
+    # -- compute-communication overlap ----------------------------------------
+
+    def overlap(self, frag: "Program", poll_interval: int = 2) -> "Program":
+        """Run a compute fragment, progressing requests as it goes.
+
+        ``frag`` is an ordinary program generator (ops only, no
+        RESCHEDULE).  After every ``poll_interval`` forwarded ops the
+        engine takes one progress round, so posted communication
+        advances underneath the computation; the region is bracketed
+        with ``ov+``/``ov-`` notes for :func:`overlap_stats`.  Returns
+        the fragment's return value; outstanding requests are *not*
+        waited for — complete them with ``wait``/``waitall``.
+        """
+        if poll_interval < 1:
+            raise ProgramError("poll_interval must be >= 1")
+        yield ("note", NOTE_OVERLAP_ENTER)
+        ops_since_poll = 0
+        send_value: object = None
+        while True:
+            try:
+                item = frag.send(send_value)
+            except StopIteration as stop:
+                result = stop.value
+                break
+            send_value = yield item
+            ops_since_poll += 1
+            if ops_since_poll >= poll_interval and self._active:
+                ops_since_poll = 0
+                yield from self.progress()
+        yield ("note", NOTE_OVERLAP_EXIT)
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Overlap accounting (consumes the notes a run recorded)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class OverlapStats:
+    """Per-rank overlap accounting distilled from a run's notes."""
+
+    #: Cycles with at least one posted request in flight.
+    inflight_cycles: int = 0
+    #: Cycles inside overlap() regions (compute offered for hiding).
+    overlap_region_cycles: int = 0
+    #: Cycles where both held at once — communication actually hidden.
+    coexist_cycles: int = 0
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of in-flight communication hidden behind compute."""
+        if self.inflight_cycles == 0:
+            return 0.0
+        return self.coexist_cycles / self.inflight_cycles
+
+
+#: Signed depth change per instrumentation label.
+_EVENT_DELTAS = {
+    NOTE_REQUEST_POST: (1, 0),
+    NOTE_REQUEST_DONE: (-1, 0),
+    NOTE_OVERLAP_ENTER: (0, 1),
+    NOTE_OVERLAP_EXIT: (0, -1),
+}
+
+
+def overlap_stats(
+    notes: list[tuple[int, int, str]], n_workers: int
+) -> dict[int, OverlapStats]:
+    """Reduce a run's notes to per-rank :class:`OverlapStats`.
+
+    ``notes`` is the ``(cycle, rank, label)`` list a
+    :class:`~repro.system.medea.MedeaSystem` records; labels other than
+    the four instrumentation markers are ignored.  Notes are emitted in
+    cycle order per rank, so a single forward sweep per rank suffices.
+    """
+    stats = {rank: OverlapStats() for rank in range(n_workers)}
+    depth: dict[int, tuple[int, int, int]] = {
+        rank: (0, 0, 0) for rank in range(n_workers)
+    }  # (inflight depth, overlap depth, last event cycle)
+    for cycle, rank, label in notes:
+        deltas = _EVENT_DELTAS.get(label)
+        if deltas is None or rank not in stats:
+            continue
+        inflight, in_overlap, last_cycle = depth[rank]
+        elapsed = cycle - last_cycle
+        entry = stats[rank]
+        if inflight > 0:
+            entry.inflight_cycles += elapsed
+        if in_overlap > 0:
+            entry.overlap_region_cycles += elapsed
+        if inflight > 0 and in_overlap > 0:
+            entry.coexist_cycles += elapsed
+        depth[rank] = (inflight + deltas[0], in_overlap + deltas[1], cycle)
+    return stats
+
+
+def mean_overlap_efficiency(per_rank: dict[int, "OverlapStats"]) -> float:
+    """Aggregate efficiency: total coexist over total in-flight cycles."""
+    coexist = sum(entry.coexist_cycles for entry in per_rank.values())
+    inflight = sum(entry.inflight_cycles for entry in per_rank.values())
+    return coexist / inflight if inflight else 0.0

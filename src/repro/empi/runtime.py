@@ -28,7 +28,9 @@ from repro.empi.collectives import (
     combine_cost,
     combine_values,
 )
+from repro.empi.requests import RESCHEDULE, ProgressEngine, Request
 from repro.errors import ProgramError
+from repro.mem.values import pack_doubles, unpack_doubles
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.pe.program import Program, ProgramContext
@@ -70,22 +72,39 @@ class Empi:
         #: Early tokens: (src_node, opcode, epoch, aux).
         self._stash: list[tuple[int, int, int, int]] = []
         self.barriers = 0
+        #: The cooperative progress engine driving non-blocking requests.
+        self.engine = ProgressEngine()
+
+    def _check_engine_idle(self, what: str) -> None:
+        # Blocking data-path ops would race the engine for the TIE TX
+        # port and the receive-stream fronts; refuse loudly instead of
+        # corrupting a stream.  (Barriers ride the request-token segment
+        # and stay safe alongside outstanding requests.)
+        if not self.engine.idle:
+            raise ProgramError(
+                f"blocking {what} with {self.engine.n_active} non-blocking "
+                f"request(s) outstanding; wait/waitall them first"
+            )
 
     # -- point-to-point ---------------------------------------------------------
 
     def send(self, dst_rank: int, words: list[int]) -> "Program":
         """MPI_send: stream ``words`` to ``dst_rank`` (blocking-local)."""
+        self._check_engine_idle("send")
         yield self.ctx.send_words(dst_rank, words)
 
     def recv(self, src_rank: int, n_words: int) -> "Program":
         """MPI_receive: wait for ``n_words`` from ``src_rank``."""
+        self._check_engine_idle("recv")
         words = yield self.ctx.recv_words(src_rank, n_words)
         return words
 
     def send_doubles(self, dst_rank: int, values: list[float]) -> "Program":
+        self._check_engine_idle("send")
         yield from self.ctx.send_doubles(dst_rank, values)
 
     def recv_doubles(self, src_rank: int, n_values: int) -> "Program":
+        self._check_engine_idle("recv")
         values = yield from self.ctx.recv_doubles(src_rank, n_values)
         return values
 
@@ -329,6 +348,276 @@ class Empi:
             if rank != root:
                 gathered[rank] = yield from self.recv_doubles(rank, len(values))
         return gathered
+
+    # -- non-blocking operations (request/progress engine) ---------------------------------
+    #
+    # Each non-blocking op posts a *communication fragment* on the
+    # engine: the same wire protocol and the same combine orders as the
+    # blocking ops above (results are bit-identical either way), but
+    # built from TX descriptors and status polls so the core keeps
+    # running while the TIE streams.  Progress happens inside wait/test
+    # and inside overlap() — the cooperative analogue of MPI progress.
+
+    def isend(self, dst_rank: int, values: list[float]) -> "Program":
+        """MPI_Isend: post a send of doubles; complete via ``wait``."""
+        request = yield from self.engine.post(
+            self._frag_send_doubles(dst_rank, values), f"isend->{dst_rank}"
+        )
+        return request
+
+    def irecv(self, src_rank: int, n_values: int) -> "Program":
+        """MPI_Irecv: post a receive of doubles; ``wait`` returns them."""
+        request = yield from self.engine.post(
+            self._frag_recv_doubles(src_rank, n_values), f"irecv<-{src_rank}"
+        )
+        return request
+
+    def ibcast_doubles(
+        self,
+        root: int,
+        values: list[float] | None,
+        n_values: int,
+        algorithm: CollectiveAlgorithm | str = CollectiveAlgorithm.LINEAR,
+    ) -> "Program":
+        """MPI_Ibcast: same combine-free data movement as ``bcast_doubles``."""
+        algorithm = CollectiveAlgorithm.parse(algorithm)
+        request = yield from self.engine.post(
+            self._frag_collective(
+                self._frag_bcast_body(root, values, n_values, algorithm)
+            ),
+            "ibcast",
+        )
+        return request
+
+    def ireduce_doubles(
+        self,
+        root: int,
+        values: list[float],
+        op: ReduceOp | str = ReduceOp.SUM,
+        algorithm: CollectiveAlgorithm | str = CollectiveAlgorithm.LINEAR,
+    ) -> "Program":
+        """MPI_Ireduce: same combine order as ``reduce_doubles``."""
+        op = ReduceOp.parse(op)
+        algorithm = CollectiveAlgorithm.parse(algorithm)
+        request = yield from self.engine.post(
+            self._frag_collective(
+                self._frag_reduce_body(root, values, op, algorithm)
+            ),
+            "ireduce",
+        )
+        return request
+
+    def iallreduce_doubles(
+        self,
+        values: list[float],
+        op: ReduceOp | str = ReduceOp.SUM,
+        algorithm: CollectiveAlgorithm | str = CollectiveAlgorithm.LINEAR,
+    ) -> "Program":
+        """MPI_Iallreduce: reduce at rank 0 then broadcast, like the
+        blocking ``allreduce_doubles`` (bit-identical result)."""
+        op = ReduceOp.parse(op)
+        algorithm = CollectiveAlgorithm.parse(algorithm)
+        request = yield from self.engine.post(
+            self._frag_collective(
+                self._frag_allreduce_body(values, op, algorithm)
+            ),
+            "iallreduce",
+        )
+        return request
+
+    def wait(self, request: Request) -> "Program":
+        """MPI_Wait: progress until ``request`` completes; its result."""
+        result = yield from self.engine.wait(request)
+        return result
+
+    def waitall(self, requests: list[Request]) -> "Program":
+        """MPI_Waitall: results in request order."""
+        results = yield from self.engine.waitall(requests)
+        return results
+
+    def test(self, request: Request) -> "Program":
+        """MPI_Test: one progress round; True when complete."""
+        done = yield from self.engine.test(request)
+        return done
+
+    def progress(self) -> "Program":
+        """One explicit progress round over all outstanding requests."""
+        yield from self.engine.progress()
+
+    def overlap(self, frag: "Program", poll_interval: int = 2) -> "Program":
+        """Run a compute fragment while progressing outstanding requests."""
+        result = yield from self.engine.overlap(frag, poll_interval)
+        return result
+
+    # -- communication fragments -----------------------------------------------------------
+
+    def _frag_send_words(self, dst_node: int, words: list[int]) -> "Program":
+        """Stream ``words`` to ``dst_node`` via a TX descriptor.
+
+        Takes the TX turn (one message in flight at a time, hardware
+        constraint), confirms the port idle, posts the descriptor and
+        polls the status register until the TIE drained it — MPI's
+        "send complete = buffer reusable" point.
+        """
+        turn = self.engine.turn("tx")
+        token = object()
+        turn.enter(token)
+        while not turn.holds(token):
+            yield RESCHEDULE
+        while not (yield ("txdone",)):
+            yield RESCHEDULE
+        yield ("isend", dst_node, words)
+        while not (yield ("txdone",)):
+            yield RESCHEDULE
+        turn.leave(token)
+
+    def _frag_recv_words(self, src_node: int, n_words: int) -> "Program":
+        """Take the next ``n_words`` of the stream from ``src_node``.
+
+        Holds the per-source turn so concurrently posted receives from
+        one peer complete in posting order (the stream is a single
+        in-order front; skipping would hand request B request A's data).
+        """
+        turn = self.engine.turn(("rx", src_node))
+        token = object()
+        turn.enter(token)
+        while not turn.holds(token):
+            yield RESCHEDULE
+        while True:
+            words = yield ("trecv", src_node, n_words)
+            if words is not None:
+                break
+            yield RESCHEDULE
+        turn.leave(token)
+        return words
+
+    def _frag_send_doubles(self, dst_rank: int, values: list[float]) -> "Program":
+        yield from self._frag_send_words(
+            self.ctx.node_of(dst_rank), pack_doubles(values)
+        )
+
+    def _frag_recv_doubles(self, src_rank: int, n_values: int) -> "Program":
+        words = yield from self._frag_recv_words(
+            self.ctx.node_of(src_rank), 2 * n_values
+        )
+        return unpack_doubles(words)
+
+    def _frag_collective(self, body: "Program") -> "Program":
+        """Serialize non-blocking collectives through the collective turn.
+
+        All ranks must post their non-blocking collectives in the same
+        order (the MPI-3 rule); the turn makes a later collective queue
+        behind an unfinished earlier one instead of interleaving its
+        messages into the same streams.
+        """
+        turn = self.engine.turn("collective")
+        token = object()
+        turn.enter(token)
+        while not turn.holds(token):
+            yield RESCHEDULE
+        result = yield from body
+        turn.leave(token)
+        return result
+
+    def _frag_bcast_body(
+        self,
+        root: int,
+        values: list[float] | None,
+        n_values: int,
+        algorithm: CollectiveAlgorithm,
+    ) -> "Program":
+        # Mirrors bcast_doubles exactly (same sends, same order) with
+        # fragment point-to-point, so the delivered bits cannot differ.
+        ctx = self.ctx
+        n = ctx.n_workers
+        if ctx.rank == root:
+            if values is None or len(values) != n_values:
+                raise ProgramError("broadcast root must supply the payload")
+        if n == 1:
+            return list(values)  # type: ignore[arg-type]
+        if algorithm is CollectiveAlgorithm.LINEAR:
+            if ctx.rank == root:
+                for rank in range(n):
+                    if rank != root:
+                        yield from self._frag_send_doubles(rank, values)
+                return list(values)
+            received = yield from self._frag_recv_doubles(root, n_values)
+            return received
+        relative = (ctx.rank - root) % n
+        if relative == 0:
+            data = list(values)  # type: ignore[arg-type]
+            mask = 1
+            while mask < n:
+                mask <<= 1
+        else:
+            mask = 1
+            while not relative & mask:
+                mask <<= 1
+            parent = ((relative - mask) + root) % n
+            data = yield from self._frag_recv_doubles(parent, n_values)
+        mask >>= 1
+        while mask:
+            child = relative + mask
+            if child < n:
+                yield from self._frag_send_doubles((child + root) % n, data)
+            mask >>= 1
+        return data
+
+    def _frag_reduce_body(
+        self,
+        root: int,
+        values: list[float],
+        op: ReduceOp,
+        algorithm: CollectiveAlgorithm,
+    ) -> "Program":
+        # Mirrors reduce_doubles exactly — identical combine orders, so
+        # reference_reduce validates the non-blocking path too.
+        ctx = self.ctx
+        n = ctx.n_workers
+        n_values = len(values)
+        if n == 1:
+            return list(values)
+        if algorithm is CollectiveAlgorithm.LINEAR:
+            if ctx.rank != root:
+                yield from self._frag_send_doubles(root, values)
+                return None
+            acc: list[float] | None = None
+            for rank in range(n):
+                if rank == root:
+                    contrib = list(values)
+                else:
+                    contrib = yield from self._frag_recv_doubles(rank, n_values)
+                if acc is None:
+                    acc = contrib
+                else:
+                    acc = combine_values(acc, contrib, op)
+                    yield ("compute", self._combine_cost(n_values, op))
+            return acc
+        relative = (ctx.rank - root) % n
+        acc = list(values)
+        mask = 1
+        while mask < n:
+            if relative & mask:
+                parent = ((relative - mask) + root) % n
+                yield from self._frag_send_doubles(parent, acc)
+                return None
+            peer = relative | mask
+            if peer != relative and peer < n:
+                other = yield from self._frag_recv_doubles(
+                    (peer + root) % n, n_values
+                )
+                acc = combine_values(acc, other, op)
+                yield ("compute", self._combine_cost(n_values, op))
+            mask <<= 1
+        return acc
+
+    def _frag_allreduce_body(
+        self, values: list[float], op: ReduceOp, algorithm: CollectiveAlgorithm
+    ) -> "Program":
+        n_values = len(values)
+        reduced = yield from self._frag_reduce_body(0, values, op, algorithm)
+        result = yield from self._frag_bcast_body(0, reduced, n_values, algorithm)
+        return result
 
     # -- legacy scalar collectives ---------------------------------------------------------
 

@@ -19,6 +19,7 @@ from repro.empi.collectives import (
     combine_cost,
     combine_values,
 )
+from repro.empi.requests import RESCHEDULE, ProgressEngine, Request
 from repro.errors import ProgramError
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -108,6 +109,35 @@ class SharedMemoryBarrier:
                 return
             yield ("compute", self.poll_backoff)
 
+    def wait_frag(self) -> "Program":
+        """Split-phase barrier: same protocol, but instead of burning
+        backoff cycles between release polls the fragment reschedules,
+        handing the core back to the progress engine (and through it to
+        user compute).  Every poll is still a full MPMMU round trip —
+        the cost the shared-memory model cannot shed."""
+        self.waits += 1
+        if self.n_workers == 1:
+            return
+        my_sense = 1 - self._local_sense
+        self._local_sense = my_sense
+        yield from self.lock.acquire()
+        count = yield ("uload", self.counter_addr)
+        count += 1
+        if count == self.n_workers:
+            yield ("ustore", self.counter_addr, 0)
+            yield ("ustore", self.sense_addr, my_sense)
+            yield ("fence",)
+            yield from self.lock.release()
+            return
+        yield ("ustore", self.counter_addr, count)
+        yield ("fence",)
+        yield from self.lock.release()
+        while True:
+            flag = yield ("uload", self.sense_addr)
+            if flag == my_sense:
+                return
+            yield RESCHEDULE
+
 
 class SharedMemoryCollectives:
     """Collectives over the MPMMU: the pure-SM baseline's answer to eMPI.
@@ -137,6 +167,7 @@ class SharedMemoryCollectives:
         algorithm: CollectiveAlgorithm | str = CollectiveAlgorithm.LINEAR,
         n_workers: int | None = None,
         poll_backoff: int = 24,
+        p2p_values: int = 0,
     ) -> None:
         if max_values < 1:
             raise ProgramError("collective arena needs at least one value slot")
@@ -159,9 +190,35 @@ class SharedMemoryCollectives:
         self.footprint = (
             SharedMemoryBarrier.FOOTPRINT + self.n_workers * self.slot_stride
         )
+        #: Non-blocking machinery: a progress engine per rank, plus (when
+        #: ``p2p_values`` > 0) an n x n mailbox matrix for isend/irecv.
+        #: Every rank computes the same layout arithmetic, so channel
+        #: addresses agree without coordination.
+        self.engine = ProgressEngine()
+        self.p2p_values = p2p_values
+        self._channels: dict[tuple[int, int], SharedMemoryChannel] = {}
+        if p2p_values > 0:
+            self.channel_stride = SharedMemoryChannel.footprint_for(p2p_values)
+            self.channel_base = base + self.footprint
+            self.footprint += self.n_workers * self.n_workers * self.channel_stride
 
     def _slot(self, index: int) -> int:
         return self.slot_base + index * self.slot_stride
+
+    def _channel(self, src: int, dst: int) -> "SharedMemoryChannel":
+        """The (src -> dst) mailbox; built on demand at its fixed address."""
+        if self.p2p_values < 1:
+            raise ProgramError(
+                "shared-memory isend/irecv need p2p_values > 0 at construction"
+            )
+        channel = self._channels.get((src, dst))
+        if channel is None:
+            addr = self.channel_base + (
+                (src * self.n_workers + dst) * self.channel_stride
+            )
+            channel = SharedMemoryChannel(self.ctx, addr, self.p2p_values)
+            self._channels[(src, dst)] = channel
+        return channel
 
     # -- slot plumbing ------------------------------------------------------
 
@@ -188,10 +245,35 @@ class SharedMemoryCollectives:
     def _combine_cost(self, n_values: int, op: ReduceOp) -> int:
         return combine_cost(self.ctx.cost, n_values, op)
 
+    def _check_engine_idle(self, what: str) -> None:
+        # Same rule as Empi: blocking ops would race outstanding request
+        # fragments for the mailboxes, the slot arena and — unlike eMPI,
+        # whose barrier rides a separate token segment — the barrier
+        # counter itself, silently corrupting shared state.  Refuse.
+        if not self.engine.idle:
+            raise ProgramError(
+                f"blocking {what} with {self.engine.n_active} non-blocking "
+                f"request(s) outstanding; wait/waitall them first"
+            )
+
     # -- the collective interface (mirrors EmpiCollectives) -----------------
 
     def barrier(self) -> "Program":
+        self._check_engine_idle("barrier")
         yield from self.barrier_state.wait()
+
+    def send(self, dst_rank: int, values: list[float]) -> "Program":
+        """Blocking point-to-point send through the (src, dst) mailbox."""
+        self._check_engine_idle("send")
+        yield from self._channel(self.ctx.rank, dst_rank).send(values)
+
+    def recv(self, src_rank: int, n_values: int) -> "Program":
+        """Blocking point-to-point receive from the (src, dst) mailbox."""
+        self._check_engine_idle("recv")
+        result = yield from self._channel(src_rank, self.ctx.rank).recv(
+            n_values
+        )
+        return result
 
     def bcast(self, root: int, values: list[float] | None,
               n_values: int) -> "Program":
@@ -201,6 +283,7 @@ class SharedMemoryCollectives:
         there is a single sensible SM broadcast and the configured
         algorithm does not change the traffic pattern.
         """
+        self._check_engine_idle("bcast")
         ctx = self.ctx
         if ctx.rank == root:
             if values is None or len(values) != n_values:
@@ -219,6 +302,7 @@ class SharedMemoryCollectives:
 
     def reduce(self, root: int, values: list[float],
                op: ReduceOp | str = ReduceOp.SUM) -> "Program":
+        self._check_engine_idle("reduce")
         op = ReduceOp.parse(op)
         n = self.n_workers
         if n == 1:
@@ -297,6 +381,7 @@ class SharedMemoryCollectives:
 
     def scatter(self, root: int, chunks: list[list[float]] | None,
                 n_values: int) -> "Program":
+        self._check_engine_idle("scatter")
         ctx = self.ctx
         n = self.n_workers
         if ctx.rank == root:
@@ -318,6 +403,7 @@ class SharedMemoryCollectives:
         return result
 
     def gather(self, root: int, values: list[float]) -> "Program":
+        self._check_engine_idle("gather")
         ctx = self.ctx
         n = self.n_workers
         if n == 1:
@@ -333,6 +419,204 @@ class SharedMemoryCollectives:
                     gathered[rank] = yield from self._read_slot(rank, len(values))
             result = gathered
         yield from self.barrier()
+        return result
+
+    # -- non-blocking operations (request/progress engine) ------------------
+    #
+    # The pure-SM answer to the eMPI request layer: the same Request /
+    # wait / overlap surface, but every fragment step is an uncached
+    # MPMMU round trip.  The core itself must move every word, so there
+    # is no hardware to overlap with — exactly the asymmetry the hybrid
+    # architecture exists to exploit, now measurable per request.
+
+    def isend(self, dst_rank: int, values: list[float]) -> "Program":
+        request = yield from self.engine.post(
+            self._frag_isend(dst_rank, values), f"isend->{dst_rank}"
+        )
+        return request
+
+    def irecv(self, src_rank: int, n_values: int) -> "Program":
+        request = yield from self.engine.post(
+            self._frag_irecv(src_rank, n_values), f"irecv<-{src_rank}"
+        )
+        return request
+
+    def ibcast(self, root: int, values: list[float] | None,
+               n_values: int) -> "Program":
+        request = yield from self.engine.post(
+            self._frag_collective(self._frag_bcast_body(root, values, n_values)),
+            "ibcast",
+        )
+        return request
+
+    def ireduce(self, root: int, values: list[float],
+                op: ReduceOp | str = ReduceOp.SUM) -> "Program":
+        request = yield from self.engine.post(
+            self._frag_collective(
+                self._frag_reduce_body(root, values, ReduceOp.parse(op))
+            ),
+            "ireduce",
+        )
+        return request
+
+    def iallreduce(self, values: list[float],
+                   op: ReduceOp | str = ReduceOp.SUM) -> "Program":
+        request = yield from self.engine.post(
+            self._frag_collective(
+                self._frag_allreduce_body(values, ReduceOp.parse(op))
+            ),
+            "iallreduce",
+        )
+        return request
+
+    def wait(self, request: Request) -> "Program":
+        result = yield from self.engine.wait(request)
+        return result
+
+    def waitall(self, requests: list[Request]) -> "Program":
+        results = yield from self.engine.waitall(requests)
+        return results
+
+    def test(self, request: Request) -> "Program":
+        done = yield from self.engine.test(request)
+        return done
+
+    def progress(self) -> "Program":
+        yield from self.engine.progress()
+
+    def overlap(self, frag: "Program", poll_interval: int = 2) -> "Program":
+        result = yield from self.engine.overlap(frag, poll_interval)
+        return result
+
+    # -- shared-memory communication fragments ------------------------------
+
+    def _frag_isend(self, dst_rank: int, values: list[float]) -> "Program":
+        # One mailbox per (src, dst) pair; sends to the same peer take
+        # turns so back-to-back isends deliver in posting order.
+        turn = self.engine.turn(("chan_tx", dst_rank))
+        token = object()
+        turn.enter(token)
+        while not turn.holds(token):
+            yield RESCHEDULE
+        yield from self._channel(self.ctx.rank, dst_rank).send_frag(values)
+        turn.leave(token)
+
+    def _frag_irecv(self, src_rank: int, n_values: int) -> "Program":
+        turn = self.engine.turn(("chan_rx", src_rank))
+        token = object()
+        turn.enter(token)
+        while not turn.holds(token):
+            yield RESCHEDULE
+        values = yield from self._channel(src_rank, self.ctx.rank).recv_frag(
+            n_values
+        )
+        turn.leave(token)
+        return values
+
+    def _frag_collective(self, body: "Program") -> "Program":
+        # The slot arena and barrier are single shared resources: only
+        # one non-blocking collective runs at a time, and every rank
+        # must post its collectives in the same order (same rule as the
+        # eMPI engine).
+        turn = self.engine.turn("collective")
+        token = object()
+        turn.enter(token)
+        while not turn.holds(token):
+            yield RESCHEDULE
+        result = yield from body
+        turn.leave(token)
+        return result
+
+    def _ibarrier(self) -> "Program":
+        yield from self.barrier_state.wait_frag()
+
+    def _frag_bcast_body(self, root: int, values: list[float] | None,
+                         n_values: int) -> "Program":
+        # Mirrors bcast() phase for phase; only the barrier polls differ
+        # (reschedule instead of backoff), so delivered bits are equal.
+        ctx = self.ctx
+        if ctx.rank == root:
+            if values is None or len(values) != n_values:
+                raise ProgramError("broadcast root must supply the payload")
+            if self.n_workers == 1:
+                return list(values)
+            yield from self._write_slot(root, values)
+            yield from self._ibarrier()
+            result = list(values)
+        else:
+            yield from self._ibarrier()
+            result = yield from self._read_slot(root, n_values)
+        yield from self._ibarrier()
+        return result
+
+    def _frag_reduce_body(self, root: int, values: list[float],
+                          op: ReduceOp) -> "Program":
+        n = self.n_workers
+        if n == 1:
+            return list(values)
+        if self.algorithm is CollectiveAlgorithm.LINEAR:
+            result = yield from self._frag_reduce_linear(root, values, op)
+        else:
+            result = yield from self._frag_reduce_tree(root, values, op)
+        yield from self._ibarrier()
+        return result
+
+    def _frag_reduce_linear(self, root: int, values: list[float],
+                            op: ReduceOp) -> "Program":
+        # Same combine order as _reduce_linear: ascending rank at root.
+        ctx = self.ctx
+        n_values = len(values)
+        yield from self._write_slot(ctx.rank, values)
+        yield from self._ibarrier()
+        if ctx.rank != root:
+            return None
+        acc: list[float] | None = None
+        for rank in range(self.n_workers):
+            if rank == ctx.rank:
+                contrib = list(values)
+            else:
+                contrib = yield from self._read_slot(rank, n_values)
+            if acc is None:
+                acc = contrib
+            else:
+                acc = combine_values(acc, contrib, op)
+                yield ("compute", self._combine_cost(n_values, op))
+        return acc
+
+    def _frag_reduce_tree(self, root: int, values: list[float],
+                          op: ReduceOp) -> "Program":
+        # Same binomial rounds as _reduce_tree, relative-rank slots.
+        ctx = self.ctx
+        n = self.n_workers
+        n_values = len(values)
+        relative = (ctx.rank - root) % n
+        yield from self._write_slot(relative, values)
+        acc = list(values)
+        done = False
+        mask = 1
+        while mask < n:
+            yield from self._ibarrier()
+            if not done:
+                if relative & mask:
+                    done = True
+                else:
+                    peer = relative | mask
+                    if peer != relative and peer < n:
+                        other = yield from self._read_slot(peer, n_values)
+                        acc = combine_values(acc, other, op)
+                        yield ("compute", self._combine_cost(n_values, op))
+                        yield from self._write_slot(relative, acc)
+            mask <<= 1
+        yield from self._ibarrier()
+        return acc if ctx.rank == root else None
+
+    def _frag_allreduce_body(self, values: list[float],
+                             op: ReduceOp) -> "Program":
+        reduced = yield from self._frag_reduce_body(0, values, op)
+        if self.ctx.rank == 0:
+            result = yield from self._frag_bcast_body(0, reduced, len(values))
+        else:
+            result = yield from self._frag_bcast_body(0, None, len(values))
         return result
 
 
@@ -400,6 +684,44 @@ class SharedMemoryChannel:
 
     def recv(self, n_values: int) -> "Program":
         yield from self._await_flag(self.FULL)
+        values = []
+        for offset in range(n_values):
+            value = yield from self.ctx.uncached_load_double(
+                self.data_addr + 8 * offset
+            )
+            values.append(value)
+        yield ("ustore", self.flag_addr, self.EMPTY)
+        yield ("fence",)
+        return values
+
+    # -- split-phase variants (progress-engine fragments) -------------------
+
+    def _await_flag_frag(self, wanted: int) -> "Program":
+        while True:
+            flag = yield ("uload", self.flag_addr)
+            if flag == wanted:
+                return
+            yield RESCHEDULE
+
+    def send_frag(self, values: list[float]) -> "Program":
+        """Same mailbox protocol as :meth:`send`, rescheduling between
+        flag polls instead of spinning — the SM stand-in for an isend."""
+        if len(values) > self.capacity_values:
+            raise ProgramError(
+                f"message of {len(values)} exceeds channel capacity "
+                f"({self.capacity_values} values)"
+            )
+        yield from self._await_flag_frag(self.EMPTY)
+        for offset, value in enumerate(values):
+            yield from self.ctx.uncached_store_double(
+                self.data_addr + 8 * offset, value
+            )
+        yield ("fence",)
+        yield ("ustore", self.flag_addr, self.FULL)
+        yield ("fence",)
+
+    def recv_frag(self, n_values: int) -> "Program":
+        yield from self._await_flag_frag(self.FULL)
         values = []
         for offset in range(n_values):
             value = yield from self.ctx.uncached_load_double(

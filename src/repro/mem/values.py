@@ -29,6 +29,24 @@ def words_to_float(low: int, high: int) -> float:
     return _PACK_DOUBLE.unpack(_PACK_WORDS.pack(low, high))[0]
 
 
+def pack_doubles(values: list[float]) -> list[int]:
+    """Flatten float64s into the word stream a message carries."""
+    words: list[int] = []
+    for value in values:
+        low, high = float_to_words(value)
+        words.append(low)
+        words.append(high)
+    return words
+
+
+def unpack_doubles(words: list[int]) -> list[float]:
+    """Reassemble float64s from a received word stream."""
+    return [
+        words_to_float(words[2 * i], words[2 * i + 1])
+        for i in range(len(words) // 2)
+    ]
+
+
 def float32_to_word(value: float) -> int:
     """Pack a float32 into one word (round-to-nearest, IEEE single)."""
     return _PACK_WORD.unpack(_PACK_FLOAT.pack(value))[0]

@@ -334,6 +334,35 @@ class ProcessorNode(Component):
                     self._change_state(CoreState.WAIT_REQ, cycle)
                 self.stats.inc("ops_recvreq")
                 return
+            if code == "isend":
+                # Non-blocking send: write the TX descriptor and keep
+                # running; the TIE streams the flits autonomously (the
+                # node stays awake while tie.tx is pending).  The program
+                # must confirm ("txdone",) before starting another send.
+                self.tie.begin_send(op[1], op[2])
+                self._ready_at = cycle + 2
+                self.stats.inc("ops_isend")
+                return
+            if code == "txdone":
+                # One-cycle poll of the TIE TX status register.
+                self._send_value = self.tie.tx is None
+                self._ready_at = cycle + 1
+                self.stats.inc("ops_txdone")
+                return
+            if code == "trecv":
+                # Non-blocking receive: complete at the same cost as a
+                # blocking recv when the words are ready, else report
+                # None after a one-cycle status poll.
+                stream = self.tie.stream_from(op[1])
+                n_words = op[2]
+                if stream.available(n_words):
+                    self._send_value = stream.take(n_words)
+                    self._ready_at = cycle + self.recv_overhead + n_words
+                else:
+                    self._send_value = None
+                    self._ready_at = cycle + 1
+                self.stats.inc("ops_trecv")
+                return
             if code == "uload":
                 self._enqueue_blocking(
                     MemTransaction(PacketType.SINGLE_READ, self._check(op[1])),

@@ -26,6 +26,9 @@ op tuple               effect                                      result
 ("recv", n, k)         wait for k words from node n, copy them     [words]
 ("sendreq", n, w)      single-flit control token to node n         None
 ("recvreq",)           wait for a control token                    (src, w)
+("isend", n, ws)       post a TIE TX descriptor; do not wait       None
+("txdone",)            poll the TIE TX status register             bool
+("trecv", n, k)        k words from node n if ready, else None     [w]|None
 ("lock", a)            MPMMU lock word a (spins on NACK)           None
 ("unlock", a)          MPMMU unlock word a                         None
 ("note", label)        record (cycle, rank, label); zero cycles    None
@@ -41,7 +44,12 @@ import typing
 from collections.abc import Generator
 
 from repro.mem.memory_map import MemoryMap
-from repro.mem.values import float_to_words, words_to_float
+from repro.mem.values import (
+    float_to_words,
+    pack_doubles,
+    unpack_doubles,
+    words_to_float,
+)
 from repro.pe.costmodel import FpCostModel
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -185,15 +193,8 @@ class ProgramContext:
         return ("recv", self.node_of(src_rank), n_words)
 
     def send_doubles(self, dst_rank: int, values: list[float]) -> Program:
-        words: list[int] = []
-        for value in values:
-            low, high = float_to_words(value)
-            words.append(low)
-            words.append(high)
-        yield ("send", self.node_of(dst_rank), words)
+        yield ("send", self.node_of(dst_rank), pack_doubles(values))
 
     def recv_doubles(self, src_rank: int, n_values: int) -> Program:
         words = yield ("recv", self.node_of(src_rank), 2 * n_values)
-        return [
-            words_to_float(words[2 * i], words[2 * i + 1]) for i in range(n_values)
-        ]
+        return unpack_doubles(words)

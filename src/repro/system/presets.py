@@ -16,6 +16,16 @@ def reference_config(**overrides: object) -> SystemConfig:
     return config
 
 
+def cg_reference_config(**overrides: object) -> SystemConfig:
+    """The overlap proof-point machine: the Section II reference scaled
+    to 8 workers — the mesh on which the CG acceptance comparison
+    (overlap on vs. off) is run and logged."""
+    config = SystemConfig(n_workers=8, cache_size_kb=16)
+    if overrides:
+        config = config.with_changes(**overrides)
+    return config
+
+
 def mesh_sweep_configs(
     workers: tuple[int, ...] | None = None,
     base: SystemConfig | None = None,

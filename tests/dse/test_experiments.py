@@ -24,7 +24,7 @@ from repro.dse.space import SweepSpec
 def test_registry_covers_every_artifact():
     assert set(ALL_EXPERIMENTS) == {
         "fig6", "fig7", "fig8", "fig9", "compare", "noc", "simspeed",
-        "collectives", "matmul", "stream",
+        "collectives", "matmul", "stream", "cg",
     }
 
 
@@ -100,6 +100,21 @@ def test_collectives_experiment_quick():
     names = {row[0] for row in report.rows}
     assert names == {"bcast", "reduce", "allreduce", "scatter", "gather"}
     assert all(float(row[-1][:-1]) > 1.0 for row in report.rows)
+
+
+def test_collectives_experiment_hits_the_result_cache(tmp_path, monkeypatch):
+    """Second run with the same cache dir must not simulate anything."""
+    first = experiment_collectives(full=False, cache_dir=tmp_path)
+    assert (tmp_path / "collectives.json").exists()
+
+    import repro.dse.experiments as experiments
+
+    def boom(*args, **kwargs):  # pragma: no cover - must never run
+        raise AssertionError("cache miss: collective point re-simulated")
+
+    monkeypatch.setattr(experiments, "run_collective_bench", boom)
+    second = experiment_collectives(full=False, cache_dir=tmp_path)
+    assert second.rows == first.rows
 
 
 def test_matmul_experiment_quick():

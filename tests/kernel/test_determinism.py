@@ -11,6 +11,8 @@ counter flushing ever become nondeterministic.
 from __future__ import annotations
 
 from repro.apps.jacobi.driver import JacobiParams, run_jacobi
+from repro.apps.matmul import MatmulParams, run_matmul
+from repro.apps.stream import StreamParams, run_stream
 from repro.system.config import SystemConfig
 
 
@@ -48,3 +50,36 @@ def test_wt_policy_double_run_is_bit_identical():
     assert first.iteration_cycles == second.iteration_cycles
     assert first.stats["noc"] == second.stats["noc"]
     assert first.stats["mpmmu"] == second.stats["mpmmu"]
+
+
+def test_matmul_double_run_is_bit_identical():
+    # The collective-heavy workload: broadcast + reduce traffic through
+    # the TIE streams must replay identically, stats and all.
+    config = SystemConfig(n_workers=4, cache_size_kb=16)
+    params = MatmulParams(n=6, tile=2, model="empi", algorithm="tree")
+    first = run_matmul(config, params)
+    second = run_matmul(config, params)
+    assert first.validated and second.validated
+    assert first.value == second.value
+    assert first.total_cycles == second.total_cycles
+    assert (first.stage_cycles, first.compute_cycles, first.reduce_cycles) == (
+        second.stage_cycles, second.compute_cycles, second.reduce_cycles
+    )
+    assert first.stats["noc"] == second.stats["noc"]
+    assert first.stats["mpmmu"] == second.stats["mpmmu"]
+    assert first.stats["workers"] == second.stats["workers"]
+
+
+def test_stream_double_run_is_bit_identical():
+    # The pipelined producer/consumer workload: scatter/bcast bookends
+    # plus per-block streaming over the TIE message path.
+    config = SystemConfig(n_workers=4, cache_size_kb=16)
+    params = StreamParams(n_blocks=4, block_values=8, model="empi")
+    first = run_stream(config, params)
+    second = run_stream(config, params)
+    assert first.validated and second.validated
+    assert first.total_cycles == second.total_cycles
+    assert first.cycles_per_block == second.cycles_per_block
+    assert first.stats["noc"] == second.stats["noc"]
+    assert first.stats["mpmmu"] == second.stats["mpmmu"]
+    assert first.stats["workers"] == second.stats["workers"]
