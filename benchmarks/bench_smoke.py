@@ -78,6 +78,22 @@ SMOKE_WORKLOADS = {
         ),
         10.0,
     ),
+    # The hardware collective engine: DMA TX queue + NoC multicast.  This
+    # golden pins the offloaded path's timing (descriptor posting, fabric
+    # replication, multicast streams and their credits) exactly like the
+    # kernel goldens pin the memory system's.
+    "multicast_bcast_8w": (
+        partial(
+            run_collective_bench,
+            SystemConfig(n_workers=8, cache_size_kb=16,
+                         dma_tx_queue_depth=4),
+            CollectiveBenchParams(
+                collective="bcast", model="empi", algorithm="hw",
+                n_values=16, repeats=4,
+            ),
+        ),
+        10.0,
+    ),
 }
 
 

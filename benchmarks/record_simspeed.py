@@ -70,6 +70,19 @@ WORKLOADS = {
             ),
         ),
     ),
+    "multicast_bcast_8w": (
+        "n_workers=8, cache_size_kb=16, wb, dma_tx_queue_depth=4",
+        "CollectiveBenchParams(bcast, empi, hw, n_values=16, repeats=4)",
+        partial(
+            run_collective_bench,
+            SystemConfig(n_workers=8, cache_size_kb=16,
+                         dma_tx_queue_depth=4),
+            CollectiveBenchParams(
+                collective="bcast", model="empi", algorithm="hw",
+                n_values=16, repeats=4,
+            ),
+        ),
+    ),
 }
 
 

@@ -1,0 +1,112 @@
+"""The hardware collective engine: DMA TX queue + NoC multicast.
+
+PRs 1-3 built collectives in *software*: every broadcast costs the root
+one TIE tx-turn per destination (linear) or per subtree (tree).  This
+walkthrough turns on the per-tile DMA/collective engine
+(``dma_tx_queue_depth``) and shows the three things it changes:
+
+1. **One injection instead of P-1** — a hardware broadcast posts a
+   single multicast descriptor; the deflection switches replicate the
+   flits toward their destination bitmask along a deterministic tree.
+2. **The core keeps computing** — descriptors are queued, not awaited;
+   the engine streams autonomously (shown via the queue-depth status).
+3. **Bits are identical** — ``hw`` collectives combine in the binomial
+   tree's order, so results match the software tree exactly, and the
+   unicast-fallback mode (``noc_multicast=False``) delivers the same
+   words again, just slower.
+
+Run with::
+
+    PYTHONPATH=src python examples/hw_collectives.py
+"""
+
+from __future__ import annotations
+
+from repro.apps.collective_bench import (
+    CollectiveBenchParams,
+    run_collective_bench,
+)
+from repro.dse.report import format_table
+from repro.system.config import SystemConfig
+
+
+def run_point(collective: str, algorithm: str, **overrides) -> float:
+    config = SystemConfig(n_workers=8, cache_size_kb=16, **overrides)
+    result = run_collective_bench(
+        config,
+        CollectiveBenchParams(
+            collective=collective, model="empi", algorithm=algorithm,
+            n_values=16, repeats=4,
+        ),
+    )
+    assert result.validated, "delivered vectors must match the references"
+    return result.cycles_per_op
+
+
+def hardware_vs_software() -> None:
+    print("bcast/allreduce of 16 doubles on the reference 8-worker mesh")
+    print("(cycles per operation, identical delivered bits everywhere)\n")
+    rows = []
+    for collective in ("bcast", "allreduce"):
+        sw_linear = run_point(collective, "linear")
+        sw_tree = run_point(collective, "tree")
+        hw = run_point(collective, "hw", dma_tx_queue_depth=4)
+        hw_uc = run_point(collective, "hw", dma_tx_queue_depth=4,
+                          noc_multicast=False)
+        rows.append([
+            collective, f"{sw_linear:.0f}", f"{sw_tree:.0f}", f"{hw:.0f}",
+            f"{hw_uc:.0f}", f"{sw_tree / hw:.2f}x",
+        ])
+    print(format_table(
+        ["collective", "sw linear", "sw tree", "hw multicast",
+         "hw unicast-fallback", "tree/hw"],
+        rows,
+    ))
+    print(
+        "\nThe hw column wins because the root injects each payload word "
+        "once\nand the fabric replicates; the fallback column shows the "
+        "same engine\nwithout replication — equivalent results, P-1 "
+        "streams again."
+    )
+
+
+def queue_keeps_the_core_running() -> None:
+    """Post one descriptor per peer back-to-back, then compute."""
+    from repro.system.medea import MedeaSystem
+
+    n_workers = 4
+    observed = {}
+
+    def producer(ctx):
+        free = []
+        for dst in range(1, n_workers):
+            accepted = yield ("qsend", ctx.node_of(dst), [dst] * 8)
+            assert accepted
+            free.append((yield ("qstat",)))
+        observed["free_slots_after_posts"] = free
+        yield ("compute", 300)  # the engine streams underneath
+
+    def consumer(rank):
+        def program(ctx):
+            observed[rank] = yield ("recv", ctx.node_of(0), 8)
+        return program
+
+    system = MedeaSystem(
+        SystemConfig(n_workers=n_workers, dma_tx_queue_depth=4)
+    )
+    system.load_programs(
+        [producer] + [consumer(r) for r in range(1, n_workers)]
+    )
+    cycles = system.run()
+    print(f"\n3 sends posted in a handful of cycles, total run {cycles} "
+          f"cycles;")
+    print(f"queue free-slot readings after each post: "
+          f"{observed['free_slots_after_posts']}")
+    for rank in range(1, n_workers):
+        assert observed[rank] == [rank] * 8
+    print("every peer received its payload while rank 0 was computing")
+
+
+if __name__ == "__main__":
+    hardware_vs_software()
+    queue_keeps_the_core_running()

@@ -136,15 +136,29 @@ def _make_program(params: MatmulParams, chunks, rank: int,
 
         if rank == 0:
             yield ctx.note("stage_start")
+
         # Row broadcast: rank 0 streams A one row at a time; every rank
-        # stages only the columns its k-slice multiplies.
-        for i in range(n):
-            row = [a_value(i, k) for k in range(n)] if rank == 0 else None
-            row = yield from comm.bcast(0, row, n)
+        # stages only the columns its k-slice multiplies.  The broadcast
+        # is non-blocking (ibcast) and double-buffered: row i+1 is posted
+        # before row i's columns are staged, and the stores run inside
+        # overlap() so the engine progresses the next row's broadcast
+        # underneath them.  Data and combine orders are untouched, so the
+        # result stays bit-identical to reference_matmul.
+        def _store_columns(row, i):
             for kk in range(k_size):
                 yield from ctx.store_double(
                     a_base + (i * k_size + kk) * 8, row[k_first + kk]
                 )
+
+        def _a_row(i):
+            return [a_value(i, k) for k in range(n)] if rank == 0 else None
+
+        request = yield from comm.ibcast(0, _a_row(0), n)
+        for i in range(n):
+            row = yield from comm.wait(request)
+            if i + 1 < n:
+                request = yield from comm.ibcast(0, _a_row(i + 1), n)
+            yield from comm.overlap(_store_columns(row, i))
         # B rows of the slice are this rank's own data.
         for kk in range(k_size):
             for j in range(n):

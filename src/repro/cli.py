@@ -7,6 +7,7 @@ Usage::
     python -m repro all --jobs 8    # every experiment
     python -m repro compare         # hybrid vs sync-only vs pure-SM
     python -m repro collectives     # collective x algorithm x model x mesh
+    python -m repro hw_collectives  # hardware engine vs software crossover
     python -m repro matmul          # tiled matmul (bcast + reduce)
     python -m repro stream          # producer/consumer pipeline
     python -m repro cg              # CG solver, overlap on/off sweep

@@ -1,0 +1,275 @@
+"""The per-tile DMA/collective TX engine.
+
+The engine sits between the core and the TIE/arbiter message path:
+
+* the core *posts* :class:`TxDescriptor` records into a bounded queue
+  (``qsend``/``qmcast`` operations, a couple of cycles each) and keeps
+  running — the queue retires the one-slot serialization the blocking
+  ``send``/``isend`` path imposes;
+* every cycle the owning node pumps the engine: the head descriptor is
+  activated (unicast descriptors are handed to the TIE's existing
+  streaming machinery; multicast descriptors become an engine-owned flit
+  stream) and the current flit is offered to the arbiter's message class.
+
+Multicast descriptors carry a destination bitmask.  In **multicast mode**
+the engine emits one MULTICAST flit per payload word with ``dst = -1``
+and the mask attached; the fabric replicates it along the deterministic
+tree, so a P-way broadcast costs one injection per word.  In **unicast
+fallback mode** (``noc_multicast=False``, for networks whose flit format
+cannot carry the mask, and as the equivalence baseline) the same
+descriptor expands into one ordinary-routed MULTICAST flit per (member,
+word) pair — identical receive-side behaviour (same streams, same slots,
+same credits), P-1 times the injections.
+
+Sequence space: all multicasts from one tile share a single slot counter,
+which is only coherent if every one of them targets the same group —
+the hardware analogue of a multicast group register.  The first
+``post_multicast`` fixes the group; a later descriptor with a different
+mask raises :class:`~repro.errors.ProtocolError`.
+
+Flow control mirrors the unicast credit scheme: every group member
+returns one token per CREDIT_WINDOW contiguously completed multicast
+slots and the engine gates emission on the *slowest* member
+(ack aggregation), bounding the reorder span group-wide.
+"""
+
+from __future__ import annotations
+
+import typing
+from collections import deque
+from collections.abc import Iterator
+
+from repro.errors import ProtocolError
+from repro.kernel.stats import CounterSet
+from repro.noc.flit import MULTICAST_DST, Flit
+from repro.noc.packet import PacketType, SubType
+from repro.pe.tie import CREDIT_LIMIT, SEQ_WINDOW
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pe.tie import TieInterface
+
+
+def mask_members(mask: int) -> Iterator[int]:
+    """Node indices of a destination bitmask, ascending."""
+    while mask:
+        bit = mask & -mask
+        mask ^= bit
+        yield bit.bit_length() - 1
+
+
+class TxDescriptor:
+    """One queued transmit descriptor (unicast or multicast)."""
+
+    __slots__ = ("dst", "mask", "words")
+
+    def __init__(self, dst: int, mask: int, words: list[int]) -> None:
+        self.dst = dst      # destination node, or MULTICAST_DST
+        self.mask = mask    # destination bitmask (multicast only)
+        self.words = words
+
+    @property
+    def is_multicast(self) -> bool:
+        return self.dst == MULTICAST_DST
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        target = f"mask={self.mask:#x}" if self.is_multicast else str(self.dst)
+        return f"<TxDescriptor ->{target} {len(self.words)}w>"
+
+
+class _ActiveMulticast:
+    """Emission state for the multicast descriptor currently streaming.
+
+    ``entries`` is a flat list of ``(slot, member, flit)`` tuples: in
+    multicast mode ``member`` is None (the fabric replicates; credit
+    gating is against the whole group), in fallback mode one entry per
+    (member, word) with the member's own credit gate.
+    """
+
+    __slots__ = ("entries", "members", "index")
+
+    def __init__(self, entries: list, members: tuple[int, ...]) -> None:
+        self.entries = entries
+        self.members = members
+        self.index = 0
+
+    @property
+    def done(self) -> bool:
+        return self.index >= len(self.entries)
+
+
+class DmaTxEngine:
+    """Descriptor queue + multicast streamer for one tile."""
+
+    def __init__(
+        self,
+        tie: "TieInterface",
+        n_nodes: int,
+        depth: int,
+        multicast: bool = True,
+    ) -> None:
+        if depth < 1:
+            raise ProtocolError(f"DMA TX queue depth must be >= 1, got {depth}")
+        self.tie = tie
+        self.node_id = tie.node_id
+        self.n_nodes = n_nodes
+        self.depth = depth
+        self.multicast = multicast
+        self.queue: deque[TxDescriptor] = deque()
+        self.group_mask = 0          # fixed by the first multicast post
+        self._mcast_slot = 0         # next multicast stream slot
+        self._active: _ActiveMulticast | None = None
+        self.stats = CounterSet(f"dma[{tie.node_id}]")
+        # Per-flit hot counters, batched like the TIE's and folded into
+        # the CounterSet by flush_stats() at node sleep.
+        self._n_flits_sent = 0
+        self._n_credit_stalls = 0
+
+    # -- core-facing (descriptor posting) ------------------------------------
+
+    @property
+    def free_slots(self) -> int:
+        return self.depth - len(self.queue)
+
+    @property
+    def busy(self) -> bool:
+        """True while any descriptor is queued or streaming."""
+        return bool(self.queue) or self._active is not None
+
+    def post_unicast(self, dst_node: int, words: list[int]) -> bool:
+        """Queue a unicast descriptor; False when the queue is full."""
+        if not (0 <= dst_node < self.n_nodes) or dst_node == self.node_id:
+            raise ProtocolError(
+                f"dma[{self.node_id}]: bad unicast destination {dst_node}"
+            )
+        if not words:
+            raise ProtocolError("empty DMA descriptor")
+        if len(self.queue) >= self.depth:
+            self.stats.inc("queue_full_rejects")
+            return False
+        self.queue.append(TxDescriptor(dst_node, 0, list(words)))
+        self.stats.inc("unicast_descriptors")
+        return True
+
+    def post_multicast(self, mask: int, words: list[int]) -> bool:
+        """Queue a multicast descriptor; False when the queue is full."""
+        if not (0 < mask < (1 << self.n_nodes)):
+            raise ProtocolError(
+                f"dma[{self.node_id}]: multicast mask {mask:#x} out of range "
+                f"for {self.n_nodes} nodes"
+            )
+        if mask & (1 << self.node_id):
+            raise ProtocolError(
+                f"dma[{self.node_id}]: multicast mask includes this tile"
+            )
+        if not words:
+            raise ProtocolError("empty DMA descriptor")
+        if self.group_mask and mask != self.group_mask:
+            # One shared sequence space per tile => one group per tile.
+            raise ProtocolError(
+                f"dma[{self.node_id}]: multicast group is registered as "
+                f"{self.group_mask:#x}; cannot switch to {mask:#x} (the "
+                f"multicast stream shares one sequence space per tile)"
+            )
+        if len(self.queue) >= self.depth:
+            self.stats.inc("queue_full_rejects")
+            return False
+        self.group_mask = mask
+        self.queue.append(TxDescriptor(MULTICAST_DST, mask, list(words)))
+        self.stats.inc("multicast_descriptors")
+        return True
+
+    # -- node-facing (per-cycle drain) ---------------------------------------
+
+    def pump(self) -> None:
+        """Activate the head descriptor when the previous one finished."""
+        if self._active is not None or not self.queue:
+            return
+        head = self.queue[0]
+        if not head.is_multicast:
+            # Unicast rides the TIE's existing per-destination streams
+            # (same slots, same credits as a core-issued send).
+            if self.tie.tx is None:
+                self.queue.popleft()
+                self.tie.begin_send(head.dst, head.words)
+            return
+        self.queue.popleft()
+        self._active = self._activate_multicast(head)
+
+    def _activate_multicast(self, desc: TxDescriptor) -> _ActiveMulticast:
+        base = self._mcast_slot
+        total = len(desc.words)
+        self._mcast_slot = base + total
+        members = tuple(mask_members(desc.mask))
+        entries = []
+        if self.multicast:
+            for offset, word in enumerate(desc.words):
+                slot = base + offset
+                entries.append((slot, None, self._flit(
+                    MULTICAST_DST, desc.mask, slot, offset, total, word,
+                )))
+        else:
+            # Unicast fallback: same slots per member, member-major order
+            # (mirroring the software linear broadcast's send order).
+            for member in members:
+                for offset, word in enumerate(desc.words):
+                    slot = base + offset
+                    entries.append((slot, member, self._flit(
+                        member, 1 << member, slot, offset, total, word,
+                    )))
+        self.stats.inc("messages_started")
+        return _ActiveMulticast(entries, members)
+
+    def _flit(self, dst: int, mask: int, slot: int, offset: int, total: int,
+              word: int) -> Flit:
+        return Flit(
+            dst=dst,
+            src=self.node_id,
+            ptype=PacketType.MULTICAST,
+            subtype=int(SubType.MSG_DATA),
+            seq=slot % SEQ_WINDOW,
+            burst=min(4, total - (offset // 4) * 4),
+            data=word,
+            dst_mask=mask,
+        )
+
+    def tx_current(self) -> Flit | None:
+        """The credit-gated flit to offer the arbiter this cycle."""
+        active = self._active
+        if active is None or active.done:
+            return None
+        slot, member, flit = active.entries[active.index]
+        credited = self.tie.mcast_credited
+        if member is None:
+            # Gate on the slowest group member (ack aggregation).
+            for m in active.members:
+                if slot >= credited.get(m, 0) + CREDIT_LIMIT:
+                    self._n_credit_stalls += 1
+                    return None
+        elif slot >= credited.get(member, 0) + CREDIT_LIMIT:
+            self._n_credit_stalls += 1
+            return None
+        return flit
+
+    def tx_advance(self) -> None:
+        """Mark the current flit accepted by the arbiter."""
+        active = self._active
+        assert active is not None and not active.done
+        active.index += 1
+        self._n_flits_sent += 1
+        if active.done:
+            self._active = None
+
+    def flush_stats(self) -> None:
+        """Fold the batched per-flit counters into the CounterSet."""
+        if self._n_flits_sent:
+            self.stats.inc("flits_sent", self._n_flits_sent)
+            self._n_flits_sent = 0
+        if self._n_credit_stalls:
+            self.stats.inc("credit_stall_cycles", self._n_credit_stalls)
+            self._n_credit_stalls = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<DmaTxEngine node {self.node_id} depth={self.depth} "
+            f"queued={len(self.queue)} active={self._active is not None}>"
+        )

@@ -709,6 +709,123 @@ def experiment_cg(
     )
 
 
+def experiment_hw_collectives(
+    full: bool | None = None,
+    jobs: int | None = None,
+    cache_dir: str | Path | None = None,
+) -> ExperimentReport:
+    """Hardware collective engine vs software: the offload crossover.
+
+    Sweeps bcast and allreduce over queue depth x algorithm x mesh size:
+    the software baselines (``linear``/``tree``, no engine) against the
+    ``hw`` algorithm (DMA TX queue + NoC multicast) at each queue depth,
+    plus the equivalence-tested unicast-fallback point (``hw-uc``,
+    engine on, fabric replication off).  Every point validates bit for
+    bit against the combine-order references — hw results are identical
+    to ``tree`` by construction.  Points run inline but cache through
+    the versioned :class:`ResultCache` (``jobs`` accepted for CLI
+    uniformity).
+    """
+    del jobs
+    started = time.perf_counter()
+    full = full_scale_requested() if full is None else full
+    workers = (2, 4, 8, 15) if full else (4, 8)
+    depths = (1, 2, 4, 8) if full else (1, 4)
+    n_values = 16
+    repeats = 8 if full else 4
+    cache = (
+        ResultCache(cache_dir, "hw_collectives")
+        if cache_dir is not None else None
+    )
+
+    def point(config: SystemConfig, collective: str, algorithm: str,
+              label: str) -> float:
+        params = CollectiveBenchParams(
+            collective=collective, model="empi", algorithm=algorithm,
+            n_values=n_values, repeats=repeats,
+        )
+        key = (
+            f"{config_cache_key(config)}|app=collective_bench|"
+            f"{params_cache_key(params)}"
+        )
+        cached = cache.get_raw(key) if cache is not None else None
+        if cached is not None:
+            return cached["cycles_per_op"]
+        result = run_collective_bench(config, params)
+        _assert_validated(label, result.validated)
+        if cache is not None:
+            cache.put_raw(key, {"cycles_per_op": result.cycles_per_op})
+        return result.cycles_per_op
+
+    rows = []
+    series: dict[str, list[tuple[float, float]]] = {}
+    crossover: dict[str, int | None] = {}
+    for config in mesh_sweep_configs(workers):
+        w = config.n_workers
+        for collective in ("bcast", "allreduce"):
+            cycles: dict[str, float] = {}
+            for algorithm in ("linear", "tree"):
+                cycles[algorithm] = point(
+                    config, collective, algorithm,
+                    f"hw_collectives/{collective}/{algorithm}/{w}w",
+                )
+            for depth in depths:
+                hw_config = config.with_changes(dma_tx_queue_depth=depth)
+                cycles[f"hw(q{depth})"] = point(
+                    hw_config, collective, "hw",
+                    f"hw_collectives/{collective}/hw-q{depth}/{w}w",
+                )
+            fallback_config = config.with_changes(
+                dma_tx_queue_depth=depths[-1], noc_multicast=False
+            )
+            cycles["hw-uc"] = point(
+                fallback_config, collective, "hw",
+                f"hw_collectives/{collective}/hw-uc/{w}w",
+            )
+            best_hw = min(cycles[f"hw(q{d})"] for d in depths)
+            if best_hw < cycles["tree"] and collective not in crossover:
+                crossover[collective] = w
+            rows.append(
+                [collective, w]
+                + [f"{cycles[k]:.0f}" for k in cycles]
+                + [f"{cycles['tree'] / best_hw:.2f}x"]
+            )
+            series.setdefault(f"{collective}_tree", []).append(
+                (w, cycles["tree"])
+            )
+            series.setdefault(f"{collective}_hw", []).append((w, best_hw))
+    if cache is not None:
+        cache.save()
+    labels = (
+        ["linear", "tree"] + [f"hw(q{d})" for d in depths] + ["hw-uc"]
+    )
+    crossings = ", ".join(
+        f"{coll}: {'never' if crossover.get(coll) is None else f'from {crossover[coll]}w'}"
+        for coll in ("bcast", "allreduce")
+    )
+    text = (
+        f"hw_collectives: cycles per op, {n_values} doubles, mean of "
+        f"{repeats} reps (empi model)\n"
+        + _scale_note(full, f"{len(workers)} mesh sizes, {len(depths)} depths")
+        + format_table(
+            ["collective", "workers"] + labels + ["tree/hw"], rows
+        )
+        + f"\nhw beats the software tree ({crossings}); 'hw-uc' is the "
+          "unicast-fallback equivalence point (engine on, fabric "
+          "replication off).  All points deliver bit-identical vectors; "
+          "hw combines in the tree order.\n"
+        + ascii_plot(
+            series, x_label="worker cores", y_label="cycles/op",
+            title="hw_collectives: hardware vs software crossover",
+        )
+    )
+    return ExperimentReport(
+        experiment="hw_collectives", full_scale=full, text=text,
+        series=series, rows=rows,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
 # ---------------------------------------------------------------------------
 # NoC characterization + simulator speed
 # ---------------------------------------------------------------------------
@@ -821,6 +938,7 @@ ALL_EXPERIMENTS = {
     "fig9": experiment_fig9,
     "compare": experiment_compare,
     "collectives": experiment_collectives,
+    "hw_collectives": experiment_hw_collectives,
     "matmul": experiment_matmul,
     "stream": experiment_stream,
     "cg": experiment_cg,

@@ -38,7 +38,14 @@ class CollectiveAlgorithm(enum.Enum):
     * ``linear`` — the root exchanges with every other rank directly:
       O(P) messages all touching the root, one hop of software latency;
     * ``tree`` — a binomial tree: O(P) messages but only ceil(log2 P)
-      rounds on the critical path, the classic large-P win.
+      rounds on the critical path, the classic large-P win;
+    * ``hw`` — the hardware collective engine (:mod:`repro.dma`): the
+      data-distribution half of a collective becomes ONE multicast
+      descriptor the fabric replicates, and the combining half runs the
+      binomial tree — so ``hw`` results are bit-identical to ``tree``
+      (same combine order) while the broadcast leg costs one injection
+      instead of P-1.  Requires ``dma_tx_queue_depth >= 1`` and the
+      ``empi`` model.
 
     Scatter and gather are root-centric by definition (every payload
     word starts or ends at the root), so they always run linear.
@@ -46,6 +53,7 @@ class CollectiveAlgorithm(enum.Enum):
 
     LINEAR = "linear"
     TREE = "tree"
+    HW = "hw"
 
     @classmethod
     def parse(cls, value: "CollectiveAlgorithm | str") -> "CollectiveAlgorithm":
@@ -55,8 +63,19 @@ class CollectiveAlgorithm(enum.Enum):
             return cls(value.lower())
         except ValueError:
             raise ConfigError(
-                f"unknown collective algorithm {value!r}; use 'linear' or 'tree'"
+                f"unknown collective algorithm {value!r}; "
+                f"use 'linear', 'tree' or 'hw'"
             ) from None
+
+    def combine_order(self) -> "CollectiveAlgorithm":
+        """The combine order a reduction under this algorithm follows.
+
+        ``hw`` offloads only data distribution; its reductions combine in
+        the binomial-tree order, so the ``tree`` references validate it.
+        """
+        if self is CollectiveAlgorithm.HW:
+            return CollectiveAlgorithm.TREE
+        return self
 
 
 class ReduceOp(enum.Enum):
@@ -139,7 +158,7 @@ def reference_reduce(
     every subtree root with relative rank ``rr`` (``rr & m == 0``)
     absorbs the finished accumulator of relative rank ``rr | m``.
     """
-    algorithm = CollectiveAlgorithm.parse(algorithm)
+    algorithm = CollectiveAlgorithm.parse(algorithm).combine_order()
     n = len(contributions)
     if algorithm is CollectiveAlgorithm.LINEAR:
         acc = list(contributions[0])
@@ -279,6 +298,14 @@ class EmpiCollectives:
         results = yield from self.empi.waitall(requests)
         return results
 
+    def waitany(self, requests) -> "Program":
+        index, result = yield from self.empi.waitany(requests)
+        return index, result
+
+    def waitsome(self, requests) -> "Program":
+        completed = yield from self.empi.waitsome(requests)
+        return completed
+
     def test(self, request) -> "Program":
         done = yield from self.empi.test(request)
         return done
@@ -313,6 +340,11 @@ def make_comm(
     model = CommModel.parse(model)
     if model is CommModel.EMPI:
         return EmpiCollectives(ctx, algorithm)
+    if CollectiveAlgorithm.parse(algorithm) is CollectiveAlgorithm.HW:
+        raise ConfigError(
+            "the 'hw' collective algorithm rides the TIE/DMA hardware; "
+            "it is only available on the 'empi' model"
+        )
     from repro.empi.smsync import SharedMemoryCollectives
 
     return SharedMemoryCollectives(

@@ -149,6 +149,11 @@ class ProgressEngine:
     def n_active(self) -> int:
         return len(self._active)
 
+    @property
+    def active_labels(self) -> list[str]:
+        """Labels of the outstanding requests, posting order (diagnostics)."""
+        return [request.label for request in self._active]
+
     def post(self, frag: "Program", label: str = "request") -> "Program":
         """Post a fragment; returns its :class:`Request` after one slice.
 
@@ -205,6 +210,36 @@ class ProgressEngine:
             result = yield from self.wait(request)
             results.append(result)
         return results
+
+    def waitany(self, requests: list[Request]) -> "Program":
+        """MPI_Waitany: progress until at least one of ``requests`` is
+        complete; returns ``(index, result)`` of the first complete one
+        in list order.  An already-complete request returns immediately
+        without a progress round (matching ``wait``'s semantics)."""
+        if not requests:
+            raise ProgramError("waitany needs at least one request")
+        while True:
+            for index, request in enumerate(requests):
+                if request.complete:
+                    return index, request.result
+            yield from self.progress()
+
+    def waitsome(self, requests: list[Request]) -> "Program":
+        """MPI_Waitsome: progress until at least one of ``requests`` is
+        complete; returns ``[(index, result), ...]`` for every currently
+        complete request, in list order.  An empty list returns ``[]``
+        immediately (mirroring ``waitall([])``)."""
+        if not requests:
+            return []
+        while True:
+            completed = [
+                (index, request.result)
+                for index, request in enumerate(requests)
+                if request.complete
+            ]
+            if completed:
+                return completed
+            yield from self.progress()
 
     def test(self, request: Request) -> "Program":
         """One progress round, then report whether ``request`` finished."""

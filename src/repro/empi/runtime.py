@@ -81,9 +81,11 @@ class Empi:
         # corrupting a stream.  (Barriers ride the request-token segment
         # and stay safe alongside outstanding requests.)
         if not self.engine.idle:
+            labels = ", ".join(self.engine.active_labels)
             raise ProgramError(
-                f"blocking {what} with {self.engine.n_active} non-blocking "
-                f"request(s) outstanding; wait/waitall them first"
+                f"rank {self.ctx.rank}: blocking {what} with "
+                f"{self.engine.n_active} non-blocking request(s) "
+                f"outstanding ({labels}); wait/waitall them first"
             )
 
     # -- point-to-point ---------------------------------------------------------
@@ -189,6 +191,25 @@ class Empi:
     def _combine_cost(self, n_values: int, op: ReduceOp) -> int:
         return combine_cost(self.ctx.cost, n_values, op)
 
+    # -- hardware-collective helpers (the DMA/multicast engine) -----------------
+
+    def _require_hw(self) -> None:
+        if self.ctx.dma_queue_depth < 1:
+            raise ProgramError(
+                f"rank {self.ctx.rank}: the 'hw' collective algorithm needs "
+                f"the DMA/TX-queue engine; set dma_tx_queue_depth >= 1 on "
+                f"the SystemConfig"
+            )
+
+    def _hw_group_mask(self, root: int) -> int:
+        """Destination bitmask of every worker node except the root's."""
+        ctx = self.ctx
+        mask = 0
+        for rank in range(ctx.n_workers):
+            if rank != root:
+                mask |= 1 << ctx.node_of(rank)
+        return mask
+
     def bcast_doubles(
         self,
         root: int,
@@ -201,7 +222,9 @@ class Empi:
         ``linear`` has the root stream to each rank in ascending order;
         ``tree`` runs the binomial broadcast (each holder forwards down
         its subtree, largest subtree first), ceil(log2 P) token rounds on
-        the critical path.
+        the critical path; ``hw`` posts ONE multicast descriptor on the
+        DMA engine and lets the fabric replicate — the root takes a
+        single injection whatever P is.
         """
         algorithm = CollectiveAlgorithm.parse(algorithm)
         ctx = self.ctx
@@ -211,6 +234,10 @@ class Empi:
                 raise ProgramError("broadcast root must supply the payload")
         if n == 1:
             return list(values)  # type: ignore[arg-type]
+        if algorithm is CollectiveAlgorithm.HW:
+            self._require_hw()
+            result = yield from self._bcast_hw(root, values, n_values)
+            return result
         if algorithm is CollectiveAlgorithm.LINEAR:
             if ctx.rank == root:
                 for rank in range(n):
@@ -244,6 +271,29 @@ class Empi:
             mask >>= 1
         return data
 
+    def _bcast_hw(
+        self, root: int, values: list[float] | None, n_values: int
+    ) -> "Program":
+        """Hardware broadcast: one multicast descriptor, fabric replication.
+
+        The root posts the packed payload with the all-other-workers
+        bitmask (retrying while the queue is full) and is done — the DMA
+        engine streams and the switches replicate.  Every other rank
+        blocks on its *multicast* receive stream from the root; delivered
+        bits are the root's payload verbatim, exactly as in the software
+        broadcasts.
+        """
+        self._check_engine_idle("bcast")
+        ctx = self.ctx
+        if ctx.rank == root:
+            words = pack_doubles(values)  # type: ignore[arg-type]
+            group = self._hw_group_mask(root)
+            while not (yield ("qmcast", group, words)):
+                pass  # queue full: each retry is a 2-cycle descriptor write
+            return list(values)  # type: ignore[arg-type]
+        words = yield ("mrecv", ctx.node_of(root), 2 * n_values)
+        return unpack_doubles(words)
+
     def reduce_doubles(
         self,
         root: int,
@@ -256,10 +306,12 @@ class Empi:
         Returns the combined vector at ``root`` and ``None`` elsewhere.
         The combine order is exactly the one
         :func:`~repro.empi.collectives.reference_reduce` replicates, so
-        results validate bit for bit.
+        results validate bit for bit.  ``hw`` has no fabric assist for
+        the combining direction and runs the binomial tree (identical
+        combine order, hence identical bits).
         """
         op = ReduceOp.parse(op)
-        algorithm = CollectiveAlgorithm.parse(algorithm)
+        algorithm = CollectiveAlgorithm.parse(algorithm).combine_order()
         ctx = self.ctx
         n = ctx.n_workers
         n_values = len(values)
@@ -304,7 +356,12 @@ class Empi:
         op: ReduceOp | str = ReduceOp.SUM,
         algorithm: CollectiveAlgorithm | str = CollectiveAlgorithm.LINEAR,
     ) -> "Program":
-        """MPI_allreduce: reduce at rank 0, then broadcast the result."""
+        """MPI_allreduce: reduce at rank 0, then broadcast the result.
+
+        Under ``hw`` the reduce leg runs the binomial tree (bit-identical
+        to ``tree``) and the broadcast leg is one multicast descriptor —
+        the hardware-offload split the DSE crossover sweep measures.
+        """
         n_values = len(values)
         reduced = yield from self.reduce_doubles(0, values, op, algorithm)
         result = yield from self.bcast_doubles(0, reduced, n_values, algorithm)
@@ -435,6 +492,16 @@ class Empi:
         results = yield from self.engine.waitall(requests)
         return results
 
+    def waitany(self, requests: list[Request]) -> "Program":
+        """MPI_Waitany: (index, result) of the first completed request."""
+        index, result = yield from self.engine.waitany(requests)
+        return index, result
+
+    def waitsome(self, requests: list[Request]) -> "Program":
+        """MPI_Waitsome: [(index, result), ...] of the completed ones."""
+        completed = yield from self.engine.waitsome(requests)
+        return completed
+
     def test(self, request: Request) -> "Program":
         """MPI_Test: one progress round; True when complete."""
         done = yield from self.engine.test(request)
@@ -535,6 +602,10 @@ class Empi:
                 raise ProgramError("broadcast root must supply the payload")
         if n == 1:
             return list(values)  # type: ignore[arg-type]
+        if algorithm is CollectiveAlgorithm.HW:
+            self._require_hw()
+            result = yield from self._frag_bcast_hw(root, values, n_values)
+            return result
         if algorithm is CollectiveAlgorithm.LINEAR:
             if ctx.rank == root:
                 for rank in range(n):
@@ -562,6 +633,34 @@ class Empi:
                 yield from self._frag_send_doubles((child + root) % n, data)
             mask >>= 1
         return data
+
+    def _frag_bcast_hw(
+        self, root: int, values: list[float] | None, n_values: int
+    ) -> "Program":
+        # The non-blocking twin of _bcast_hw: the root's descriptor post
+        # reschedules while the queue is full (the engine drains it in
+        # hardware), receivers hold the per-source multicast-stream turn
+        # so concurrently posted hw collectives complete in posting order.
+        ctx = self.ctx
+        if ctx.rank == root:
+            words = pack_doubles(values)  # type: ignore[arg-type]
+            group = self._hw_group_mask(root)
+            while not (yield ("qmcast", group, words)):
+                yield RESCHEDULE
+            return list(values)  # type: ignore[arg-type]
+        src_node = ctx.node_of(root)
+        turn = self.engine.turn(("mrx", src_node))
+        token = object()
+        turn.enter(token)
+        while not turn.holds(token):
+            yield RESCHEDULE
+        while True:
+            words = yield ("tmrecv", src_node, 2 * n_values)
+            if words is not None:
+                break
+            yield RESCHEDULE
+        turn.leave(token)
+        return unpack_doubles(words)
 
     def _frag_reduce_body(
         self,

@@ -251,9 +251,11 @@ class SharedMemoryCollectives:
         # whose barrier rides a separate token segment — the barrier
         # counter itself, silently corrupting shared state.  Refuse.
         if not self.engine.idle:
+            labels = ", ".join(self.engine.active_labels)
             raise ProgramError(
-                f"blocking {what} with {self.engine.n_active} non-blocking "
-                f"request(s) outstanding; wait/waitall them first"
+                f"rank {self.ctx.rank}: blocking {what} with "
+                f"{self.engine.n_active} non-blocking request(s) "
+                f"outstanding ({labels}); wait/waitall them first"
             )
 
     # -- the collective interface (mirrors EmpiCollectives) -----------------
@@ -476,6 +478,14 @@ class SharedMemoryCollectives:
     def waitall(self, requests: list[Request]) -> "Program":
         results = yield from self.engine.waitall(requests)
         return results
+
+    def waitany(self, requests: list[Request]) -> "Program":
+        index, result = yield from self.engine.waitany(requests)
+        return index, result
+
+    def waitsome(self, requests: list[Request]) -> "Program":
+        completed = yield from self.engine.waitsome(requests)
+        return completed
 
     def test(self, request: Request) -> "Program":
         done = yield from self.engine.test(request)

@@ -137,8 +137,9 @@ class MpmmuNode(Component):
         if queue.empty:
             return
         flit = queue.peek()
-        if flit.ptype == PacketType.MESSAGE:
-            # The reference MPMMU takes no part in eMPI traffic.
+        if flit.ptype >= PacketType.MESSAGE:
+            # The reference MPMMU takes no part in eMPI traffic (neither
+            # MESSAGE nor MULTICAST flits).
             raise ProtocolError(f"mpmmu received message flit {flit!r}")
         if flit.subtype == int(SubType.ADDR):
             if self.req_fifo.full:

@@ -15,6 +15,10 @@ from repro.noc.packet import PacketType
 
 _flit_ids = itertools.count()
 
+#: ``dst`` value of a mask-routed MULTICAST flit: the switch routes it by
+#: ``dst_mask`` (one bit per destination node) instead of the X-Y address.
+MULTICAST_DST = -1
+
 
 @dataclass(slots=True)
 class Flit:
@@ -27,6 +31,8 @@ class Flit:
     seq: int = 0
     burst: int = 1
     data: int = 0
+    #: MULTICAST destination bitmask (0 for every other packet type).
+    dst_mask: int = 0
     #: Simulation bookkeeping (not wire bits).
     uid: int = field(default_factory=lambda: next(_flit_ids))
     injected_at: int = -1
@@ -38,7 +44,8 @@ class Flit:
         return (self.injected_at, self.uid)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
+        dst = f"mask={self.dst_mask:#x}" if self.dst < 0 else str(self.dst)
         return (
             f"<Flit#{self.uid} {self.ptype.name}/{self.subtype} "
-            f"{self.src}->{self.dst} seq={self.seq} data={self.data:#x}>"
+            f"{self.src}->{dst} seq={self.seq} data={self.data:#x}>"
         )

@@ -26,7 +26,7 @@ from repro.kernel.stats import LatencyStat
 from repro.kernel.trace import Tracer
 from repro.noc.coords import OPPOSITE
 from repro.noc.flit import Flit
-from repro.noc.packet import FlitCodec
+from repro.noc.packet import FlitCodec, PacketType
 from repro.noc.switch import RoutingOutcome, route_node
 from repro.noc.topology import Topology
 
@@ -146,6 +146,34 @@ class NocFabric(Component):
     def validate_flit(self, flit: Flit) -> None:
         """Range-check (and optionally wire-encode) a flit at injection."""
         n = self.topology.n_nodes
+        if flit.dst < 0:
+            # Mask-routed multicast: the bitmask replaces the X-Y address.
+            if flit.ptype is not PacketType.MULTICAST:
+                raise ProtocolError(f"negative dst on non-multicast {flit!r}")
+            mask = flit.dst_mask
+            if not (0 < mask < (1 << n)):
+                raise ProtocolError(
+                    f"multicast mask out of range for {n} nodes: {flit!r}"
+                )
+            if mask & (1 << flit.src):
+                raise ProtocolError(
+                    f"multicast mask includes the source node: {flit!r}"
+                )
+            if not (0 <= flit.src < n):
+                raise ProtocolError(f"flit endpoints out of range: {flit!r}")
+            if self.strict_encoding:
+                if mask >= (1 << max(0, self.codec.mask_bits)):
+                    raise ProtocolError(
+                        f"multicast mask does not fit the {self.codec.mask_bits}"
+                        f" spare flit bits; use the DMA engine's unicast "
+                        f"fallback (noc_multicast=False) on this network"
+                    )
+                self.codec.encode(
+                    0, 0, int(flit.ptype), flit.subtype, flit.seq,
+                    min(flit.burst, self.codec.max_burst), flit.src, flit.data,
+                    mask=mask,
+                )
+            return
         if not (0 <= flit.dst < n and 0 <= flit.src < n):
             raise ProtocolError(f"flit endpoints out of range: {flit!r}")
         if self.strict_encoding:
@@ -193,6 +221,12 @@ class NocFabric(Component):
                 flit_hops += inject.hops
                 self._eject(port, inject, cycle, zero_hop=True)
                 inject = None
+            elif inject is not None and inject.dst < 0:
+                # Stamp mask-routed injections *before* routing: the
+                # switch may replicate them right here, and the copies
+                # inherit injected_at (age priority + latency baseline).
+                # A stalled injection is simply re-stamped next cycle.
+                inject.injected_at = cycle
 
             # The register row is handed to the router as-is (it skips
             # idle links); clear it only after routing has read it.
@@ -203,6 +237,10 @@ class NocFabric(Component):
                 flits_ejected += 1
                 flit_hops += flit.hops
                 self._eject(port, flit, cycle)
+            if outcome.flit_copies:
+                # Multicast replication grew the in-network population.
+                self._flit_count += outcome.flit_copies
+                self.stats.inc("mcast_copies", outcome.flit_copies)
             if inject is not None:
                 if outcome.injected:
                     inject.injected_at = cycle

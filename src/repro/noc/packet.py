@@ -25,7 +25,15 @@ from repro.errors import PacketFormatError
 
 
 class PacketType(enum.IntEnum):
-    """The seven 3-bit packet types of Section II-D."""
+    """The seven 3-bit packet types of Section II-D, plus MULTICAST.
+
+    MULTICAST (the eighth, previously reserved, 3-bit code) is the
+    hardware-collective extension: a message-class flit whose destination
+    is a *bitmask* of nodes rather than one X-Y coordinate.  Switches
+    replicate it toward child ports along a deterministic tree (see
+    :func:`repro.noc.switch.route_node`); the per-tile DMA engine in
+    :mod:`repro.dma` is the only producer.
+    """
 
     SINGLE_READ = 0
     SINGLE_WRITE = 1
@@ -34,10 +42,11 @@ class PacketType(enum.IntEnum):
     LOCK = 4
     UNLOCK = 5
     MESSAGE = 6
+    MULTICAST = 7
 
     @property
     def is_shared_memory(self) -> bool:
-        return self is not PacketType.MESSAGE
+        return self < PacketType.MESSAGE
 
 
 class SubType(enum.IntEnum):
@@ -136,6 +145,12 @@ class FlitCodec:
         self.payload_bits = data_bits
         self.max_seq = (1 << seq_bits) - 1
         self.max_burst = (1 << burst_bits) - 1
+        # The spare low-order bits (12 on the reference 64-bit flit) carry
+        # the MULTICAST destination bitmask; networks with more nodes than
+        # spare bits must use the DMA engine's unicast-fallback mode.
+        self.mask_bits = flit_width - total
+        if self.mask_bits > 0:
+            self.fields["mask"] = FieldSpec("mask", self.mask_bits, 0)
 
     # -- encode/decode -----------------------------------------------------------
 
@@ -149,6 +164,7 @@ class FlitCodec:
         burst: int,
         src: int,
         data: int,
+        mask: int = 0,
     ) -> int:
         """Pack fields into the flat wire word (valid bit set)."""
         word = 0
@@ -162,6 +178,12 @@ class FlitCodec:
         word = fields["burst"].insert(word, burst)
         word = fields["src"].insert(word, src)
         word = fields["data"].insert(word, data)
+        if mask:
+            if self.mask_bits <= 0:
+                raise PacketFormatError(
+                    "flit layout has no spare bits for a multicast mask"
+                )
+            word = fields["mask"].insert(word, mask)
         return word
 
     def decode(self, word: int) -> dict[str, int]:

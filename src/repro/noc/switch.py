@@ -17,6 +17,22 @@ it is written to avoid allocation: free ports are a bitmask rather than a
 set, sorting is skipped when at most one flit contends, the topology's
 precomputed tables are indexed directly, and the caller may pass a
 reusable :class:`RoutingOutcome` scratch structure via ``out``.
+
+**Multicast replication.**  A MULTICAST flit (``dst < 0``) carries a
+destination bitmask and is routed along the deterministic dimension-order
+tree: at every switch the remaining mask is partitioned by each
+destination's *preferred* productive direction, and the flit is replicated
+into one copy per branch whose port is free.  Replication is opportunistic
+— a branch whose port is taken (or that would starve a younger multicast
+flit of its guaranteed port) is merged back into the first placed copy and
+re-splits at a later switch, so a multicast flit occupies at least one and
+at most ``#branches`` output ports and the deflection invariant (every
+transit flit is placed every cycle) is preserved.  Destinations whose bit
+matches the local node eject a copy through the normal local port, bounded
+by the same ``eject_capacity``.  Unicast traffic is routed exactly as
+before — multicast flits take the lowest transit priority — which the
+golden-equivalence harness in ``tests/noc/test_switch_golden.py`` checks
+flit-for-flit.
 """
 
 from __future__ import annotations
@@ -39,7 +55,8 @@ class RoutingOutcome:
     are then overwritten in place.
     """
 
-    __slots__ = ("ejected", "outputs", "injected", "deflections", "eject_overflow")
+    __slots__ = ("ejected", "outputs", "injected", "deflections",
+                 "eject_overflow", "flit_copies")
 
     def __init__(
         self,
@@ -48,6 +65,7 @@ class RoutingOutcome:
         injected: bool = False,
         deflections: int = 0,
         eject_overflow: int = 0,
+        flit_copies: int = 0,
     ) -> None:
         self.ejected = [] if ejected is None else ejected
         # outputs is indexed by direction, None = idle port.
@@ -55,6 +73,9 @@ class RoutingOutcome:
         self.injected = injected
         self.deflections = deflections
         self.eject_overflow = eject_overflow
+        #: Net new flits created by multicast replication this cycle (the
+        #: fabric adds this to its running in-network flit count).
+        self.flit_copies = flit_copies
 
 
 def route_node(
@@ -93,22 +114,30 @@ def route_node(
         outputs = out.outputs
         outputs[0] = outputs[1] = outputs[2] = outputs[3] = None
         out.injected = False
+        out.flit_copies = 0
 
     arrived: list[Flit] | None = None
     contenders: list[Flit] | None = None
+    mcast: list[Flit] | None = None
     for flit in inputs:
         if flit is None:
             continue
-        if flit.dst == node:
+        dst = flit.dst
+        if dst == node:
             if arrived is None:
                 arrived = [flit]
             else:
                 arrived.append(flit)
-        else:
+        elif dst >= 0:
             if contenders is None:
                 contenders = [flit]
             else:
                 contenders.append(flit)
+        else:  # mask-routed MULTICAST flit
+            if mcast is None:
+                mcast = [flit]
+            else:
+                mcast.append(flit)
 
     eject_overflow = 0
     if arrived is not None:
@@ -157,7 +186,23 @@ def route_node(
             assert placed, "deflection routing must always place a transit flit"
     out.deflections = deflections
 
+    if mcast is not None:
+        free_mask = _route_multicast(
+            node, mcast, free_mask, eject_capacity - len(ejected),
+            topology, out,
+        )
+
     if inject is not None and free_mask:
+        if inject.dst < 0:
+            # A pending MULTICAST injection takes whatever ports the
+            # transit traffic left over — any free port when no branch
+            # port is available, like the unicast injection rule (and
+            # like it, without counting a deflection); with free_mask
+            # zero the slot simply retries next cycle.
+            out.injected = _place_multicast(
+                node, inject, free_mask, 0, topology, out, must_place=False,
+            )[1]
+            return out
         injected = False
         for direction in productive[base + inject.dst]:
             bit = 1 << direction
@@ -172,3 +217,134 @@ def route_node(
         out.injected = True
 
     return out
+
+
+def _copy_flit(flit: Flit, dst: int, dst_mask: int) -> Flit:
+    """A replica of ``flit`` (fresh uid, same age/protocol fields)."""
+    return Flit(
+        dst=dst,
+        src=flit.src,
+        ptype=flit.ptype,
+        subtype=flit.subtype,
+        seq=flit.seq,
+        burst=flit.burst,
+        data=flit.data,
+        dst_mask=dst_mask,
+        injected_at=flit.injected_at,
+        hops=flit.hops,
+        deflections=flit.deflections,
+    )
+
+
+def _route_multicast(
+    node: int,
+    mcast: list[Flit],
+    free_mask: int,
+    eject_budget: int,
+    topology: Topology,
+    out: RoutingOutcome,
+) -> int:
+    """Place every transit MULTICAST flit; returns the updated free mask.
+
+    Multicast flits have the lowest transit priority (unicast contenders
+    were placed first), are processed oldest first among themselves, and
+    each is guaranteed one output port by the deflection invariant; extra
+    branch splits only consume ports that no younger multicast flit still
+    needs (``reserve``).
+    """
+    if len(mcast) > 1:
+        mcast.sort(key=_AGE_KEY)
+    for index, flit in enumerate(mcast):
+        reserve = len(mcast) - index - 1
+        if flit.dst_mask & (1 << node):
+            if eject_budget > 0:
+                eject_budget -= 1
+                remaining = flit.dst_mask & ~(1 << node)
+                if remaining == 0:
+                    # Last destination: the flit itself leaves the network.
+                    flit.dst = node
+                    flit.dst_mask = 0
+                    out.ejected.append(flit)
+                    continue
+                copy = _copy_flit(flit, dst=node, dst_mask=1 << node)
+                out.flit_copies += 1
+                out.ejected.append(copy)
+                flit.dst_mask = remaining
+            else:
+                # Ejection port saturated: keep the local bit set so the
+                # flit recirculates and retries — the hot-potato answer.
+                out.eject_overflow += 1
+        free_mask, placed = _place_multicast(
+            node, flit, free_mask, reserve, topology, out, must_place=True,
+        )
+        assert placed, "multicast transit flit must always find a port"
+    return free_mask
+
+
+def _place_multicast(
+    node: int,
+    flit: Flit,
+    free_mask: int,
+    reserve: int,
+    topology: Topology,
+    out: RoutingOutcome,
+    must_place: bool,
+) -> tuple[int, bool]:
+    """Replicate one multicast flit toward its tree branches.
+
+    Partitions the flit's remaining mask by each destination's preferred
+    productive direction, places one copy per branch whose port is free
+    (keeping ``reserve`` ports for later flits), merges unplaceable
+    branches into the first placed copy, and deflects the whole flit when
+    no branch port is free.  Returns ``(free_mask, placed)``.
+    """
+    productive = topology.productive_table
+    base = node * topology.n_nodes
+    local_bit = (1 << node) & flit.dst_mask  # deferred local delivery
+    groups = [0, 0, 0, 0]
+    m = flit.dst_mask & ~local_bit
+    while m:
+        bit = m & -m
+        m ^= bit
+        groups[productive[base + (bit.bit_length() - 1)][0]] |= bit
+    outputs = out.outputs
+    free_count = free_mask.bit_count()
+    first_copy: Flit | None = None
+    deferred = local_bit
+    for direction in (0, 1, 2, 3):
+        branch = groups[direction]
+        if not branch:
+            continue
+        bit = 1 << direction
+        if free_mask & bit and (first_copy is None or free_count > reserve + 1):
+            if first_copy is None:
+                flit.dst_mask = branch
+                outputs[direction] = flit
+                first_copy = flit
+            else:
+                copy = _copy_flit(flit, dst=flit.dst, dst_mask=branch)
+                out.flit_copies += 1
+                outputs[direction] = copy
+            free_mask ^= bit
+            free_count -= 1
+        else:
+            deferred |= branch
+    if first_copy is not None:
+        if deferred:
+            first_copy.dst_mask |= deferred
+        return free_mask, True
+    # No branch port was free: send the whole flit out any free port
+    # (deterministic scan order), mask intact.  For transit flits this
+    # is a deflection and is counted as one; an injection taking a
+    # non-productive first hop is not (matching the unicast rule).
+    for direction in topology.ports_table[node]:
+        bit = 1 << direction
+        if free_mask & bit:
+            flit.dst_mask = deferred
+            outputs[direction] = flit
+            if must_place:
+                flit.deflections += 1
+                out.deflections += 1
+            return free_mask ^ bit, True
+    assert not must_place, "deflection invariant violated for multicast flit"
+    return free_mask, False

@@ -11,7 +11,10 @@ Intra-cycle phase order (one ``step`` = one clock):
 1. drain one flit from the ejection port (data/req demux of Fig. 2-b);
 2. issue the next memory job to the bridge if it is idle;
 3. offer the bridge's pending flit to the arbiter (memory class);
-4. offer the TIE's pending flit to the arbiter (message class);
+4. offer the message path's pending flit to the arbiter (message class):
+   credits first, then request tokens, then the DMA engine's multicast
+   stream (when a :mod:`repro.dma` engine is fitted), then the TIE's
+   data stream;
 5. run the core — execute program operations until one blocks or costs
    time (at most one timed operation per cycle);
 6. arbiter grants at most one flit to the injection port.
@@ -23,6 +26,7 @@ flit arrival, a scheduled compute/backoff expiry, or job completion.
 from __future__ import annotations
 
 import enum
+import typing
 from collections import deque
 from collections.abc import Generator
 
@@ -40,6 +44,9 @@ from repro.noc.network import NodePorts
 from repro.noc.packet import PacketType
 from repro.pe.costmodel import FpCostModel
 from repro.pe.tie import TieInterface
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dma.engine import DmaTxEngine
 
 
 class CoreState(enum.Enum):
@@ -89,6 +96,7 @@ class ProcessorNode(Component):
         lock_retry_backoff: int = 16,
         recv_overhead: int = 2,
         notes: list[tuple[int, int, str]] | None = None,
+        dma: "DmaTxEngine | None" = None,
     ) -> None:
         super().__init__(f"pe[{rank}]")
         self.rank = rank
@@ -106,6 +114,8 @@ class ProcessorNode(Component):
         self.lock_retry_backoff = lock_retry_backoff
         self.recv_overhead = recv_overhead
         self.notes = notes if notes is not None else []
+        #: Optional DMA/collective TX engine (None = seed behaviour).
+        self.dma = dma
 
         self._program: Generator | None = None
         self.state = CoreState.DONE
@@ -115,7 +125,8 @@ class ProcessorNode(Component):
         self._pending_op: tuple | None = None
         self._jobs: deque[_Job] = deque()
         self._active_job: _Job | None = None
-        self._wait_msg: tuple[int, int] | None = None
+        #: Pending blocking receive: (src_node, n_words, from_mcast_stream).
+        self._wait_msg: tuple[int, int, bool] | None = None
         self._pending_req_flit: Flit | None = None
         self._last_op: tuple | None = None
         # Hot-path bindings: the deques backing the RX queue and the TIE
@@ -165,6 +176,7 @@ class ProcessorNode(Component):
             and not self.tie.tx_busy
             and self._pending_req_flit is None
             and self.tie.pending_credits.empty
+            and (self.dma is None or not self.dma.busy)
             and not self.arbiter.has_pending
             and self.ports.eject.queue.empty
         )
@@ -192,6 +204,7 @@ class ProcessorNode(Component):
             self._credit_items
             or self._pending_req_flit is not None
             or tie.tx is not None
+            or (self.dma is not None and self.dma.busy)
         ):
             self._phase_tie_tx(cycle)
         # Core phase (inlined _phase_core).
@@ -213,7 +226,7 @@ class ProcessorNode(Component):
         if queue.empty:
             return
         flit = queue.pop()
-        if flit.ptype == PacketType.MESSAGE:
+        if flit.ptype >= PacketType.MESSAGE:  # MESSAGE or MULTICAST
             self.tie.accept(flit)
         else:
             completed = self.bridge.on_reply(flit, cycle)
@@ -236,6 +249,17 @@ class ProcessorNode(Component):
                 if self.state is CoreState.WAIT_TX:
                     self._resume(cycle, cost=1)
             return
+        dma = self.dma
+        if dma is not None and dma.busy:
+            # The engine drains autonomously: activate the head
+            # descriptor (unicast heads ride the TIE's streaming path
+            # below) and offer the current multicast flit, one per cycle.
+            dma.pump()
+            flit = dma.tx_current()
+            if flit is not None:
+                if self.arbiter.offer_message(flit):
+                    dma.tx_advance()
+                return
         flit = self.tie.tx_current()
         if flit is not None and self.arbiter.offer_message(flit):
             finished = self.tie.tx_advance()
@@ -248,8 +272,11 @@ class ProcessorNode(Component):
         state = self.state
         if state is CoreState.WAIT_MSG and self.tie.rx_event:
             assert self._wait_msg is not None
-            src_node, n_words = self._wait_msg
-            stream = self.tie.stream_from(src_node)
+            src_node, n_words, from_mcast = self._wait_msg
+            if from_mcast:
+                stream = self.tie.mcast_stream_from(src_node)
+            else:
+                stream = self.tie.stream_from(src_node)
             if stream.available(n_words):
                 self._wait_msg = None
                 self._send_value = stream.take(n_words)
@@ -314,6 +341,14 @@ class ProcessorNode(Component):
                 self._n_lmem += 1
                 return
             if code == "send":
+                if self._tx_port_contended():
+                    # A DMA descriptor is streaming through the TIE TX
+                    # port; retry the send next cycle instead of
+                    # colliding with the engine (hardware would
+                    # backpressure the core's TIE write the same way).
+                    self._pending_op = op
+                    self._ready_at = cycle + 1
+                    return
                 self.tie.begin_send(op[1], op[2])
                 self._change_state(CoreState.WAIT_TX, cycle)
                 self.stats.inc("ops_send")
@@ -339,6 +374,10 @@ class ProcessorNode(Component):
                 # running; the TIE streams the flits autonomously (the
                 # node stays awake while tie.tx is pending).  The program
                 # must confirm ("txdone",) before starting another send.
+                if self._tx_port_contended():
+                    self._pending_op = op
+                    self._ready_at = cycle + 1
+                    return
                 self.tie.begin_send(op[1], op[2])
                 self._ready_at = cycle + 2
                 self.stats.inc("ops_isend")
@@ -362,6 +401,43 @@ class ProcessorNode(Component):
                     self._send_value = None
                     self._ready_at = cycle + 1
                 self.stats.inc("ops_trecv")
+                return
+            if code == "qsend":
+                # Post a unicast descriptor on the DMA TX queue; result
+                # False means the queue was full (retry later).  The core
+                # keeps running either way — the queue retires the
+                # one-descriptor serialization of isend.
+                self._send_value = self._dma().post_unicast(op[1], op[2])
+                self._ready_at = cycle + 2
+                self.stats.inc("ops_qsend")
+                return
+            if code == "qmcast":
+                # Post a multicast descriptor (destination bitmask).
+                self._send_value = self._dma().post_multicast(op[1], op[2])
+                self._ready_at = cycle + 2
+                self.stats.inc("ops_qmcast")
+                return
+            if code == "qstat":
+                # One-cycle poll of the queue-status register.
+                self._send_value = self._dma().free_slots
+                self._ready_at = cycle + 1
+                self.stats.inc("ops_qstat")
+                return
+            if code == "mrecv":
+                # Blocking receive from the multicast stream of node op[1].
+                self._op_recv(cycle, op[1], op[2], from_mcast=True)
+                return
+            if code == "tmrecv":
+                # Non-blocking multicast-stream take (trecv's twin).
+                stream = self.tie.mcast_stream_from(op[1])
+                n_words = op[2]
+                if stream.available(n_words):
+                    self._send_value = stream.take(n_words)
+                    self._ready_at = cycle + self.recv_overhead + n_words
+                else:
+                    self._send_value = None
+                    self._ready_at = cycle + 1
+                self.stats.inc("ops_tmrecv")
                 return
             if code == "uload":
                 self._enqueue_blocking(
@@ -407,6 +483,22 @@ class ProcessorNode(Component):
                 self.notes.append((cycle, self.rank, op[1]))
                 continue
             raise ProgramError(f"{self.name}: unknown operation {op!r}")
+
+    def _tx_port_contended(self) -> bool:
+        """True when a queued DMA descriptor currently owns the TIE TX.
+
+        Only possible with an engine fitted: without one, a busy TX at a
+        send/isend op is a program error and begin_send raises as before.
+        """
+        return self.dma is not None and self.tie.tx is not None
+
+    def _dma(self) -> "DmaTxEngine":
+        if self.dma is None:
+            raise ProgramError(
+                f"{self.name}: no DMA/TX-queue engine on this tile; set "
+                f"dma_tx_queue_depth >= 1 on the SystemConfig"
+            )
+        return self.dma
 
     def _next_op(self, cycle: int) -> tuple | None:
         assert self._program is not None
@@ -518,16 +610,22 @@ class ProcessorNode(Component):
         self.stats.inc("ops_flush_dirty")
         return True
 
-    def _op_recv(self, cycle: int, src_node: int, n_words: int) -> None:
-        stream = self.tie.stream_from(src_node)
+    def _op_recv(self, cycle: int, src_node: int, n_words: int,
+                 from_mcast: bool = False) -> None:
+        if from_mcast:
+            stream = self.tie.mcast_stream_from(src_node)
+            counter = "ops_mrecv"
+        else:
+            stream = self.tie.stream_from(src_node)
+            counter = "ops_recv"
         if stream.available(n_words):
             self._send_value = stream.take(n_words)
             self._ready_at = cycle + self.recv_overhead + n_words
-            self.stats.inc("ops_recv")
+            self.stats.inc(counter)
             return
-        self._wait_msg = (src_node, n_words)
+        self._wait_msg = (src_node, n_words, from_mcast)
         self._change_state(CoreState.WAIT_MSG, cycle)
-        self.stats.inc("ops_recv")
+        self.stats.inc(counter)
 
     def _enqueue_blocking(self, txn: MemTransaction, tag: str, cycle: int) -> None:
         self._jobs.append(_Job(txn, tag))
@@ -603,6 +701,8 @@ class ProcessorNode(Component):
             or self._credit_items
         ):
             return
+        if self.dma is not None and self.dma.busy:
+            return
         if self._active_job is None and self._jobs:
             head = self._jobs[0]
             if head.not_before <= cycle + 1:
@@ -633,6 +733,8 @@ class ProcessorNode(Component):
         read (``MedeaSystem.collect_stats``), so observers see exact values.
         """
         self.tie.flush_stats()
+        if self.dma is not None:
+            self.dma.flush_stats()
         inc = self.stats.inc
         if self._n_compute:
             inc("ops_compute", self._n_compute)

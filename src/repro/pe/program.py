@@ -29,6 +29,11 @@ op tuple               effect                                      result
 ("isend", n, ws)       post a TIE TX descriptor; do not wait       None
 ("txdone",)            poll the TIE TX status register             bool
 ("trecv", n, k)        k words from node n if ready, else None     [w]|None
+("qsend", n, ws)       post unicast descriptor on the DMA queue    bool
+("qmcast", m, ws)      post multicast descriptor (bitmask m)       bool
+("qstat",)             poll the DMA queue's free-slot count        int
+("mrecv", n, k)        wait for k multicast-stream words from n    [words]
+("tmrecv", n, k)       multicast words from n if ready, else None  [w]|None
 ("lock", a)            MPMMU lock word a (spins on NACK)           None
 ("unlock", a)          MPMMU unlock word a                         None
 ("note", label)        record (cycle, rank, label); zero cycles    None
@@ -72,6 +77,7 @@ class ProgramContext:
         rank_to_node: dict[int, int],
         line_bytes: int = 16,
         local_mem_bytes: int = 1 << 20,
+        dma_queue_depth: int = 0,
     ) -> None:
         self.rank = rank
         self.n_workers = n_workers
@@ -81,6 +87,9 @@ class ProgramContext:
         self.rank_to_node = rank_to_node
         self.line_bytes = line_bytes
         self.local_mem_bytes = local_mem_bytes
+        #: Depth of this tile's DMA TX queue (0 = no engine; the ``hw``
+        #: collective algorithm refuses to run without one).
+        self.dma_queue_depth = dma_queue_depth
         self._local_alloc = 0
         # Bound by the system builder (import cycle otherwise).
         self.empi: "Empi | None" = None

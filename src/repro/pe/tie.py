@@ -44,6 +44,11 @@ CREDIT_WINDOW = 8
 CREDIT_LIMIT = 16
 #: Marker word carried by credit tokens; disjoint from eMPI token encoding.
 CREDIT_WORD = 0x7F00_0000
+#: Credit marker for the *multicast* stream (see below); every group
+#: member returns one per CREDIT_WINDOW contiguous multicast slots, and
+#: the DMA engine gates emission on the slowest member — the ack
+#: aggregation a hardware collective engine performs.
+MCAST_CREDIT_WORD = 0x7F01_0000
 
 
 class ReceiveStream:
@@ -138,14 +143,25 @@ class TieInterface:
     def __init__(self, node_id: int, request_queue_depth: int = 64) -> None:
         self.node_id = node_id
         self.streams: dict[int, ReceiveStream] = {}
+        #: Separate per-source streams for multicast traffic: a multicast
+        #: group shares one sequence space at the sender, which cannot be
+        #: the unicast per-destination space (different receivers would
+        #: disagree on slot numbering), so arrivals are scattered into
+        #: their own double-buffered stream.
+        self.mcast_streams: dict[int, ReceiveStream] = {}
         self.requests: Fifo[tuple[int, int]] = Fifo(
             request_queue_depth, name=f"tie[{node_id}].req"
         )
         self._send_slots: dict[int, int] = {}
         #: Per-destination highest stream slot the peer has credited.
         self._credit_limit: dict[int, int] = {}
-        #: Credit tokens owed to peers (destination node ids, FIFO order).
-        self.pending_credits: Fifo[int] = Fifo(None, name=f"tie[{node_id}].cr")
+        #: Multicast slots credited back, per group member (sender side);
+        #: read by the DMA engine, which gates on the minimum.
+        self.mcast_credited: dict[int, int] = {}
+        #: Credit tokens owed to peers: (destination node, marker word).
+        self.pending_credits: Fifo[tuple[int, int]] = Fifo(
+            None, name=f"tie[{node_id}].cr"
+        )
         self.tx: _PendingSend | None = None
         self.stats = CounterSet(f"tie[{node_id}]")
         #: Set when a flit arrives; the node uses it to re-check waiters.
@@ -156,12 +172,16 @@ class TieInterface:
         self._n_data_flits_sent = 0
         self._n_data_flits_received = 0
         self._n_credit_stall_cycles = 0
+        self._n_mcast_flits_received = 0
 
     # -- RX ------------------------------------------------------------------
 
     def accept(self, flit: Flit) -> None:
         """Sort an incoming MESSAGE flit into data stream or request queue."""
         if flit.ptype != PacketType.MESSAGE:
+            if flit.ptype == PacketType.MULTICAST:
+                self._accept_multicast(flit)
+                return
             raise ProtocolError(f"TIE got non-message flit {flit!r}")
         self.rx_event = True
         if flit.subtype == SubType.MSG_REQUEST:
@@ -170,6 +190,12 @@ class TieInterface:
                 limit = self._credit_limit.get(flit.src, CREDIT_LIMIT)
                 self._credit_limit[flit.src] = limit + CREDIT_WINDOW
                 self.stats.inc("credits_received")
+                return
+            if flit.data == MCAST_CREDIT_WORD:
+                # A multicast group member completed a window.
+                credited = self.mcast_credited.get(flit.src, 0)
+                self.mcast_credited[flit.src] = credited + CREDIT_WINDOW
+                self.stats.inc("mcast_credits_received")
                 return
             self.requests.push((flit.src, flit.data))
             self.stats.inc("requests_received")
@@ -183,14 +209,41 @@ class TieInterface:
         # Flow control: one credit per CREDIT_WINDOW contiguous slots.
         while stream.lowest_missing >= stream.credited_upto + CREDIT_WINDOW:
             stream.credited_upto += CREDIT_WINDOW
-            self.pending_credits.push(flit.src)
+            self.pending_credits.push((flit.src, CREDIT_WORD))
             self.stats.inc("credits_sent")
+
+    def _accept_multicast(self, flit: Flit) -> None:
+        """Scatter a multicast data flit into its per-source stream.
+
+        Same seq-offset scatter and double buffer as the unicast path,
+        over the dedicated multicast sequence space; the same windowed
+        credit protocol flows back so the sending DMA engine can bound
+        the reorder span group-wide.
+        """
+        self.rx_event = True
+        stream = self.mcast_streams.get(flit.src)
+        if stream is None:
+            stream = ReceiveStream()
+            self.mcast_streams[flit.src] = stream
+        stream.insert(flit.seq, flit.data)
+        self._n_mcast_flits_received += 1
+        while stream.lowest_missing >= stream.credited_upto + CREDIT_WINDOW:
+            stream.credited_upto += CREDIT_WINDOW
+            self.pending_credits.push((flit.src, MCAST_CREDIT_WORD))
+            self.stats.inc("mcast_credits_sent")
 
     def stream_from(self, src_node: int) -> ReceiveStream:
         stream = self.streams.get(src_node)
         if stream is None:
             stream = ReceiveStream()
             self.streams[src_node] = stream
+        return stream
+
+    def mcast_stream_from(self, src_node: int) -> ReceiveStream:
+        stream = self.mcast_streams.get(src_node)
+        if stream is None:
+            stream = ReceiveStream()
+            self.mcast_streams[src_node] = stream
         return stream
 
     # -- TX ----------------------------------------------------------------------
@@ -255,7 +308,7 @@ class TieInterface:
         """Next owed credit token, if any (drained by the node, 1/cycle)."""
         if self.pending_credits.empty:
             return None
-        dst = self.pending_credits.peek()
+        dst, word = self.pending_credits.peek()
         return Flit(
             dst=dst,
             src=self.node_id,
@@ -263,7 +316,7 @@ class TieInterface:
             subtype=int(SubType.MSG_REQUEST),
             seq=0,
             burst=1,
-            data=CREDIT_WORD,
+            data=word,
         )
 
     def credit_sent(self) -> None:
@@ -295,3 +348,6 @@ class TieInterface:
         if self._n_credit_stall_cycles:
             self.stats.inc("credit_stall_cycles", self._n_credit_stall_cycles)
             self._n_credit_stall_cycles = 0
+        if self._n_mcast_flits_received:
+            self.stats.inc("mcast_flits_received", self._n_mcast_flits_received)
+            self._n_mcast_flits_received = 0

@@ -40,6 +40,17 @@ class SystemConfig:
     eject_width: int = 1
     strict_encoding: bool = False
 
+    # -- DMA/collective engine (opt-in hardware assist) -----------------------
+    #: Depth of the per-tile DMA TX descriptor queue; 0 disables the
+    #: engine entirely (seed behaviour — every committed golden cycle
+    #: count is bit-identical with it off).
+    dma_tx_queue_depth: int = 0
+    #: When the engine exists, emit true MULTICAST flits the fabric
+    #: replicates (True) or expand multicast descriptors into per-member
+    #: unicast streams (False — the equivalence-tested fallback for
+    #: networks whose flit format cannot carry the mask).
+    noc_multicast: bool = True
+
     # -- arbiter (Fig. 3 configurations) ----------------------------------------
     arbiter_mode: ArbiterMode | str = "dual_fifo"
     arbiter_fifo_depth: int = 4
@@ -111,6 +122,11 @@ class SystemConfig:
                 )
         if self.eject_width < 1:
             raise ConfigError("eject_width must be >= 1")
+        if self.dma_tx_queue_depth < 0:
+            raise ConfigError(
+                f"dma_tx_queue_depth must be >= 0, "
+                f"got {self.dma_tx_queue_depth}"
+            )
         if self.write_buffer_depth < 1:
             raise ConfigError("write_buffer_depth must be >= 1")
         if self.cache_line_bytes != 16:

@@ -6,6 +6,7 @@ from collections.abc import Callable, Generator
 
 from repro.bridge.arbiter import NocAccessArbiter
 from repro.bridge.pif2noc import AddressLut, Pif2NocBridge
+from repro.dma.engine import DmaTxEngine
 from repro.cache.l1 import L1Cache, WritePolicy
 from repro.cache.writebuffer import WriteBuffer
 from repro.empi.runtime import Empi
@@ -97,6 +98,15 @@ class MedeaSystem:
         node_id = self.rank_to_node[rank]
         ports = self.fabric.ports_of(node_id)
         lut = AddressLut(MPMMU_NODE)
+        tie = TieInterface(node_id)
+        dma = None
+        if config.dma_tx_queue_depth > 0:
+            dma = DmaTxEngine(
+                tie,
+                n_nodes=self.topology.n_nodes,
+                depth=config.dma_tx_queue_depth,
+                multicast=config.noc_multicast,
+            )
         node = ProcessorNode(
             rank=rank,
             ports=ports,
@@ -116,13 +126,14 @@ class MedeaSystem:
                 high_priority=config.arbiter_high_priority,
                 name=f"arb[{rank}]",
             ),
-            tie=TieInterface(node_id),
+            tie=tie,
             scratchpad=Scratchpad(config.local_mem_bytes, name=f"lmem[{rank}]"),
             memory_map=self.map,
             cost=config.fp,
             lock_retry_backoff=config.lock_retry_backoff,
             recv_overhead=config.recv_overhead,
             notes=self.notes,
+            dma=dma,
         )
         self.sim.register(node)
         return node
@@ -139,6 +150,7 @@ class MedeaSystem:
             rank_to_node=self.rank_to_node,
             line_bytes=config.cache_line_bytes,
             local_mem_bytes=config.local_mem_bytes,
+            dma_queue_depth=config.dma_tx_queue_depth,
         )
         ctx.empi = Empi(ctx, barrier_algorithm=config.empi_barrier)
         return ctx
@@ -240,6 +252,10 @@ class MedeaSystem:
                     "bridge": node.bridge.stats.as_dict(),
                     "bridge_latency": node.bridge.latency.as_dict(),
                     "tie": node.tie.stats.as_dict(),
+                    "dma": (
+                        node.dma.stats.as_dict()
+                        if node.dma is not None else {}
+                    ),
                 }
                 for node in self.nodes
             ],

@@ -24,7 +24,7 @@ from repro.dse.space import SweepSpec
 def test_registry_covers_every_artifact():
     assert set(ALL_EXPERIMENTS) == {
         "fig6", "fig7", "fig8", "fig9", "compare", "noc", "simspeed",
-        "collectives", "matmul", "stream", "cg",
+        "collectives", "hw_collectives", "matmul", "stream", "cg",
     }
 
 

@@ -170,6 +170,138 @@ def test_overlap_stats_accounting():
     assert mean_overlap_efficiency(per_rank) == pytest.approx(0.6)
 
 
+def test_waitany_returns_first_complete_in_list_order():
+    engine = ProgressEngine()
+    gates = {"a": False, "b": False}
+
+    def frag(name):
+        while not gates[name]:
+            yield ("poll", name)
+            yield RESCHEDULE
+        return name.upper()
+
+    __, req_a = drive(engine.post(frag("a"), "a"))
+    __, req_b = drive(engine.post(frag("b"), "b"))
+
+    program = engine.waitany([req_a, req_b])
+    value = None
+    polls = 0
+    while True:
+        try:
+            op = program.send(value)
+        except StopIteration as stop:
+            index, result = stop.value
+            break
+        if op[0] == "poll":
+            polls += 1
+            if polls == 3:
+                gates["b"] = True  # b completes first
+        value = None
+    assert (index, result) == (1, "B")
+    assert not req_a.complete  # waitany does not wait for the rest
+
+
+def test_waitany_on_already_complete_request_needs_no_progress():
+    engine = ProgressEngine()
+
+    def frag():
+        return "done"
+        yield  # pragma: no cover - makes this a generator
+
+    __, request = drive(engine.post(frag(), "f"))
+    assert request.complete
+    ops, (index, result) = drive(engine.waitany([request]))
+    assert (index, result) == (0, "done")
+    assert ops == []  # completed without a progress round (like wait)
+
+
+def test_waitany_rejects_empty_list():
+    engine = ProgressEngine()
+    with pytest.raises(ProgramError):
+        drive(engine.waitany([]))
+
+
+def test_waitsome_returns_all_currently_complete():
+    engine = ProgressEngine()
+    gates = {"a": False, "b": False, "c": False}
+
+    def frag(name):
+        while not gates[name]:
+            yield ("poll", name)
+            yield RESCHEDULE
+        return name.upper()
+
+    requests = [drive(engine.post(frag(n), n))[1] for n in ("a", "b", "c")]
+
+    program = engine.waitsome(requests)
+    value = None
+    polls = 0
+    while True:
+        try:
+            op = program.send(value)
+        except StopIteration as stop:
+            completed = stop.value
+            break
+        if op[0] == "poll":
+            polls += 1
+            if polls == 3:
+                # Both gates open before the next round starts, so two
+                # requests complete in one round; both must be reported.
+                gates["a"] = True
+                gates["c"] = True
+        value = None
+    assert completed == [(0, "A"), (2, "C")]
+    assert not requests[1].complete
+
+
+def test_waitsome_empty_list_returns_immediately():
+    engine = ProgressEngine()
+    ops, completed = drive(engine.waitsome([]))
+    assert completed == [] and ops == []
+
+
+@pytest.mark.parametrize("model", ["empi", "pure_sm"])
+def test_waitany_waitsome_on_the_machine(model):
+    """waitany picks whichever receive lands first; waitsome then
+    drains the rest — mirroring waitall's semantics per request."""
+    observed = {}
+
+    def listener(ctx):
+        comm = make_comm(ctx, model, max_values=1, p2p_values=1)
+        yield from comm.barrier()
+        slow = yield from comm.irecv(1, 1)
+        fast = yield from comm.irecv(2, 1)
+        index, result = yield from comm.waitany([slow, fast])
+        observed["first"] = (index, result)
+        # The fast receive is already complete, so waitsome reports it
+        # immediately without blocking on the slow one...
+        observed["some"] = yield from comm.waitsome([slow, fast])
+        # ...and waitsome over the still-pending one progresses until it
+        # lands.
+        observed["rest"] = yield from comm.waitsome([slow])
+        yield from comm.barrier()
+
+    def fast_peer(ctx):
+        comm = make_comm(ctx, model, max_values=1, p2p_values=1)
+        yield from comm.barrier()
+        request = yield from comm.isend(0, [2.5])
+        yield from comm.wait(request)
+        yield from comm.barrier()
+
+    def slow_peer(ctx):
+        comm = make_comm(ctx, model, max_values=1, p2p_values=1)
+        yield from comm.barrier()
+        yield ("compute", 800)
+        request = yield from comm.isend(0, [1.5])
+        yield from comm.wait(request)
+        yield from comm.barrier()
+
+    run_system([listener, slow_peer, fast_peer], 3)
+    assert observed["first"] == (1, [2.5])  # the fast peer won
+    assert observed["some"] == [(1, [2.5])]
+    assert observed["rest"] == [(0, [1.5])]
+
+
 # ---------------------------------------------------------------------------
 # Machine-level point-to-point
 # ---------------------------------------------------------------------------

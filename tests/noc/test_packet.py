@@ -12,7 +12,11 @@ from repro.noc.packet import FlitCodec, PacketType, SubType
 
 def test_packet_types_fit_three_bits():
     assert all(0 <= int(t) < 8 for t in PacketType)
-    assert len(PacketType) == 7  # the seven types of Section II-D
+    # The seven types of Section II-D plus MULTICAST (the previously
+    # reserved eighth 3-bit code, claimed by the hardware collectives).
+    assert len(PacketType) == 8
+    assert int(PacketType.MULTICAST) == 7
+    assert not PacketType.MULTICAST.is_shared_memory
 
 
 def test_subtypes_fit_two_bits():
