@@ -94,6 +94,22 @@ SMOKE_WORKLOADS = {
         ),
         10.0,
     ),
+    # Long-vector allreduce over the ring schedule on the engine path
+    # (neighbour multicast descriptors + qreduce accumulate-on-receive):
+    # pins the reduction assist's timing and the reduce-scatter/allgather
+    # segment arithmetic, so long-vector comm timing is CI-guarded.
+    "ring_allreduce_8w_long": (
+        partial(
+            run_collective_bench,
+            SystemConfig(n_workers=8, cache_size_kb=16,
+                         dma_tx_queue_depth=4),
+            CollectiveBenchParams(
+                collective="allreduce", model="empi", algorithm="ring",
+                n_values=256, repeats=2,
+            ),
+        ),
+        10.0,
+    ),
 }
 
 

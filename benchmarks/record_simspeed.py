@@ -83,6 +83,19 @@ WORKLOADS = {
             ),
         ),
     ),
+    "ring_allreduce_8w_long": (
+        "n_workers=8, cache_size_kb=16, wb, dma_tx_queue_depth=4",
+        "CollectiveBenchParams(allreduce, empi, ring, n_values=256, repeats=2)",
+        partial(
+            run_collective_bench,
+            SystemConfig(n_workers=8, cache_size_kb=16,
+                         dma_tx_queue_depth=4),
+            CollectiveBenchParams(
+                collective="allreduce", model="empi", algorithm="ring",
+                n_values=256, repeats=2,
+            ),
+        ),
+    ),
 }
 
 

@@ -22,15 +22,36 @@ word) pair — identical receive-side behaviour (same streams, same slots,
 same credits), P-1 times the injections.
 
 Sequence space: all multicasts from one tile share a single slot counter,
-which is only coherent if every one of them targets the same group —
+which is only coherent while every one of them targets the same group —
 the hardware analogue of a multicast group register.  The first
-``post_multicast`` fixes the group; a later descriptor with a different
-mask raises :class:`~repro.errors.ProtocolError`.
+``post_multicast`` fixes the group.  The register may be **rewritten**
+(a descriptor with a different mask) once the queue has drained and
+every current member's credits are quiescent; until then the post is
+simply refused (``False``, retry like a full queue).  Re-registration
+reuses the reverse ack path: each *new* member is sent a SYNC token
+carrying the current stream slot's phase (its receive stream
+fast-forwards into the shared sequence space) and answers with a
+SYNC_ACK; the engine
+holds the re-registered descriptor until every new member acked.
+Software must ensure all members consumed their prior multicast data
+before re-registering (a barrier suffices) — an unconsumed stream
+refuses the sync loudly.
 
 Flow control mirrors the unicast credit scheme: every group member
 returns one token per CREDIT_WINDOW contiguously completed multicast
 slots and the engine gates emission on the *slowest* member
 (ack aggregation), bounding the reorder span group-wide.
+
+**Reduction assist** (the RX half): an *accumulate-on-receive*
+descriptor, posted with the ``qreduce`` operation, hands the engine a
+local accumulator and a source; as that source's multicast stream
+arrives, the engine combines each double into the accumulator — one
+element per cycle, accumulator-first, the exact
+:func:`~repro.empi.collectives.combine_scalar` order — so a reduction's
+combine overlaps flit arrival instead of serializing through processor
+ops.  The core collects the finished accumulator with a one-cycle
+``qrpoll`` status read (the accumulator lives in local data memory,
+where the engine combined it in place).
 """
 
 from __future__ import annotations
@@ -39,11 +60,19 @@ import typing
 from collections import deque
 from collections.abc import Iterator
 
+from repro.empi.collectives import ReduceOp, combine_scalar
 from repro.errors import ProtocolError
 from repro.kernel.stats import CounterSet
+from repro.mem.values import words_to_float
 from repro.noc.flit import MULTICAST_DST, Flit
 from repro.noc.packet import PacketType, SubType
-from repro.pe.tie import CREDIT_LIMIT, SEQ_WINDOW
+from repro.pe.tie import (
+    CREDIT_LIMIT,
+    CREDIT_WINDOW,
+    MCAST_SYNC_SLOT_MASK,
+    MCAST_SYNC_WORD,
+    SEQ_WINDOW,
+)
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.pe.tie import TieInterface
@@ -74,6 +103,27 @@ class TxDescriptor:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         target = f"mask={self.mask:#x}" if self.is_multicast else str(self.dst)
         return f"<TxDescriptor ->{target} {len(self.words)}w>"
+
+
+class _RxReduce:
+    """State of the accumulate-on-receive descriptor being combined.
+
+    ``acc`` is the caller's accumulator (combined in place, element by
+    element, as the source's multicast stream arrives); ``index`` is the
+    next element to combine.
+    """
+
+    __slots__ = ("src_node", "acc", "op", "index")
+
+    def __init__(self, src_node: int, acc: list[float], op: ReduceOp) -> None:
+        self.src_node = src_node
+        self.acc = acc
+        self.op = op
+        self.index = 0
+
+    @property
+    def done(self) -> bool:
+        return self.index >= len(self.acc)
 
 
 class _ActiveMulticast:
@@ -115,14 +165,22 @@ class DmaTxEngine:
         self.depth = depth
         self.multicast = multicast
         self.queue: deque[TxDescriptor] = deque()
-        self.group_mask = 0          # fixed by the first multicast post
+        self.group_mask = 0          # the multicast group register
         self._mcast_slot = 0         # next multicast stream slot
         self._active: _ActiveMulticast | None = None
+        #: New members whose SYNC_ACK must arrive before the first
+        #: descriptor of a re-registered group may stream.
+        self._sync_pending: frozenset[int] = frozenset()
+        #: The accumulate-on-receive (reduction assist) descriptor:
+        #: at most one active, its result held until qrpoll collects it.
+        self._rx: _RxReduce | None = None
+        self._rx_done = False
         self.stats = CounterSet(f"dma[{tie.node_id}]")
         # Per-flit hot counters, batched like the TIE's and folded into
         # the CounterSet by flush_stats() at node sleep.
         self._n_flits_sent = 0
         self._n_credit_stalls = 0
+        self._n_reduced = 0
 
     # -- core-facing (descriptor posting) ------------------------------------
 
@@ -163,20 +221,138 @@ class DmaTxEngine:
             )
         if not words:
             raise ProtocolError("empty DMA descriptor")
-        if self.group_mask and mask != self.group_mask:
-            # One shared sequence space per tile => one group per tile.
-            raise ProtocolError(
-                f"dma[{self.node_id}]: multicast group is registered as "
-                f"{self.group_mask:#x}; cannot switch to {mask:#x} (the "
-                f"multicast stream shares one sequence space per tile)"
-            )
         if len(self.queue) >= self.depth:
             self.stats.inc("queue_full_rejects")
             return False
-        self.group_mask = mask
+        if self.group_mask and mask != self.group_mask:
+            # Rewrite the group register.  The shared sequence space only
+            # stays coherent if nothing is mid-stream: refuse (retry like
+            # a full queue) until the queue is drained and every current
+            # member's credits are quiescent, then sync the new members.
+            if not self._reregister_group(mask):
+                self.stats.inc("group_reregister_stalls")
+                return False
+        else:
+            self.group_mask = mask
         self.queue.append(TxDescriptor(MULTICAST_DST, mask, list(words)))
         self.stats.inc("multicast_descriptors")
         return True
+
+    def _reregister_group(self, mask: int) -> bool:
+        """Switch the group register to ``mask`` if quiescent; else False.
+
+        Quiescent = no multicast descriptor queued or streaming, and every
+        current member has credited all completed credit windows (the
+        at-most-one-partial-window tail is the software's to order with a
+        barrier; see the module docstring).  On success the *new* members
+        are sent SYNC tokens over the reverse ack path and the engine
+        holds streaming until all of them answered.
+        """
+        if self._active is not None:
+            return False
+        if any(desc.is_multicast for desc in self.queue):
+            return False
+        slot = self._mcast_slot
+        credited = self.tie.mcast_credited
+        for member in mask_members(self.group_mask):
+            if credited.get(member, 0) + CREDIT_WINDOW <= slot:
+                return False
+        new_members = []
+        for member in mask_members(mask & ~self.group_mask):
+            new_members.append(member)
+            # The member's stream fast-forwards to the slot's phase (the
+            # SYNC carries slot mod SEQ_WINDOW — only phase alignment
+            # matters to the seq-offset scatter and the credit windows);
+            # treat all earlier slots as credited on this side so flow
+            # control resumes cleanly.
+            credited[member] = slot
+            self.tie.mcast_sync_acks.discard(member)
+            self.tie.pending_credits.push(
+                (member, MCAST_SYNC_WORD | (slot & MCAST_SYNC_SLOT_MASK))
+            )
+        self._sync_pending = frozenset(new_members)
+        self.group_mask = mask
+        self.stats.inc("group_reregisters")
+        return True
+
+    # -- core-facing (reduction assist / accumulate-on-receive) --------------
+
+    @property
+    def rx_busy(self) -> bool:
+        """True while a qreduce descriptor is combining or holds a result."""
+        return self._rx is not None
+
+    def post_reduce(
+        self, src_node: int, values: list[float], op: ReduceOp | str
+    ) -> bool:
+        """Post an accumulate-on-receive descriptor; False while one is live.
+
+        The engine will combine the next ``2 * len(values)`` words of the
+        multicast stream from ``src_node`` into ``values`` (element by
+        element, accumulator first) as they arrive.  The previous
+        descriptor's result must have been collected with ``qrpoll``
+        before a new one is accepted.
+        """
+        op = ReduceOp.parse(op)
+        if not (0 <= src_node < self.n_nodes) or src_node == self.node_id:
+            raise ProtocolError(
+                f"dma[{self.node_id}]: bad reduce source {src_node}"
+            )
+        if not values:
+            raise ProtocolError("empty reduce descriptor")
+        if self._rx is not None:
+            self.stats.inc("reduce_busy_rejects")
+            return False
+        self._rx = _RxReduce(src_node, list(values), op)
+        self._rx_done = False
+        self.stats.inc("reduce_descriptors")
+        return True
+
+    def rx_pump(self) -> None:
+        """Combine at most one arrived double into the accumulator.
+
+        Called once per cycle by the owning node: the assist datapath
+        retires one element per cycle, which matches the stream's best
+        arrival rate (two 32-bit flits per double), so combining never
+        lags arrival in steady state.
+        """
+        rx = self._rx
+        if rx is None or self._rx_done:
+            return
+        stream = self.tie.mcast_streams.get(rx.src_node)
+        if stream is None or not stream.available(2):
+            return
+        low, high = stream.take(2)
+        index = rx.index
+        rx.acc[index] = combine_scalar(
+            rx.acc[index], words_to_float(low, high), rx.op
+        )
+        rx.index = index + 1
+        self._n_reduced += 1
+        if rx.done:
+            self._rx_done = True
+
+    def rx_can_progress(self) -> bool:
+        """True when a pending qreduce has arrived words to combine."""
+        rx = self._rx
+        if rx is None or self._rx_done:
+            return False
+        stream = self.tie.mcast_streams.get(rx.src_node)
+        return stream is not None and stream.available(2)
+
+    def rx_result_poll(self) -> list[float] | None:
+        """The finished accumulator, or None while still combining.
+
+        Collecting the result clears the descriptor — the accumulator was
+        combined in place in local data memory, so this is a one-cycle
+        status read, not a copy.
+        """
+        if self._rx is None or not self._rx_done:
+            return None
+        result = self._rx.acc
+        self._rx = None
+        self._rx_done = False
+        return result
 
     # -- node-facing (per-cycle drain) ---------------------------------------
 
@@ -192,6 +368,13 @@ class DmaTxEngine:
                 self.queue.popleft()
                 self.tie.begin_send(head.dst, head.words)
             return
+        if self._sync_pending:
+            # A re-registered group streams only after every new member
+            # acknowledged its SYNC (their streams now stand at our slot).
+            if not self._sync_pending <= self.tie.mcast_sync_acks:
+                self._n_credit_stalls += 1
+                return
+            self._sync_pending = frozenset()
         self.queue.popleft()
         self._active = self._activate_multicast(head)
 
@@ -267,6 +450,9 @@ class DmaTxEngine:
         if self._n_credit_stalls:
             self.stats.inc("credit_stall_cycles", self._n_credit_stalls)
             self._n_credit_stalls = 0
+        if self._n_reduced:
+            self.stats.inc("values_reduced", self._n_reduced)
+            self._n_reduced = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -718,12 +718,16 @@ def experiment_hw_collectives(
 
     Sweeps bcast and allreduce over queue depth x algorithm x mesh size:
     the software baselines (``linear``/``tree``, no engine) against the
-    ``hw`` algorithm (DMA TX queue + NoC multicast) at each queue depth,
-    plus the equivalence-tested unicast-fallback point (``hw-uc``,
-    engine on, fabric replication off).  Every point validates bit for
-    bit against the combine-order references — hw results are identical
-    to ``tree`` by construction.  Points run inline but cache through
-    the versioned :class:`ResultCache` (``jobs`` accepted for CLI
+    ``hw`` algorithm (DMA TX queue + NoC multicast + reduction assist)
+    at each queue depth, plus the equivalence-tested unicast-fallback
+    point (``hw-uc``, engine on, fabric replication off).  A second
+    table sweeps allreduce over vector length x mesh — the long-vector
+    crossover: software ``tree`` vs software ``ring`` vs the engine
+    paths, with the PR-4 engine (``hw-na``, reduction assist off, only
+    the broadcast leg offloaded) as the hw-reduce-vs-sw-reduce
+    comparison point.  Every point validates bit for bit against the
+    combine-order references.  Points run inline but cache through the
+    versioned :class:`ResultCache` (``jobs`` accepted for CLI
     uniformity).
     """
     del jobs
@@ -731,15 +735,18 @@ def experiment_hw_collectives(
     full = full_scale_requested() if full is None else full
     workers = (2, 4, 8, 15) if full else (4, 8)
     depths = (1, 2, 4, 8) if full else (1, 4)
+    lengths = (16, 64, 256, 1024) if full else (16, 64, 256)
     n_values = 16
     repeats = 8 if full else 4
+    long_repeats = 4 if full else 2
     cache = (
         ResultCache(cache_dir, "hw_collectives")
         if cache_dir is not None else None
     )
 
     def point(config: SystemConfig, collective: str, algorithm: str,
-              label: str) -> float:
+              label: str, n_values: int = n_values,
+              repeats: int = repeats) -> float:
         params = CollectiveBenchParams(
             collective=collective, model="empi", algorithm=algorithm,
             n_values=n_values, repeats=repeats,
@@ -794,6 +801,48 @@ def experiment_hw_collectives(
                 (w, cycles["tree"])
             )
             series.setdefault(f"{collective}_hw", []).append((w, best_hw))
+    # -- long-vector crossover: allreduce over vector length x mesh --------
+    long_rows = []
+    long_series: dict[str, list[tuple[float, float]]] = {}
+    long_algos = ("tree", "ring", "hw-na", "hw", "ring-hw")
+    ring_crossover: dict[int, int | None] = {}
+    for config in mesh_sweep_configs(workers):
+        w = config.n_workers
+        engine_config = config.with_changes(dma_tx_queue_depth=depths[-1])
+        noassist_config = engine_config.with_changes(dma_reduce_assist=False)
+        variants = {
+            "tree": (config, "tree"),
+            "ring": (config, "ring"),
+            "hw-na": (noassist_config, "hw"),
+            "hw": (engine_config, "hw"),
+            "ring-hw": (engine_config, "ring"),
+        }
+        for length in lengths:
+            cycles = {
+                name: point(
+                    cfg, "allreduce", algorithm,
+                    f"hw_collectives/allreduce/{name}/{w}w/{length}v",
+                    n_values=length, repeats=long_repeats,
+                )
+                for name, (cfg, algorithm) in variants.items()
+            }
+            if cycles["ring"] < cycles["tree"] and w not in ring_crossover:
+                ring_crossover[w] = length
+            long_rows.append(
+                ["allreduce", w, length]
+                + [f"{cycles[k]:.0f}" for k in long_algos]
+                + [
+                    f"{cycles['tree'] / cycles['ring']:.2f}x",
+                    f"{cycles['hw-na'] / cycles['hw']:.2f}x",
+                ]
+            )
+            long_series.setdefault(f"ring_{w}w", []).append(
+                (length, cycles["ring"])
+            )
+            long_series.setdefault(f"tree_{w}w", []).append(
+                (length, cycles["tree"])
+            )
+        ring_crossover.setdefault(w, None)
     if cache is not None:
         cache.save()
     labels = (
@@ -802,6 +851,10 @@ def experiment_hw_collectives(
     crossings = ", ".join(
         f"{coll}: {'never' if crossover.get(coll) is None else f'from {crossover[coll]}w'}"
         for coll in ("bcast", "allreduce")
+    )
+    ring_crossings = ", ".join(
+        f"{w}w: {'never' if length is None else f'from {length} doubles'}"
+        for w, length in sorted(ring_crossover.items())
     )
     text = (
         f"hw_collectives: cycles per op, {n_values} doubles, mean of "
@@ -813,15 +866,35 @@ def experiment_hw_collectives(
         + f"\nhw beats the software tree ({crossings}); 'hw-uc' is the "
           "unicast-fallback equivalence point (engine on, fabric "
           "replication off).  All points deliver bit-identical vectors; "
-          "hw combines in the tree order.\n"
+          "hw combines in the tree order.\n\n"
+        + f"long-vector crossover: allreduce cycles/op over vector length "
+          f"(mean of {long_repeats} reps; engine points at queue depth "
+          f"{depths[-1]})\n"
+        + format_table(
+            ["collective", "workers", "doubles"] + list(long_algos)
+            + ["tree/ring", "hw-na/hw"],
+            long_rows,
+        )
+        + f"\nring beats tree ({ring_crossings}); 'hw-na' is the PR-4 "
+          "engine (broadcast leg offloaded, reduce leg through processor "
+          "ops) — the hw-reduce vs sw-reduce comparison; 'ring-hw' rides "
+          "neighbour multicast descriptors + qreduce accumulate-on-"
+          "receive.  ring combines in its own reference order, hw in the "
+          "tree order; every point validates bit for bit.\n"
         + ascii_plot(
             series, x_label="worker cores", y_label="cycles/op",
             title="hw_collectives: hardware vs software crossover",
         )
+        + ascii_plot(
+            long_series, x_label="vector length (doubles)",
+            y_label="cycles/op",
+            title="hw_collectives: ring vs tree over vector length",
+        )
     )
     return ExperimentReport(
         experiment="hw_collectives", full_scale=full, text=text,
-        series=series, rows=rows,
+        series={**series, **{f"long_{k}": v for k, v in long_series.items()}},
+        rows=rows + long_rows,
         wall_seconds=time.perf_counter() - started,
     )
 

@@ -42,10 +42,22 @@ class CollectiveAlgorithm(enum.Enum):
     * ``hw`` — the hardware collective engine (:mod:`repro.dma`): the
       data-distribution half of a collective becomes ONE multicast
       descriptor the fabric replicates, and the combining half runs the
-      binomial tree — so ``hw`` results are bit-identical to ``tree``
-      (same combine order) while the broadcast leg costs one injection
-      instead of P-1.  Requires ``dma_tx_queue_depth >= 1`` and the
+      binomial tree — in the tree order, so ``hw`` results are
+      bit-identical to ``tree``.  With the engine's reduction assist on
+      (``dma_reduce_assist``, the default) each tree round's combine
+      happens *at the engine on flit arrival* (a ``qreduce``
+      accumulate-on-receive descriptor) instead of serializing through
+      processor ops.  Requires ``dma_tx_queue_depth >= 1`` and the
       ``empi`` model.
+    * ``ring`` — reduce-scatter + allgather over a rank ring, the
+      long-vector allreduce schedule: every rank moves 2(P-1)/P of the
+      vector instead of the tree's log2(P) whole-vector hops.  Applies
+      to ``allreduce`` (its own combine order, fixed by
+      :func:`reference_allreduce`); rooted collectives under ``ring``
+      run the binomial tree.  Rides the DMA engine (neighbor multicast
+      descriptors + ``qreduce``) when one is fitted, the TIE
+      send/recv path otherwise, and the slot arena on ``pure_sm`` —
+      all three deliver bit-identical vectors.
 
     Scatter and gather are root-centric by definition (every payload
     word starts or ends at the root), so they always run linear.
@@ -54,6 +66,7 @@ class CollectiveAlgorithm(enum.Enum):
     LINEAR = "linear"
     TREE = "tree"
     HW = "hw"
+    RING = "ring"
 
     @classmethod
     def parse(cls, value: "CollectiveAlgorithm | str") -> "CollectiveAlgorithm":
@@ -64,16 +77,32 @@ class CollectiveAlgorithm(enum.Enum):
         except ValueError:
             raise ConfigError(
                 f"unknown collective algorithm {value!r}; "
-                f"use 'linear', 'tree' or 'hw'"
+                f"use 'linear', 'tree', 'hw' or 'ring'"
             ) from None
 
     def combine_order(self) -> "CollectiveAlgorithm":
         """The combine order a reduction under this algorithm follows.
 
-        ``hw`` offloads only data distribution; its reductions combine in
-        the binomial-tree order, so the ``tree`` references validate it.
+        ``hw`` offloads data distribution and (with the assist) the
+        combine *timing*, never the combine *order*: it reduces in the
+        binomial-tree order, so the ``tree`` references validate it.
+        ``ring`` keeps its own order for allreduce; a *rooted* reduce
+        under ``ring`` runs the tree, which is what this resolves for.
         """
         if self is CollectiveAlgorithm.HW:
+            return CollectiveAlgorithm.TREE
+        return self
+
+    def rooted(self) -> "CollectiveAlgorithm":
+        """The algorithm a *rooted* collective (bcast/reduce) runs.
+
+        Ring is an allreduce schedule — it has no root — so rooted
+        collectives under it demote to the binomial tree; every other
+        setting is itself.  All the machine paths (blocking, fragments,
+        both backends) and the references resolve through this one
+        place, so the demotion can never drift between them.
+        """
+        if self is CollectiveAlgorithm.RING:
             return CollectiveAlgorithm.TREE
         return self
 
@@ -122,6 +151,16 @@ def combine_cost(cost, n_values: int, op: ReduceOp) -> int:
     return n_values * unit + cost.loop_overhead
 
 
+def combine_scalar(acc: float, other: float, op: ReduceOp) -> float:
+    """One element of a combine, accumulator first — the single
+    definition every combiner (software loops *and* the DMA engine's
+    accumulate-on-receive datapath) shares, so a reduction's bit pattern
+    is fixed by its combine order alone."""
+    if op is ReduceOp.SUM:
+        return acc + other
+    return acc if acc >= other else other
+
+
 def combine_values(
     acc: list[float], other: list[float], op: ReduceOp | str
 ) -> list[float]:
@@ -135,9 +174,27 @@ def combine_values(
         raise ConfigError(
             f"reduce length mismatch: {len(acc)} vs {len(other)}"
         )
-    if op is ReduceOp.SUM:
-        return [a + b for a, b in zip(acc, other)]
-    return [a if a >= b else b for a, b in zip(acc, other)]
+    return [combine_scalar(a, b, op) for a, b in zip(acc, other)]
+
+
+def ring_segments(n_values: int, n_ranks: int) -> list[tuple[int, int]]:
+    """The ring algorithm's vector partition: one (start, stop) per rank.
+
+    The first ``n_values % n_ranks`` segments hold one extra value, so
+    any vector length works (including lengths below the rank count,
+    which leave trailing segments empty).  Machine code and the ring
+    reference both use exactly this partition.
+    """
+    if n_ranks < 1:
+        raise ConfigError(f"ring needs at least one rank, got {n_ranks}")
+    base, extra = divmod(n_values, n_ranks)
+    bounds = []
+    start = 0
+    for index in range(n_ranks):
+        stop = start + base + (1 if index < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
 
 
 # ---------------------------------------------------------------------------
@@ -157,8 +214,10 @@ def reference_reduce(
     (its own in place).  ``tree``: the binomial recursion — at mask m,
     every subtree root with relative rank ``rr`` (``rr & m == 0``)
     absorbs the finished accumulator of relative rank ``rr | m``.
+    ``ring`` is an allreduce schedule; a rooted reduce under it runs the
+    tree, so its reference here is the tree order.
     """
-    algorithm = CollectiveAlgorithm.parse(algorithm).combine_order()
+    algorithm = CollectiveAlgorithm.parse(algorithm).rooted().combine_order()
     n = len(contributions)
     if algorithm is CollectiveAlgorithm.LINEAR:
         acc = list(contributions[0])
@@ -181,8 +240,29 @@ def reference_allreduce(
     op: ReduceOp | str = ReduceOp.SUM,
     algorithm: CollectiveAlgorithm | str = CollectiveAlgorithm.LINEAR,
 ) -> list[float]:
-    """Allreduce = reduce at rank 0 + broadcast; same vector everywhere."""
-    return reference_reduce(contributions, 0, op, algorithm)
+    """The exact allreduce vector, per algorithm.
+
+    ``linear``/``tree``/``hw``: reduce at rank 0 + broadcast.  ``ring``:
+    reduce-scatter + allgather — segment ``j`` (of the
+    :func:`ring_segments` partition) accumulates around the ring
+    starting at rank ``j``, each hop combining the arriving chain into
+    the local contribution accumulator-first:
+    ``v_k = combine(contrib[(j+k) % P], v_{k-1})``.
+    """
+    algorithm = CollectiveAlgorithm.parse(algorithm)
+    if algorithm is not CollectiveAlgorithm.RING:
+        return reference_reduce(contributions, 0, op, algorithm)
+    n = len(contributions)
+    n_values = len(contributions[0])
+    result: list[float] = []
+    for j, (start, stop) in enumerate(ring_segments(n_values, n)):
+        value = list(contributions[j][start:stop])
+        for k in range(1, n):
+            value = combine_values(
+                list(contributions[(j + k) % n][start:stop]), value, op
+            )
+        result.extend(value)
+    return result
 
 
 # ---------------------------------------------------------------------------

@@ -27,6 +27,7 @@ from repro.empi.collectives import (
     ReduceOp,
     combine_cost,
     combine_values,
+    ring_segments,
 )
 from repro.empi.requests import RESCHEDULE, ProgressEngine, Request
 from repro.errors import ProgramError
@@ -75,15 +76,21 @@ class Empi:
         #: The cooperative progress engine driving non-blocking requests.
         self.engine = ProgressEngine()
 
-    def _check_engine_idle(self, what: str) -> None:
+    def _check_engine_idle(
+        self, what: str,
+        algorithm: "CollectiveAlgorithm | None" = None,
+    ) -> None:
         # Blocking data-path ops would race the engine for the TIE TX
         # port and the receive-stream fronts; refuse loudly instead of
         # corrupting a stream.  (Barriers ride the request-token segment
-        # and stay safe alongside outstanding requests.)
+        # and stay safe alongside outstanding requests.)  The message
+        # names the collective algorithm in use so mixed-algorithm apps
+        # can tell which call site raced (hw vs tree vs ring).
         if not self.engine.idle:
             labels = ", ".join(self.engine.active_labels)
+            op = what if algorithm is None else f"{what}[{algorithm.value}]"
             raise ProgramError(
-                f"rank {self.ctx.rank}: blocking {what} with "
+                f"rank {self.ctx.rank}: blocking {op} with "
                 f"{self.engine.n_active} non-blocking request(s) "
                 f"outstanding ({labels}); wait/waitall them first"
             )
@@ -193,12 +200,12 @@ class Empi:
 
     # -- hardware-collective helpers (the DMA/multicast engine) -----------------
 
-    def _require_hw(self) -> None:
+    def _require_hw(self, what: str) -> None:
         if self.ctx.dma_queue_depth < 1:
             raise ProgramError(
-                f"rank {self.ctx.rank}: the 'hw' collective algorithm needs "
-                f"the DMA/TX-queue engine; set dma_tx_queue_depth >= 1 on "
-                f"the SystemConfig"
+                f"rank {self.ctx.rank}: the 'hw' collective algorithm "
+                f"({what}) needs the DMA/TX-queue engine; set "
+                f"dma_tx_queue_depth >= 1 on the SystemConfig"
             )
 
     def _hw_group_mask(self, root: int) -> int:
@@ -234,8 +241,10 @@ class Empi:
                 raise ProgramError("broadcast root must supply the payload")
         if n == 1:
             return list(values)  # type: ignore[arg-type]
+        self._check_engine_idle("bcast", algorithm)
+        algorithm = algorithm.rooted()
         if algorithm is CollectiveAlgorithm.HW:
-            self._require_hw()
+            self._require_hw("bcast")
             result = yield from self._bcast_hw(root, values, n_values)
             return result
         if algorithm is CollectiveAlgorithm.LINEAR:
@@ -283,7 +292,6 @@ class Empi:
         bits are the root's payload verbatim, exactly as in the software
         broadcasts.
         """
-        self._check_engine_idle("bcast")
         ctx = self.ctx
         if ctx.rank == root:
             words = pack_doubles(values)  # type: ignore[arg-type]
@@ -306,17 +314,29 @@ class Empi:
         Returns the combined vector at ``root`` and ``None`` elsewhere.
         The combine order is exactly the one
         :func:`~repro.empi.collectives.reference_reduce` replicates, so
-        results validate bit for bit.  ``hw`` has no fabric assist for
-        the combining direction and runs the binomial tree (identical
-        combine order, hence identical bits).
+        results validate bit for bit.  ``hw`` always combines in the
+        binomial-tree order (identical bits to ``tree``); with the
+        engine's reduction assist on, each round's combine happens at
+        the engine as the child's flits arrive (children stream their
+        accumulators as single-member multicast descriptors, parents
+        post ``qreduce`` accumulate-on-receive descriptors) instead of
+        serializing through recv copies and processor FP ops.  ``ring``
+        is an allreduce schedule; a rooted reduce under it runs the tree.
         """
         op = ReduceOp.parse(op)
-        algorithm = CollectiveAlgorithm.parse(algorithm).combine_order()
+        requested = CollectiveAlgorithm.parse(algorithm)
         ctx = self.ctx
         n = ctx.n_workers
         n_values = len(values)
         if n == 1:
             return list(values)
+        self._check_engine_idle("reduce", requested)
+        if requested is CollectiveAlgorithm.HW:
+            self._require_hw("reduce")
+            if ctx.dma_reduce_assist:
+                result = yield from self._reduce_hw_assist(root, values, op)
+                return result
+        algorithm = requested.rooted().combine_order()
         if algorithm is CollectiveAlgorithm.LINEAR:
             if ctx.rank != root:
                 yield from self.send_doubles(root, values)
@@ -350,6 +370,43 @@ class Empi:
             mask <<= 1
         return acc
 
+    def _reduce_hw_assist(
+        self, root: int, values: list[float], op: ReduceOp
+    ) -> "Program":
+        """Binomial-tree reduce with engine-side combining.
+
+        Same tree, same combine order as the software ``tree`` reduce —
+        hence bit-identical results — but each parent's combine is an
+        accumulate-on-receive descriptor the engine retires as the
+        child's multicast stream arrives, and each child's upward send
+        is a queued single-member multicast descriptor, so neither leg
+        serializes through processor ops.
+        """
+        ctx = self.ctx
+        n = ctx.n_workers
+        relative = (ctx.rank - root) % n
+        acc = list(values)
+        mask = 1
+        while mask < n:
+            if relative & mask:
+                parent = ((relative - mask) + root) % n
+                words = pack_doubles(acc)
+                while not (yield ("qmcast", 1 << ctx.node_of(parent), words)):
+                    pass  # queue full / regrouping: 2-cycle retry
+                return None
+            peer = relative | mask
+            if peer != relative and peer < n:
+                peer_node = ctx.node_of((peer + root) % n)
+                while not (yield ("qreduce", peer_node, acc, op.value)):
+                    pass  # previous descriptor still combining
+                while True:
+                    combined = yield ("qrpoll",)
+                    if combined is not None:
+                        break
+                acc = combined
+            mask <<= 1
+        return acc
+
     def allreduce_doubles(
         self,
         values: list[float],
@@ -359,13 +416,94 @@ class Empi:
         """MPI_allreduce: reduce at rank 0, then broadcast the result.
 
         Under ``hw`` the reduce leg runs the binomial tree (bit-identical
-        to ``tree``) and the broadcast leg is one multicast descriptor —
-        the hardware-offload split the DSE crossover sweep measures.
+        to ``tree``, engine-combined when the reduction assist is on) and
+        the broadcast leg is one multicast descriptor.  Under ``ring``
+        the whole operation is a reduce-scatter + allgather around the
+        rank ring — the long-vector schedule, with its own combine order
+        fixed by :func:`~repro.empi.collectives.reference_allreduce`.
         """
+        algorithm = CollectiveAlgorithm.parse(algorithm)
+        if algorithm is CollectiveAlgorithm.RING:
+            result = yield from self._allreduce_ring(values, ReduceOp.parse(op))
+            return result
+        if self.ctx.n_workers > 1:
+            self._check_engine_idle("allreduce", algorithm)
         n_values = len(values)
         reduced = yield from self.reduce_doubles(0, values, op, algorithm)
         result = yield from self.bcast_doubles(0, reduced, n_values, algorithm)
         return result
+
+    def _allreduce_ring(self, values: list[float], op: ReduceOp) -> "Program":
+        """Ring allreduce: reduce-scatter, then allgather.
+
+        The vector is split by :func:`~repro.empi.collectives.ring_segments`
+        into one segment per rank; for P-1 steps each rank streams one
+        segment to its right neighbour and combines the arriving chain
+        into the matching local segment (accumulator first), leaving rank
+        r with the fully combined segment (r+1) mod P, which P-1 further
+        steps circulate to everyone.  Each rank moves 2(P-1)/P of the
+        vector instead of the tree's log2(P) whole-vector hops — the
+        long-vector win.  With a DMA engine fitted (and the reduction
+        assist on) the neighbour sends are single-member multicast
+        descriptors and the combines are engine-side ``qreduce``
+        descriptors; otherwise the TIE send/recv path carries the same
+        schedule.  Both produce the reference ring bits exactly.
+        """
+        ctx = self.ctx
+        n = ctx.n_workers
+        if n == 1:
+            return list(values)
+        self._check_engine_idle("allreduce", CollectiveAlgorithm.RING)
+        use_hw = ctx.dma_queue_depth >= 1 and ctx.dma_reduce_assist
+        segments = ring_segments(len(values), n)
+        acc = list(values)
+        rank = ctx.rank
+        nxt, prv = (rank + 1) % n, (rank - 1) % n
+        nxt_node, prv_node = ctx.node_of(nxt), ctx.node_of(prv)
+        for step in range(n - 1):  # reduce-scatter
+            s0, s1 = segments[(rank - step) % n]
+            r0, r1 = segments[(rank - step - 1) % n]
+            n_recv = r1 - r0
+            if use_hw:
+                if n_recv:
+                    while not (yield ("qreduce", prv_node, acc[r0:r1],
+                                      op.value)):
+                        pass
+                if s1 > s0:
+                    words = pack_doubles(acc[s0:s1])
+                    while not (yield ("qmcast", 1 << nxt_node, words)):
+                        pass
+                if n_recv:
+                    while True:
+                        combined = yield ("qrpoll",)
+                        if combined is not None:
+                            break
+                    acc[r0:r1] = combined
+            else:
+                if s1 > s0:
+                    yield from self.send_doubles(nxt, acc[s0:s1])
+                if n_recv:
+                    other = yield from self.recv_doubles(prv, n_recv)
+                    acc[r0:r1] = combine_values(acc[r0:r1], other, op)
+                    yield ("compute", self._combine_cost(n_recv, op))
+        for step in range(n - 1):  # allgather
+            s0, s1 = segments[(rank + 1 - step) % n]
+            r0, r1 = segments[(rank - step) % n]
+            n_recv = r1 - r0
+            if use_hw:
+                if s1 > s0:
+                    words = pack_doubles(acc[s0:s1])
+                    while not (yield ("qmcast", 1 << nxt_node, words)):
+                        pass
+                if n_recv:
+                    words = yield ("mrecv", prv_node, 2 * n_recv)
+                    acc[r0:r1] = unpack_doubles(words)
+            else:
+                if s1 > s0:
+                    yield from self.send_doubles(nxt, acc[s0:s1])
+                if n_recv:
+                    acc[r0:r1] = yield from self.recv_doubles(prv, n_recv)
+        return acc
 
     def scatter_doubles(
         self,
@@ -380,6 +518,8 @@ class Empi:
         """
         ctx = self.ctx
         n = ctx.n_workers
+        if n > 1:
+            self._check_engine_idle("scatter", CollectiveAlgorithm.LINEAR)
         if ctx.rank == root:
             if chunks is None or len(chunks) != n:
                 raise ProgramError("scatter root must supply one chunk per rank")
@@ -396,6 +536,8 @@ class Empi:
         """MPI_gather: root returns every rank's vector, in rank order."""
         ctx = self.ctx
         n = ctx.n_workers
+        if n > 1:
+            self._check_engine_idle("gather", CollectiveAlgorithm.LINEAR)
         if ctx.rank != root:
             yield from self.send_doubles(root, values)
             return None
@@ -442,7 +584,7 @@ class Empi:
             self._frag_collective(
                 self._frag_bcast_body(root, values, n_values, algorithm)
             ),
-            "ibcast",
+            f"ibcast[{algorithm.value}]",
         )
         return request
 
@@ -460,7 +602,7 @@ class Empi:
             self._frag_collective(
                 self._frag_reduce_body(root, values, op, algorithm)
             ),
-            "ireduce",
+            f"ireduce[{algorithm.value}]",
         )
         return request
 
@@ -478,7 +620,7 @@ class Empi:
             self._frag_collective(
                 self._frag_allreduce_body(values, op, algorithm)
             ),
-            "iallreduce",
+            f"iallreduce[{algorithm.value}]",
         )
         return request
 
@@ -602,8 +744,9 @@ class Empi:
                 raise ProgramError("broadcast root must supply the payload")
         if n == 1:
             return list(values)  # type: ignore[arg-type]
+        algorithm = algorithm.rooted()
         if algorithm is CollectiveAlgorithm.HW:
-            self._require_hw()
+            self._require_hw("ibcast")
             result = yield from self._frag_bcast_hw(root, values, n_values)
             return result
         if algorithm is CollectiveAlgorithm.LINEAR:
@@ -676,6 +819,14 @@ class Empi:
         n_values = len(values)
         if n == 1:
             return list(values)
+        algorithm = algorithm.rooted()
+        if algorithm is CollectiveAlgorithm.HW:
+            self._require_hw("ireduce")
+            if ctx.dma_reduce_assist:
+                result = yield from self._frag_reduce_hw_assist(
+                    root, values, op
+                )
+                return result
         if algorithm is CollectiveAlgorithm.LINEAR:
             if ctx.rank != root:
                 yield from self._frag_send_doubles(root, values)
@@ -710,13 +861,115 @@ class Empi:
             mask <<= 1
         return acc
 
+    def _frag_reduce_hw_assist(
+        self, root: int, values: list[float], op: ReduceOp
+    ) -> "Program":
+        # The non-blocking twin of _reduce_hw_assist: same descriptors,
+        # same combine order, rescheduling between status polls so
+        # overlapped compute runs while the engines stream and combine.
+        ctx = self.ctx
+        n = ctx.n_workers
+        relative = (ctx.rank - root) % n
+        acc = list(values)
+        mask = 1
+        while mask < n:
+            if relative & mask:
+                parent = ((relative - mask) + root) % n
+                words = pack_doubles(acc)
+                while not (yield ("qmcast", 1 << ctx.node_of(parent), words)):
+                    yield RESCHEDULE
+                return None
+            peer = relative | mask
+            if peer != relative and peer < n:
+                peer_node = ctx.node_of((peer + root) % n)
+                while not (yield ("qreduce", peer_node, acc, op.value)):
+                    yield RESCHEDULE
+                while True:
+                    combined = yield ("qrpoll",)
+                    if combined is not None:
+                        break
+                    yield RESCHEDULE
+                acc = combined
+            mask <<= 1
+        return acc
+
     def _frag_allreduce_body(
         self, values: list[float], op: ReduceOp, algorithm: CollectiveAlgorithm
     ) -> "Program":
+        if algorithm is CollectiveAlgorithm.RING:
+            result = yield from self._frag_allreduce_ring(values, op)
+            return result
         n_values = len(values)
         reduced = yield from self._frag_reduce_body(0, values, op, algorithm)
         result = yield from self._frag_bcast_body(0, reduced, n_values, algorithm)
         return result
+
+    def _frag_allreduce_ring(
+        self, values: list[float], op: ReduceOp
+    ) -> "Program":
+        # Mirrors _allreduce_ring step for step (same segments, same
+        # combine order, so delivered bits are equal) with fragment
+        # point-to-point on the software path and rescheduling polls on
+        # the engine path.
+        ctx = self.ctx
+        n = ctx.n_workers
+        if n == 1:
+            return list(values)
+        use_hw = ctx.dma_queue_depth >= 1 and ctx.dma_reduce_assist
+        segments = ring_segments(len(values), n)
+        acc = list(values)
+        rank = ctx.rank
+        nxt, prv = (rank + 1) % n, (rank - 1) % n
+        nxt_node, prv_node = ctx.node_of(nxt), ctx.node_of(prv)
+        for step in range(n - 1):  # reduce-scatter
+            s0, s1 = segments[(rank - step) % n]
+            r0, r1 = segments[(rank - step - 1) % n]
+            n_recv = r1 - r0
+            if use_hw:
+                if n_recv:
+                    while not (yield ("qreduce", prv_node, acc[r0:r1],
+                                      op.value)):
+                        yield RESCHEDULE
+                if s1 > s0:
+                    words = pack_doubles(acc[s0:s1])
+                    while not (yield ("qmcast", 1 << nxt_node, words)):
+                        yield RESCHEDULE
+                if n_recv:
+                    while True:
+                        combined = yield ("qrpoll",)
+                        if combined is not None:
+                            break
+                        yield RESCHEDULE
+                    acc[r0:r1] = combined
+            else:
+                if s1 > s0:
+                    yield from self._frag_send_doubles(nxt, acc[s0:s1])
+                if n_recv:
+                    other = yield from self._frag_recv_doubles(prv, n_recv)
+                    acc[r0:r1] = combine_values(acc[r0:r1], other, op)
+                    yield ("compute", self._combine_cost(n_recv, op))
+        for step in range(n - 1):  # allgather
+            s0, s1 = segments[(rank + 1 - step) % n]
+            r0, r1 = segments[(rank - step) % n]
+            n_recv = r1 - r0
+            if use_hw:
+                if s1 > s0:
+                    words = pack_doubles(acc[s0:s1])
+                    while not (yield ("qmcast", 1 << nxt_node, words)):
+                        yield RESCHEDULE
+                if n_recv:
+                    while True:
+                        words = yield ("tmrecv", prv_node, 2 * n_recv)
+                        if words is not None:
+                            break
+                        yield RESCHEDULE
+                    acc[r0:r1] = unpack_doubles(words)
+            else:
+                if s1 > s0:
+                    yield from self._frag_send_doubles(nxt, acc[s0:s1])
+                if n_recv:
+                    acc[r0:r1] = yield from self._frag_recv_doubles(prv, n_recv)
+        return acc
 
     # -- legacy scalar collectives ---------------------------------------------------------
 

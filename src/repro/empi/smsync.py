@@ -18,6 +18,7 @@ from repro.empi.collectives import (
     ReduceOp,
     combine_cost,
     combine_values,
+    ring_segments,
 )
 from repro.empi.requests import RESCHEDULE, ProgressEngine, Request
 from repro.errors import ProgramError
@@ -245,15 +246,21 @@ class SharedMemoryCollectives:
     def _combine_cost(self, n_values: int, op: ReduceOp) -> int:
         return combine_cost(self.ctx.cost, n_values, op)
 
-    def _check_engine_idle(self, what: str) -> None:
-        # Same rule as Empi: blocking ops would race outstanding request
-        # fragments for the mailboxes, the slot arena and — unlike eMPI,
-        # whose barrier rides a separate token segment — the barrier
-        # counter itself, silently corrupting shared state.  Refuse.
+    def _check_engine_idle(
+        self, what: str,
+        algorithm: "CollectiveAlgorithm | None" = None,
+    ) -> None:
+        # Same rule (and same message shape) as Empi: blocking ops would
+        # race outstanding request fragments for the mailboxes, the slot
+        # arena and — unlike eMPI, whose barrier rides a separate token
+        # segment — the barrier counter itself, silently corrupting
+        # shared state.  Refuse, naming the algorithm in use so
+        # mixed-algorithm apps can tell which call site raced.
         if not self.engine.idle:
             labels = ", ".join(self.engine.active_labels)
+            op = what if algorithm is None else f"{what}[{algorithm.value}]"
             raise ProgramError(
-                f"rank {self.ctx.rank}: blocking {what} with "
+                f"rank {self.ctx.rank}: blocking {op} with "
                 f"{self.engine.n_active} non-blocking request(s) "
                 f"outstanding ({labels}); wait/waitall them first"
             )
@@ -304,7 +311,7 @@ class SharedMemoryCollectives:
 
     def reduce(self, root: int, values: list[float],
                op: ReduceOp | str = ReduceOp.SUM) -> "Program":
-        self._check_engine_idle("reduce")
+        self._check_engine_idle("reduce", self.algorithm)
         op = ReduceOp.parse(op)
         n = self.n_workers
         if n == 1:
@@ -374,12 +381,64 @@ class SharedMemoryCollectives:
 
     def allreduce(self, values: list[float],
                   op: ReduceOp | str = ReduceOp.SUM) -> "Program":
+        if self.n_workers > 1:
+            # Named for the op the caller issued (parity with Empi's
+            # allreduce guard), not the inner reduce/bcast legs.
+            self._check_engine_idle("allreduce", self.algorithm)
+        if self.algorithm is CollectiveAlgorithm.RING and self.n_workers > 1:
+            result = yield from self._allreduce_ring(
+                values, ReduceOp.parse(op), self.barrier_state.wait
+            )
+            return result
         reduced = yield from self.reduce(0, values, op)
         if self.ctx.rank == 0:
             result = yield from self.bcast(0, reduced, len(values))
         else:
             result = yield from self.bcast(0, None, len(values))
         return result
+
+    def _allreduce_ring(self, values: list[float], op: ReduceOp,
+                        barrier: "typing.Callable") -> "Program":
+        """Ring allreduce over the slot arena: the pure-SM mirror.
+
+        Same :func:`~repro.empi.collectives.ring_segments` partition and
+        the same accumulator-first combine order as the message-passing
+        ring, so delivered bits are identical; but every segment hop is
+        publish-own-slot / barrier / read-left-neighbour's-slot /
+        barrier — 2(P-1) barrier pairs of MPMMU round trips, the
+        serialization the hybrid ring does not pay.  ``barrier`` is the
+        barrier flavour (spinning for the blocking path, rescheduling
+        ``wait_frag`` for fragments), which is the only difference
+        between the two.
+        """
+        ctx = self.ctx
+        n = self.n_workers
+        segments = ring_segments(len(values), n)
+        acc = list(values)
+        rank = ctx.rank
+        prv = (rank - 1) % n
+        for phase in ("reduce_scatter", "allgather"):
+            for step in range(n - 1):
+                if phase == "reduce_scatter":
+                    s0, s1 = segments[(rank - step) % n]
+                    r0, r1 = segments[(rank - step - 1) % n]
+                else:
+                    s0, s1 = segments[(rank + 1 - step) % n]
+                    r0, r1 = segments[(rank - step) % n]
+                if s1 > s0:
+                    yield from self._write_slot(rank, acc[s0:s1])
+                yield from barrier()
+                n_recv = r1 - r0
+                if n_recv:
+                    other = yield from self._read_slot(prv, n_recv)
+                    if phase == "reduce_scatter":
+                        acc[r0:r1] = combine_values(acc[r0:r1], other, op)
+                        yield ("compute", self._combine_cost(n_recv, op))
+                    else:
+                        acc[r0:r1] = other
+                # A slot may only be republished once its reader is done.
+                yield from barrier()
+        return acc
 
     def scatter(self, root: int, chunks: list[list[float]] | None,
                 n_values: int) -> "Program":
@@ -447,7 +506,7 @@ class SharedMemoryCollectives:
                n_values: int) -> "Program":
         request = yield from self.engine.post(
             self._frag_collective(self._frag_bcast_body(root, values, n_values)),
-            "ibcast",
+            f"ibcast[{self.algorithm.value}]",
         )
         return request
 
@@ -457,7 +516,7 @@ class SharedMemoryCollectives:
             self._frag_collective(
                 self._frag_reduce_body(root, values, ReduceOp.parse(op))
             ),
-            "ireduce",
+            f"ireduce[{self.algorithm.value}]",
         )
         return request
 
@@ -467,7 +526,7 @@ class SharedMemoryCollectives:
             self._frag_collective(
                 self._frag_allreduce_body(values, ReduceOp.parse(op))
             ),
-            "iallreduce",
+            f"iallreduce[{self.algorithm.value}]",
         )
         return request
 
@@ -622,6 +681,13 @@ class SharedMemoryCollectives:
 
     def _frag_allreduce_body(self, values: list[float],
                              op: ReduceOp) -> "Program":
+        if self.algorithm is CollectiveAlgorithm.RING and self.n_workers > 1:
+            # Same ring schedule, split-phase barriers: polls reschedule
+            # so overlapped compute runs between MPMMU round trips.
+            result = yield from self._allreduce_ring(
+                values, op, self.barrier_state.wait_frag
+            )
+            return result
         reduced = yield from self._frag_reduce_body(0, values, op)
         if self.ctx.rank == 0:
             result = yield from self._frag_bcast_body(0, reduced, len(values))

@@ -118,7 +118,12 @@ class NocFabric(Component):
         self.topology = topology
         self.eject_capacity = eject_capacity
         self.strict_encoding = strict_encoding
-        self.codec = FlitCodec(topology.width, topology.height)
+        # Every node must be nameable in a multicast mask; on networks
+        # bigger than the base format's spare bits the codec widens the
+        # header (the two-flit-header extension in packet.py).
+        self.codec = FlitCodec(
+            topology.width, topology.height, min_mask_bits=topology.n_nodes
+        )
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         n = topology.n_nodes
         # regs[node][direction] = flit latched on that input link.
@@ -162,12 +167,6 @@ class NocFabric(Component):
             if not (0 <= flit.src < n):
                 raise ProtocolError(f"flit endpoints out of range: {flit!r}")
             if self.strict_encoding:
-                if mask >= (1 << max(0, self.codec.mask_bits)):
-                    raise ProtocolError(
-                        f"multicast mask does not fit the {self.codec.mask_bits}"
-                        f" spare flit bits; use the DMA engine's unicast "
-                        f"fallback (noc_multicast=False) on this network"
-                    )
                 self.codec.encode(
                     0, 0, int(flit.ptype), flit.subtype, flit.seq,
                     min(flit.burst, self.codec.max_burst), flit.src, flit.data,

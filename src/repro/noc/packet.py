@@ -97,7 +97,11 @@ class FlitCodec:
     Field widths follow the paper: X/Y widths scale with the grid (2+2 bits
     for a 4x4 folded torus), TYPE=3, SUBTYPE=2, SEQNUM=4, BURST=2, SRCID=4,
     DATA=32.  The total must fit the configured flit width (64 in the
-    reference implementation, leaving spare bits).
+    reference implementation, leaving spare bits).  Passing ``min_mask_bits``
+    guarantees that many low-order bits for the MULTICAST destination
+    bitmask: when the spare bits of the base format are too few (more than
+    12 nodes on the 64-bit flit), the header grows by whole bytes — the
+    two-flit-header extension, modelled as one widened wire word.
     """
 
     def __init__(
@@ -109,10 +113,10 @@ class FlitCodec:
         burst_bits: int = 2,
         src_bits: int = 4,
         data_bits: int = 32,
+        min_mask_bits: int = 0,
     ) -> None:
         self.width = width
         self.height = height
-        self.flit_width = flit_width
         x_bits = max(1, (width - 1).bit_length())
         y_bits = max(1, (height - 1).bit_length())
         if (1 << src_bits) < width * height:
@@ -137,6 +141,14 @@ class FlitCodec:
             raise PacketFormatError(
                 f"layout needs {total} bits but flit is {flit_width} bits wide"
             )
+        # The spare low-order bits (12 on the reference 64-bit flit) carry
+        # the MULTICAST destination bitmask.  A network whose node count
+        # exceeds the spare bits extends the header by whole bytes — the
+        # wire sends the extension as a second header beat (the "two-flit
+        # header"); the codec models the pair as one widened mask word.
+        if flit_width - total < min_mask_bits:
+            flit_width = -(-(total + min_mask_bits) // 8) * 8
+        self.flit_width = flit_width
         position = flit_width
         for name, bits in layout:
             position -= bits
@@ -145,9 +157,6 @@ class FlitCodec:
         self.payload_bits = data_bits
         self.max_seq = (1 << seq_bits) - 1
         self.max_burst = (1 << burst_bits) - 1
-        # The spare low-order bits (12 on the reference 64-bit flit) carry
-        # the MULTICAST destination bitmask; networks with more nodes than
-        # spare bits must use the DMA engine's unicast-fallback mode.
         self.mask_bits = flit_width - total
         if self.mask_bits > 0:
             self.fields["mask"] = FieldSpec("mask", self.mask_bits, 0)

@@ -8,7 +8,9 @@ single injection port.
 
 Intra-cycle phase order (one ``step`` = one clock):
 
-1. drain one flit from the ejection port (data/req demux of Fig. 2-b);
+1. drain one flit from the ejection port (data/req demux of Fig. 2-b),
+   then let a fitted DMA engine's reduction assist combine one arrived
+   multicast double into its accumulate-on-receive descriptor;
 2. issue the next memory job to the bridge if it is idle;
 3. offer the bridge's pending flit to the arbiter (memory class);
 4. offer the message path's pending flit to the arbiter (message class):
@@ -176,7 +178,7 @@ class ProcessorNode(Component):
             and not self.tie.tx_busy
             and self._pending_req_flit is None
             and self.tie.pending_credits.empty
-            and (self.dma is None or not self.dma.busy)
+            and (self.dma is None or not (self.dma.busy or self.dma.rx_busy))
             and not self.arbiter.has_pending
             and self.ports.eject.queue.empty
         )
@@ -188,8 +190,12 @@ class ProcessorNode(Component):
         # emptiness guard inlined so an idle phase costs one attribute test.
         bridge = self.bridge
         tie = self.tie
+        dma = self.dma
         if self._rx_items:
             self._phase_rx(cycle)
+        if dma is not None and dma._rx is not None:
+            # Reduction assist: combine one arrived double per cycle.
+            dma.rx_pump()
         if self._jobs and self._active_job is None and bridge.idle:
             job = self._jobs[0]
             if job.not_before <= cycle:
@@ -204,7 +210,7 @@ class ProcessorNode(Component):
             self._credit_items
             or self._pending_req_flit is not None
             or tie.tx is not None
-            or (self.dma is not None and self.dma.busy)
+            or (dma is not None and dma.busy)
         ):
             self._phase_tie_tx(cycle)
         # Core phase (inlined _phase_core).
@@ -422,6 +428,23 @@ class ProcessorNode(Component):
                 self._send_value = self._dma().free_slots
                 self._ready_at = cycle + 1
                 self.stats.inc("ops_qstat")
+                return
+            if code == "qreduce":
+                # Post an accumulate-on-receive descriptor: the engine
+                # combines the multicast stream from node op[1] into the
+                # accumulator op[2] as flits arrive.  False = engine
+                # busy with a previous reduce (retry later).
+                self._send_value = self._dma().post_reduce(op[1], op[2], op[3])
+                self._ready_at = cycle + 2
+                self.stats.inc("ops_qreduce")
+                return
+            if code == "qrpoll":
+                # One-cycle poll of the reduce-status register; returns
+                # the finished accumulator (clearing the descriptor) or
+                # None while the engine is still combining.
+                self._send_value = self._dma().rx_result_poll()
+                self._ready_at = cycle + 1
+                self.stats.inc("ops_qrpoll")
                 return
             if code == "mrecv":
                 # Blocking receive from the multicast stream of node op[1].
@@ -701,7 +724,7 @@ class ProcessorNode(Component):
             or self._credit_items
         ):
             return
-        if self.dma is not None and self.dma.busy:
+        if self.dma is not None and (self.dma.busy or self.dma.rx_can_progress()):
             return
         if self._active_job is None and self._jobs:
             head = self._jobs[0]

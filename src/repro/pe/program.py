@@ -32,6 +32,11 @@ op tuple               effect                                      result
 ("qsend", n, ws)       post unicast descriptor on the DMA queue    bool
 ("qmcast", m, ws)      post multicast descriptor (bitmask m)       bool
 ("qstat",)             poll the DMA queue's free-slot count        int
+("qreduce", n, vs, o)  post accumulate-on-receive: combine the     bool
+                       multicast stream from node n into the
+                       doubles accumulator vs with ReduceOp o
+("qrpoll",)            poll the reduce status; the finished        [v]|None
+                       accumulator once combined, else None
 ("mrecv", n, k)        wait for k multicast-stream words from n    [words]
 ("tmrecv", n, k)       multicast words from n if ready, else None  [w]|None
 ("lock", a)            MPMMU lock word a (spins on NACK)           None
@@ -78,6 +83,7 @@ class ProgramContext:
         line_bytes: int = 16,
         local_mem_bytes: int = 1 << 20,
         dma_queue_depth: int = 0,
+        dma_reduce_assist: bool = True,
     ) -> None:
         self.rank = rank
         self.n_workers = n_workers
@@ -90,6 +96,10 @@ class ProgramContext:
         #: Depth of this tile's DMA TX queue (0 = no engine; the ``hw``
         #: collective algorithm refuses to run without one).
         self.dma_queue_depth = dma_queue_depth
+        #: Whether the engine's accumulate-on-receive (qreduce) datapath
+        #: is used by the runtime's hw/ring reductions.  Off = PR-4
+        #: behaviour: the combining leg serializes through processor ops.
+        self.dma_reduce_assist = dma_reduce_assist
         self._local_alloc = 0
         # Bound by the system builder (import cycle otherwise).
         self.empi: "Empi | None" = None

@@ -49,6 +49,19 @@ CREDIT_WORD = 0x7F00_0000
 #: the DMA engine gates emission on the slowest member — the ack
 #: aggregation a hardware collective engine performs.
 MCAST_CREDIT_WORD = 0x7F01_0000
+#: Multicast group (re-)registration handshake, riding the same reverse
+#: request path as the credits.  A SYNC token carries the *phase* of the
+#: sender's multicast stream slot (slot mod SEQ_WINDOW — the receiver's
+#: absolute numbering is local bookkeeping, and CREDIT_WINDOW divides
+#: SEQ_WINDOW, so phase alignment is all the seq-offset scatter and the
+#: credit windows need); a *new* group member fast-forwards its receive
+#: stream to that phase and answers with a SYNC_ACK, and the sending
+#: engine holds the first post-re-registration descriptor until every
+#: new member acked.
+MCAST_SYNC_WORD = 0x7F02_0000
+MCAST_SYNC_ACK_WORD = 0x7F03_0000
+#: SYNC carries the slot phase (mod SEQ_WINDOW) in its low bits.
+MCAST_SYNC_SLOT_MASK = SEQ_WINDOW - 1
 
 
 class ReceiveStream:
@@ -112,6 +125,33 @@ class ReceiveStream:
     def pending_words(self) -> int:
         return self.lowest_missing - self.consumed
 
+    def realign(self, phase: int) -> None:
+        """Fast-forward an idle stream to slot phase ``phase`` (group sync).
+
+        Used when this stream's sender re-registers its multicast group
+        with this node as a new member: the shared sequence space stands
+        at some slot with ``slot % SEQ_WINDOW == phase``, so the empty
+        stream jumps forward to the nearest slot of that phase.  Only the
+        phase matters — this stream's absolute numbering is local
+        bookkeeping, and credit windows divide the sequence window, so
+        windowed crediting stays aligned with the sender's counters.  A
+        stream holding unconsumed or out-of-order words cannot be moved —
+        that data would be lost, which is a protocol violation, not a
+        detail to hide.
+        """
+        if not (0 <= phase < SEQ_WINDOW):
+            raise ProtocolError(f"sync phase {phase} exceeds the seq window")
+        if self.slots or self.consumed != self.lowest_missing:
+            raise ProtocolError(
+                f"multicast stream re-synced with {self.pending_words} "
+                f"unconsumed word(s) and {len(self.slots)} buffered flit(s)"
+            )
+        base = self.lowest_missing
+        base += (phase - base) % SEQ_WINDOW
+        self.lowest_missing = base
+        self.consumed = base
+        self.credited_upto = base
+
 
 class _PendingSend:
     """TX state for the message currently streaming out."""
@@ -158,6 +198,9 @@ class TieInterface:
         #: Multicast slots credited back, per group member (sender side);
         #: read by the DMA engine, which gates on the minimum.
         self.mcast_credited: dict[int, int] = {}
+        #: Members that acknowledged a group-sync token (sender side);
+        #: the DMA engine holds re-registered descriptors on this set.
+        self.mcast_sync_acks: set[int] = set()
         #: Credit tokens owed to peers: (destination node, marker word).
         self.pending_credits: Fifo[tuple[int, int]] = Fifo(
             None, name=f"tie[{node_id}].cr"
@@ -196,6 +239,19 @@ class TieInterface:
                 credited = self.mcast_credited.get(flit.src, 0)
                 self.mcast_credited[flit.src] = credited + CREDIT_WINDOW
                 self.stats.inc("mcast_credits_received")
+                return
+            if flit.data & ~MCAST_SYNC_SLOT_MASK == MCAST_SYNC_WORD:
+                # The peer re-registered its multicast group with this
+                # node as a new member: align our stream to the phase of
+                # its shared sequence space and ack on the reverse path.
+                phase = flit.data & MCAST_SYNC_SLOT_MASK
+                self.mcast_stream_from(flit.src).realign(phase)
+                self.pending_credits.push((flit.src, MCAST_SYNC_ACK_WORD))
+                self.stats.inc("mcast_syncs_received")
+                return
+            if flit.data == MCAST_SYNC_ACK_WORD:
+                self.mcast_sync_acks.add(flit.src)
+                self.stats.inc("mcast_sync_acks_received")
                 return
             self.requests.push((flit.src, flit.data))
             self.stats.inc("requests_received")

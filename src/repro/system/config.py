@@ -50,6 +50,12 @@ class SystemConfig:
     #: unicast streams (False — the equivalence-tested fallback for
     #: networks whose flit format cannot carry the mask).
     noc_multicast: bool = True
+    #: When the engine exists, let reductions combine at the engine on
+    #: flit arrival (the ``qreduce`` accumulate-on-receive assist).
+    #: False reproduces the PR-4 engine: broadcast offloads, the
+    #: combining leg serializes through processor ops — the sw-reduce
+    #: baseline of the DSE crossover table.
+    dma_reduce_assist: bool = True
 
     # -- arbiter (Fig. 3 configurations) ----------------------------------------
     arbiter_mode: ArbiterMode | str = "dual_fifo"

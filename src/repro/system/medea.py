@@ -151,6 +151,7 @@ class MedeaSystem:
             line_bytes=config.cache_line_bytes,
             local_mem_bytes=config.local_mem_bytes,
             dma_queue_depth=config.dma_tx_queue_depth,
+            dma_reduce_assist=config.dma_reduce_assist,
         )
         ctx.empi = Empi(ctx, barrier_algorithm=config.empi_barrier)
         return ctx

@@ -56,13 +56,73 @@ def test_descriptor_validation():
         DmaTxEngine(TieInterface(1), n_nodes=9, depth=0)
 
 
-def test_multicast_group_is_registered_once():
-    engine = make_engine()
-    assert engine.post_multicast((1 << 2) | (1 << 3), [1])
-    with pytest.raises(ProtocolError):
-        engine.post_multicast(1 << 2, [2])  # different group
-    # The registered group is re-usable.
-    assert engine.post_multicast((1 << 2) | (1 << 3), [2])
+def test_multicast_group_reregistration_waits_for_quiescence():
+    engine = make_engine(depth=4)
+    group_a = (1 << 2) | (1 << 3)
+    assert engine.post_multicast(group_a, [1])
+    # A queued descriptor for the old group: the register cannot be
+    # rewritten yet — refused like a full queue, not raised.
+    assert not engine.post_multicast(1 << 2, [2])
+    assert engine.stats.as_dict()["group_reregister_stalls"] == 1
+    # The registered group stays re-usable meanwhile.
+    assert engine.post_multicast(group_a, [2])
+    # Drain both descriptors through the engine streamer.
+    engine.pump()
+    while engine.busy:
+        if engine.tx_current() is not None:
+            engine.tx_advance()
+        engine.pump()
+    # Streamed but not yet credited: still not quiescent (2 slots sent,
+    # zero credited would allow it only because 2 < CREDIT_WINDOW; force
+    # the interesting case with a full window outstanding).
+    engine.post_multicast(group_a, list(range(10)))
+    engine.pump()
+    while engine.busy:
+        if engine.tx_current() is not None:
+            engine.tx_advance()
+        engine.pump()
+    assert not engine.post_multicast(1 << 2, [3])  # 12 slots, 0 credited
+    engine.tie.mcast_credited[2] = 8
+    assert not engine.post_multicast(1 << 2, [3])  # member 3 still behind
+    engine.tie.mcast_credited[3] = 8
+    # Quiescent now (the <CREDIT_WINDOW tail is software-ordered): the
+    # register rewrites, and the shared sequence space continues.
+    assert engine.post_multicast(1 << 2, [3])
+    assert engine.group_mask == 1 << 2
+    assert engine.stats.as_dict()["group_reregisters"] == 1
+    # No new member joined (shrinking group): no sync handshake pending,
+    # so the descriptor streams immediately.
+    engine.pump()
+    assert engine.tx_current() is not None
+    assert engine.tx_current().seq == 12 % 16
+
+
+def test_multicast_group_growth_syncs_new_members():
+    from repro.pe.tie import MCAST_SYNC_WORD
+
+    engine = make_engine(depth=4)
+    assert engine.post_multicast(1 << 2, list(range(5)))
+    engine.pump()
+    while engine.busy:
+        if engine.tx_current() is not None:
+            engine.tx_advance()
+        engine.pump()
+    engine.tie.mcast_credited[2] = 8  # member 2 quiescent
+    grown = (1 << 2) | (1 << 5)
+    assert engine.post_multicast(grown, [9])
+    # The new member got a SYNC token (current slot = 5) on the reverse
+    # path and is treated as credited up to the join point.
+    assert list(engine.tie.pending_credits._items) == [
+        (5, MCAST_SYNC_WORD | 5)
+    ]
+    assert engine.tie.mcast_credited[5] == 5
+    # The descriptor holds until the new member acks the sync.
+    engine.pump()
+    assert engine.tx_current() is None
+    engine.tie.mcast_sync_acks.add(5)
+    engine.pump()
+    flit = engine.tx_current()
+    assert flit is not None and flit.dst_mask == grown and flit.seq == 5
 
 
 def test_unicast_head_rides_the_tie_streams():
@@ -284,6 +344,77 @@ def test_qsend_coexists_with_blocking_and_nonblocking_sends():
     assert observed["blocking"] == [41, 42]
     assert observed["queued"] == [51]
     assert observed["isend"] == [61, 62]
+
+
+def test_bcast_to_subgroup_then_bcast_to_all():
+    """Group re-registration end to end: the root multicasts to a
+    subgroup, waits for consumption acks (the software-ordering rule),
+    then rewrites the group register to all workers — new members join
+    via the SYNC/SYNC_ACK handshake and receive from the shared
+    sequence space mid-stream."""
+    n_workers = 6
+    received = {}
+
+    def root(ctx):
+        sub = (1 << ctx.node_of(1)) | (1 << ctx.node_of(2))
+        while not (yield ("qmcast", sub, [1, 2, 3])):
+            pass
+        for __ in range(2):  # both subgroup members confirmed consumption
+            yield ("recvreq",)
+        full = 0
+        for rank in range(1, n_workers):
+            full |= 1 << ctx.node_of(rank)
+        while not (yield ("qmcast", full, [7, 8])):
+            pass
+
+    def member(rank, in_subgroup):
+        def program(ctx):
+            got = []
+            if in_subgroup:
+                got.append((yield ("mrecv", ctx.node_of(0), 3)))
+                yield ("sendreq", ctx.node_of(0), 0xAC)
+            got.append((yield ("mrecv", ctx.node_of(0), 2)))
+            received[rank] = got
+        return program
+
+    system, __ = run_programs(
+        [root] + [member(r, r in (1, 2)) for r in range(1, n_workers)],
+        n_workers, dma_tx_queue_depth=2,
+    )
+    assert received[1] == [[1, 2, 3], [7, 8]]
+    assert received[2] == [[1, 2, 3], [7, 8]]
+    for rank in range(3, n_workers):
+        assert received[rank] == [[7, 8]]
+    assert system.nodes[0].dma.stats.as_dict()["group_reregisters"] == 1
+
+
+def test_qmcast_on_15w_mesh_under_strict_encoding():
+    """Regression: 16 nodes need a 16-bit multicast mask, which the
+    64-bit flit's 12 spare bits refused before the two-flit-header
+    (widened mask word) extension — this configuration used to raise
+    ProtocolError at injection under strict encoding."""
+    n_workers = 15
+    received = {}
+
+    def root(ctx):
+        mask = 0
+        for rank in range(1, n_workers):
+            mask |= 1 << ctx.node_of(rank)
+        assert mask >= (1 << 12)  # genuinely beyond the 12 spare bits
+        while not (yield ("qmcast", mask, [5, 6, 7])):
+            pass
+
+    def leaf(rank):
+        def program(ctx):
+            received[rank] = yield ("mrecv", ctx.node_of(0), 3)
+        return program
+
+    run_programs(
+        [root] + [leaf(r) for r in range(1, n_workers)],
+        n_workers, dma_tx_queue_depth=2, strict_encoding=True,
+    )
+    for rank in range(1, n_workers):
+        assert received[rank] == [5, 6, 7]
 
 
 def test_ops_without_engine_raise_program_error():

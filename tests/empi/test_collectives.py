@@ -215,10 +215,11 @@ def test_combine_values_rejects_length_mismatch():
 
 def test_enum_parsing():
     assert CollectiveAlgorithm.parse("TREE") is CollectiveAlgorithm.TREE
+    assert CollectiveAlgorithm.parse("ring") is CollectiveAlgorithm.RING
     assert ReduceOp.parse("max") is ReduceOp.MAX
     assert CommModel.parse("pure_sm") is CommModel.PURE_SM
     with pytest.raises(ConfigError):
-        CollectiveAlgorithm.parse("ring")
+        CollectiveAlgorithm.parse("butterfly")
     with pytest.raises(ConfigError):
         ReduceOp.parse("prod")
     with pytest.raises(ConfigError):

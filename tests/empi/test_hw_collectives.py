@@ -199,6 +199,109 @@ def test_guard_names_rank_op_and_outstanding_requests():
     assert "irecv<-1" in message        # the outstanding request's label
 
 
+def test_hw_allreduce_then_bcast_from_nonzero_root_regroups():
+    """Mixed hw collectives change each tile's multicast group: rank 1
+    first multicasts its reduce accumulator to its parent (group = one
+    node), then roots a broadcast (group = everyone else) — exercising
+    group re-registration inside real collectives."""
+    n_workers = 4
+    n_values = 5
+    payload = [9.0, 8.0, 7.0, 6.0, 5.0]
+    out = {}
+
+    def factory(rank):
+        def program(ctx):
+            comm = make_comm(ctx, "empi", "hw", max_values=n_values)
+            yield from comm.barrier()
+            first = yield from comm.allreduce([float(rank)] * n_values)
+            yield from comm.barrier()
+            values = payload if rank == 1 else None
+            second = yield from comm.bcast(1, values, n_values)
+            out[rank] = (first, second)
+            yield from comm.barrier()
+        return program
+
+    system, __ = run_system([factory(r) for r in range(n_workers)],
+                            n_workers, **hw_config(n_workers=4))
+    expected = reference_allreduce(
+        [[float(r)] * n_values for r in range(n_workers)], "sum", "tree"
+    )
+    for rank in range(n_workers):
+        assert out[rank] == (expected, payload)
+    # Rank 1's engine really did rewrite its group register.
+    assert system.nodes[1].dma.stats.as_dict()["group_reregisters"] == 1
+
+
+@pytest.mark.parametrize("algorithm", ["tree", "hw", "ring"])
+def test_guard_names_the_algorithm_in_use(algorithm):
+    """Mixed-algorithm apps get actionable messages: the outstanding-
+    request guard names the algorithm of the blocking collective AND the
+    posted request's label carries its own algorithm."""
+    seen = {}
+
+    def left(ctx):
+        comm = make_comm(ctx, "empi", algorithm, max_values=2)
+        yield from comm.barrier()
+        request = yield from comm.iallreduce([1.0, float(ctx.rank)])
+        try:
+            yield from comm.allreduce([2.0, 2.0])
+        except ProgramError as err:
+            seen["message"] = str(err)
+        __ = yield from comm.wait(request)
+        yield from comm.barrier()
+
+    def right(ctx):
+        comm = make_comm(ctx, "empi", algorithm, max_values=2)
+        yield from comm.barrier()
+        request = yield from comm.iallreduce([1.0, float(ctx.rank)])
+        __ = yield from comm.wait(request)
+        yield from comm.barrier()
+
+    run_system([left, right], 2, **hw_config(n_workers=2))
+    message = seen["message"]
+    assert f"blocking allreduce[{algorithm}]" in message
+    assert f"iallreduce[{algorithm}]" in message  # the request's label
+
+
+@pytest.mark.parametrize("algorithm", ["tree", "ring"])
+def test_sm_guard_names_the_algorithm_in_use(algorithm):
+    # Backend parity: the shared-memory guard carries the same shape
+    # and names the op the caller issued, not an inner leg.
+    seen = {}
+
+    def left(ctx):
+        comm = make_comm(ctx, "pure_sm", algorithm, max_values=2)
+        yield from comm.barrier()
+        request = yield from comm.iallreduce([1.0, float(ctx.rank)])
+        try:
+            yield from comm.allreduce([2.0, 2.0])
+        except ProgramError as err:
+            seen["message"] = str(err)
+        __ = yield from comm.wait(request)
+        yield from comm.barrier()
+
+    def right(ctx):
+        comm = make_comm(ctx, "pure_sm", algorithm, max_values=2)
+        yield from comm.barrier()
+        request = yield from comm.iallreduce([1.0, float(ctx.rank)])
+        __ = yield from comm.wait(request)
+        yield from comm.barrier()
+
+    run_system([left, right], 2)
+    message = seen["message"]
+    assert f"blocking allreduce[{algorithm}]" in message
+    assert f"iallreduce[{algorithm}]" in message
+
+
+def test_hw_engine_error_names_the_operation():
+    def program(ctx):
+        comm = make_comm(ctx, "empi", "hw", max_values=1)
+        yield from comm.reduce(0, [1.0])
+
+    with pytest.raises(ProgramError, match=r"\(reduce\).*dma_tx_queue_depth"):
+        run_system([program, lambda ctx: iter(())], 2)
+
+
 # ---------------------------------------------------------------------------
 # Acceptance: hw strictly beats the software binomial tree at 8 workers
 # ---------------------------------------------------------------------------

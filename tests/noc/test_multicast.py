@@ -239,6 +239,24 @@ def test_validate_rejects_bad_multicast_masks():
         )
 
 
+def test_strict_encoding_accepts_mask_beyond_spare_bits():
+    """Regression: a 16-node mask exceeds the 64-bit flit's 12 spare
+    bits and used to raise ProtocolError under strict encoding (the
+    unicast fallback was the only way); the widened-header codec now
+    carries it losslessly."""
+    topo = FoldedTorusTopology(4, 4)
+    fabric = NocFabric(topo, strict_encoding=True)
+    mask = ((1 << 16) - 1) & ~1  # every node but the source: 15 bits set
+    flit = mcast_flit(src=0, mask=mask, uid=1)
+    fabric.validate_flit(flit)  # previously: ProtocolError
+    assert fabric.codec.mask_bits >= 16
+    decoded = fabric.codec.decode(
+        fabric.codec.encode(0, 0, int(PacketType.MULTICAST), 1, 0, 1, 0, 0,
+                            mask=mask)
+    )
+    assert decoded["mask"] == mask
+
+
 def test_strict_encoding_accepts_mask_in_spare_bits():
     topo = FoldedTorusTopology(3, 3)
     fabric = NocFabric(topo, strict_encoding=True)

@@ -123,6 +123,40 @@ def test_scaled_grid_widens_coordinates():
     assert codec.fields["y"].width == 3
 
 
+def test_min_mask_bits_widens_the_header_by_whole_bytes():
+    # 4x4 base layout leaves 12 spare bits; 16 nodes need 16 mask bits,
+    # so the header grows to the next byte boundary (the two-flit-header
+    # extension, modelled as one widened wire word).
+    base = FlitCodec(4, 4)
+    assert base.flit_width == 64
+    assert base.mask_bits == 12
+    wide = FlitCodec(4, 4, min_mask_bits=16)
+    assert wide.flit_width == 72
+    assert wide.mask_bits >= 16
+    # A 16-node all-but-source mask round-trips losslessly.
+    mask = 0xFFFE
+    word = wide.encode(
+        0, 0, int(PacketType.MULTICAST), int(SubType.MSG_DATA),
+        seq=5, burst=1, src=0, data=0xCAFEBABE, mask=mask,
+    )
+    decoded = wide.decode(word)
+    assert decoded["mask"] == mask
+    assert decoded["data"] == 0xCAFEBABE
+    assert decoded["seq"] == 5
+    # The base format still refuses what it cannot carry.
+    with pytest.raises(PacketFormatError):
+        base.encode(
+            0, 0, int(PacketType.MULTICAST), int(SubType.MSG_DATA),
+            seq=0, burst=1, src=0, data=0, mask=mask,
+        )
+
+
+def test_min_mask_bits_is_a_no_op_when_spare_bits_suffice():
+    codec = FlitCodec(3, 3, min_mask_bits=9)  # 9 nodes fit the 12 spare
+    assert codec.flit_width == 64
+    assert codec.mask_bits == 12
+
+
 def test_src_field_must_name_all_nodes():
     with pytest.raises(PacketFormatError):
         FlitCodec(8, 8)  # 64 nodes need more than 4 src bits

@@ -299,3 +299,60 @@ def test_credit_stall_cycles_batch_until_flush():
     assert tie.tx_current() is None  # one more stalled cycle
     tie.flush_stats()
     assert tie.stats["credit_stall_cycles"] == 2
+
+
+# -- multicast group sync (re-registration handshake) -----------------------
+
+
+def test_stream_realign_fast_forwards_idle_stream():
+    stream = ReceiveStream()
+    stream.realign(4)  # sender's shared slot counter stands at 16k + 4
+    assert stream.lowest_missing == 4
+    assert stream.consumed == 4
+    assert stream.credited_upto == 4
+    # Arrivals continue in the shared sequence space at that phase.
+    stream.insert(4, 777)
+    assert stream.available(1)
+    assert stream.take(1) == [777]
+
+
+def test_stream_realign_moves_forward_to_the_phase():
+    stream = ReceiveStream()
+    for seq in range(5):
+        stream.insert(seq, seq)
+    stream.take(5)
+    stream.realign(2)  # next slot with phase 2 at or after the front
+    assert stream.lowest_missing == 18
+    stream.realign(2)  # a no-op when the front already has the phase
+    assert stream.lowest_missing == 18
+
+
+def test_stream_realign_refuses_unconsumed_data_and_bad_phase():
+    stream = ReceiveStream()
+    stream.insert(0, 1)
+    with pytest.raises(ProtocolError):
+        stream.realign(8)  # one unconsumed word would be lost
+    stream.take(1)
+    with pytest.raises(ProtocolError):
+        stream.realign(SEQ_WINDOW)  # phase exceeds the 4-bit field
+    stream.realign(1)  # fine: forward to the next phase-1 slot
+
+
+def test_mcast_sync_token_realigns_and_acks():
+    from repro.pe.tie import MCAST_SYNC_ACK_WORD, MCAST_SYNC_WORD
+
+    tie = TieInterface(node_id=0)
+    sync = Flit(dst=0, src=3, ptype=PacketType.MESSAGE,
+                subtype=int(SubType.MSG_REQUEST),
+                data=MCAST_SYNC_WORD | 12)
+    tie.accept(sync)
+    assert tie.requests.empty  # handshake stays out of the program queue
+    assert tie.mcast_streams[3].lowest_missing == 12
+    # The ack rides the reverse path like a credit.
+    assert list(tie.pending_credits._items) == [(3, MCAST_SYNC_ACK_WORD)]
+    # Sender side: the ack lands in the acks set, not the credit counts.
+    ack = Flit(dst=0, src=5, ptype=PacketType.MESSAGE,
+               subtype=int(SubType.MSG_REQUEST), data=MCAST_SYNC_ACK_WORD)
+    tie.accept(ack)
+    assert tie.mcast_sync_acks == {5}
+    assert 5 not in tie.mcast_credited
