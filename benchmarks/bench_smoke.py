@@ -34,6 +34,7 @@ from repro.apps.collective_bench import (
     run_collective_bench,
 )
 from repro.apps.jacobi.driver import JacobiParams, run_jacobi
+from repro.faults import FaultPlan
 from repro.system.config import SystemConfig
 
 BENCH_FILE = Path(__file__).parent.parent / "BENCH_simspeed.json"
@@ -110,7 +111,42 @@ SMOKE_WORKLOADS = {
         ),
         10.0,
     ),
+    # The fault layer under fire: the tree-allreduce workload with 2%
+    # seeded flit loss.  Pins the recovery protocol's timing (CRC drops,
+    # NACK/retransmit rounds, credit probes) exactly like the fault-free
+    # goldens pin the clean paths; the run is watchdog-guarded (the
+    # injector arms a default no-progress watchdog), so a recovery
+    # regression fails with a structured report instead of hanging CI.
+    "lossy_allreduce_8w_tree": (
+        partial(
+            run_collective_bench,
+            SystemConfig(n_workers=8, cache_size_kb=16,
+                         faults=FaultPlan(seed=3, drop_rate=0.02)),
+            CollectiveBenchParams(
+                collective="allreduce", model="empi", algorithm="tree",
+                n_values=16, repeats=4,
+            ),
+        ),
+        10.0,
+    ),
 }
+
+
+def test_fault_layer_off_is_zero_overhead():
+    """With ``faults=None`` (the default) the fault layer must cost
+    exactly nothing: the same machine and workload as the lossy smoke
+    above reproduces the committed fault-free golden bit for bit."""
+    result = run_collective_bench(
+        SystemConfig(n_workers=8, cache_size_kb=16, faults=None),
+        CollectiveBenchParams(
+            collective="allreduce", model="empi", algorithm="tree",
+            n_values=16, repeats=4,
+        ),
+    )
+    reference = golden()["collective_allreduce_8w_tree"]
+    assert result.validated
+    assert result.total_cycles == reference["total_cycles"]
+    assert result.op_cycles == reference["op_cycles"]
 
 
 def golden() -> dict:

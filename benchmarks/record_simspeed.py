@@ -26,6 +26,7 @@ from repro.apps.collective_bench import (
     run_collective_bench,
 )
 from repro.apps.jacobi.driver import JacobiParams, run_jacobi
+from repro.faults import FaultPlan
 from repro.system.config import SystemConfig
 
 BENCH_FILE = Path(__file__).parent.parent / "BENCH_simspeed.json"
@@ -93,6 +94,20 @@ WORKLOADS = {
             CollectiveBenchParams(
                 collective="allreduce", model="empi", algorithm="ring",
                 n_values=256, repeats=2,
+            ),
+        ),
+    ),
+    "lossy_allreduce_8w_tree": (
+        "n_workers=8, cache_size_kb=16, wb, "
+        "faults=FaultPlan(seed=3, drop_rate=0.02)",
+        "CollectiveBenchParams(allreduce, empi, tree, n_values=16, repeats=4)",
+        partial(
+            run_collective_bench,
+            SystemConfig(n_workers=8, cache_size_kb=16,
+                         faults=FaultPlan(seed=3, drop_rate=0.02)),
+            CollectiveBenchParams(
+                collective="allreduce", model="empi", algorithm="tree",
+                n_values=16, repeats=4,
             ),
         ),
     ),

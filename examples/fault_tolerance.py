@@ -1,0 +1,126 @@
+"""Fault injection and end-to-end reliable delivery.
+
+Everything so far assumed a perfect fabric.  This walkthrough turns on
+the fault layer (``SystemConfig.faults`` — a seeded, declarative
+:class:`~repro.faults.FaultPlan`) and shows the recovery protocols
+earning their keep:
+
+1. **Transient loss is invisible in the results** — flits dropped or
+   corrupted on links are detected (per-stream sequence gaps, an
+   end-to-end CRC at ejection) and repaired (NACK + retransmit from a
+   bounded buffer); the delivered allreduce vectors stay bit-identical
+   to the fault-free reference, only cycles are lost.
+2. **A dead link degrades, it does not break** — a link killed mid-run
+   reroutes through the recomputed productive table of the deflection
+   router.
+3. **A hopeless machine reports instead of hanging** — with 100% loss
+   the retry budgets exhaust and the no-progress watchdog raises a
+   structured deadlock report naming every blocked component.
+
+Run with::
+
+    PYTHONPATH=src python examples/fault_tolerance.py
+"""
+
+from __future__ import annotations
+
+from repro.apps.collective_bench import (
+    CollectiveBenchParams,
+    run_collective_bench,
+)
+from repro.dse.report import format_table
+from repro.empi.collectives import make_comm
+from repro.errors import DeadlockError
+from repro.faults import FaultPlan
+from repro.system.config import SystemConfig
+from repro.system.medea import MedeaSystem
+
+
+def run_point(faults: FaultPlan | None, algorithm: str = "tree"):
+    config = SystemConfig(
+        n_workers=8, topology_kind="mesh", faults=faults,
+        dma_tx_queue_depth=4 if algorithm == "hw" else 0,
+    )
+    result = run_collective_bench(
+        config,
+        CollectiveBenchParams(
+            collective="allreduce", model="empi", algorithm=algorithm,
+            n_values=16, repeats=4,
+        ),
+    )
+    assert result.validated, "recovery must deliver bit-identical vectors"
+    return result
+
+
+def surviving_transient_faults() -> None:
+    print("allreduce of 16 doubles, 8-worker mesh: seeded transient faults")
+    print("(validated = delivered bits identical to the fault-free "
+          "reference)\n")
+    rows = []
+    for algorithm in ("tree", "ring", "hw"):
+        clean = run_point(None, algorithm)
+        for label, plan in [
+            ("none", None),
+            ("drop 1%", FaultPlan(seed=3, drop_rate=0.01)),
+            ("drop 5%", FaultPlan(seed=3, drop_rate=0.05)),
+            ("corrupt 1%", FaultPlan(seed=3, corrupt_rate=0.01)),
+        ]:
+            result = run_point(plan, algorithm)
+            faults = result.stats.get("faults", {})
+            rows.append([
+                algorithm, label, result.total_cycles,
+                f"{result.total_cycles / clean.total_cycles:.2f}x",
+                faults.get("dropped", 0) + faults.get("crc_dropped", 0),
+                faults.get("nacks_issued", 0),
+                "yes",
+            ])
+    print(format_table(
+        ["algorithm", "faults", "cycles", "overhead", "flits lost",
+         "NACKs", "validated"],
+        rows,
+    ))
+    print("Every lost or corrupted flit was re-fetched by the CRC + "
+          "NACK/retransmit layer;\nthe recovery shows up only as cycles.\n")
+
+
+def surviving_a_dead_link() -> None:
+    print("permanent link death: link 1->E killed at cycle 200")
+    clean = run_point(None)
+    dead = run_point(FaultPlan(seed=3, dead_links=[(1, 1, 200)]))
+    print(f"  fault-free: {clean.total_cycles} cycles")
+    print(f"  dead link:  {dead.total_cycles} cycles "
+          f"({dead.total_cycles / clean.total_cycles:.2f}x) — the router's "
+          "productive table is recomputed\n  over the surviving links, so "
+          "every value still arrives.\n")
+
+
+def reporting_a_hopeless_machine() -> None:
+    print("liveness: 100% loss, retry budgets exhausted")
+
+    def make_program(rank):
+        def program(ctx):
+            comm = make_comm(ctx, "empi", "tree", max_values=4)
+            yield from comm.allreduce([float(rank)] * 4)
+        return program
+
+    plan = FaultPlan(seed=1, drop_rate=1.0, max_retries=2, nack_timeout=64)
+    config = SystemConfig(n_workers=4, faults=plan, watchdog_cycles=20_000)
+    system = MedeaSystem(config)
+    system.load_programs([make_program(rank) for rank in range(4)])
+    try:
+        system.run(max_cycles=2_000_000)
+    except DeadlockError as err:
+        first_lines = "\n".join(str(err).splitlines()[:4])
+        print("  the watchdog fired (no silent spin to max_cycles):")
+        print("    " + first_lines.replace("\n", "\n    "))
+        print()
+
+
+def main() -> None:
+    surviving_transient_faults()
+    surviving_a_dead_link()
+    reporting_a_hopeless_machine()
+
+
+if __name__ == "__main__":
+    main()

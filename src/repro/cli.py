@@ -11,6 +11,7 @@ Usage::
     python -m repro matmul          # tiled matmul (bcast + reduce)
     python -m repro stream          # producer/consumer pipeline
     python -m repro cg              # CG solver, overlap on/off sweep
+    python -m repro fault_sweep     # recovery overhead under seeded faults
 
 Reports are printed and saved under ``--out`` (default ``./results``);
 sweep points are cached there too, so derived figures (7, 9) reuse the

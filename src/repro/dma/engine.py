@@ -69,9 +69,9 @@ from repro.noc.packet import PacketType, SubType
 from repro.pe.tie import (
     CREDIT_LIMIT,
     CREDIT_WINDOW,
-    MCAST_SYNC_SLOT_MASK,
     MCAST_SYNC_WORD,
     SEQ_WINDOW,
+    SLOT_MASK,
 )
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -175,6 +175,16 @@ class DmaTxEngine:
         #: at most one active, its result held until qrpoll collects it.
         self._rx: _RxReduce | None = None
         self._rx_done = False
+        #: Reliable-delivery mode only: multicast retransmit buffer
+        #: (slot -> word, filled at emission, pruned below the slowest
+        #: member's credit floor) and the NACK-requested retransmissions
+        #: awaiting a TX slot.  A multicast retransmit goes *unicast* to
+        #: the NACKing member — the rest of the group already has the
+        #: word, replaying the tree would duplicate it group-wide.
+        self._retx: dict[int, int] = {}
+        self.pending_retx: deque[tuple[int, int, int]] = deque()
+        self._retx_queued: set[tuple[int, int]] = set()
+        self._retx_current = False
         self.stats = CounterSet(f"dma[{tie.node_id}]")
         # Per-flit hot counters, batched like the TIE's and folded into
         # the CounterSet by flush_stats() at node sleep.
@@ -190,8 +200,16 @@ class DmaTxEngine:
 
     @property
     def busy(self) -> bool:
-        """True while any descriptor is queued or streaming."""
-        return bool(self.queue) or self._active is not None
+        """True while any descriptor is queued or streaming, or while a
+        retransmission is owed (queued, or still undrained in the TIE's
+        multicast-NACK inbox — the owning node must keep pumping until
+        it is served)."""
+        return (
+            bool(self.queue)
+            or self._active is not None
+            or bool(self.pending_retx)
+            or bool(self.tie.mcast_nacks)
+        )
 
     def post_unicast(self, dst_node: int, words: list[int]) -> bool:
         """Queue a unicast descriptor; False when the queue is full."""
@@ -268,7 +286,7 @@ class DmaTxEngine:
             credited[member] = slot
             self.tie.mcast_sync_acks.discard(member)
             self.tie.pending_credits.push(
-                (member, MCAST_SYNC_WORD | (slot & MCAST_SYNC_SLOT_MASK))
+                (member, MCAST_SYNC_WORD | (slot & self.tie.sync_slot_mask))
             )
         self._sync_pending = frozenset(new_members)
         self.group_mask = mask
@@ -358,6 +376,10 @@ class DmaTxEngine:
 
     def pump(self) -> None:
         """Activate the head descriptor when the previous one finished."""
+        if self.tie.mcast_nacks:
+            self._drain_nacks()
+        if len(self._retx) > 2 * CREDIT_LIMIT:
+            self._prune_retx()
         if self._active is not None or not self.queue:
             return
         head = self.queue[0]
@@ -377,6 +399,38 @@ class DmaTxEngine:
             self._sync_pending = frozenset()
         self.queue.popleft()
         self._active = self._activate_multicast(head)
+
+    def _prune_retx(self) -> None:
+        """Retire everything the slowest member has credited past."""
+        members = tuple(mask_members(self.group_mask))
+        if not (self._retx and members):
+            return
+        credited = self.tie.mcast_credited
+        floor = min(credited.get(m, 0) for m in members)
+        for slot in [s for s in self._retx if s < floor]:
+            del self._retx[slot]
+
+    def _drain_nacks(self) -> None:
+        """Turn received multicast NACKs into queued retransmissions."""
+        credited = self.tie.mcast_credited
+        self._prune_retx()
+        nacks = self.tie.mcast_nacks
+        while nacks:
+            member, slot16 = nacks.popleft()
+            self.stats.inc("mcast_nacks_seen")
+            floor = credited.get(member, 0)
+            delta = (slot16 - floor) & SLOT_MASK
+            if delta >= 0x8000:
+                self.stats.inc("mcast_nacks_retired")
+                continue
+            slot = floor + delta
+            if slot >= self._mcast_slot or slot not in self._retx:
+                # Unsent or already-pruned slot (e.g. a garbled NACK).
+                self.stats.inc("mcast_nacks_ignored")
+                continue
+            if (member, slot) not in self._retx_queued:
+                self._retx_queued.add((member, slot))
+                self.pending_retx.append((member, slot, self._retx[slot]))
 
     def _activate_multicast(self, desc: TxDescriptor) -> _ActiveMulticast:
         base = self._mcast_slot
@@ -404,12 +458,13 @@ class DmaTxEngine:
 
     def _flit(self, dst: int, mask: int, slot: int, offset: int, total: int,
               word: int) -> Flit:
+        seq_mod = SLOT_MASK + 1 if self.tie.reliable else SEQ_WINDOW
         return Flit(
             dst=dst,
             src=self.node_id,
             ptype=PacketType.MULTICAST,
             subtype=int(SubType.MSG_DATA),
-            seq=slot % SEQ_WINDOW,
+            seq=slot % seq_mod,
             burst=min(4, total - (offset // 4) * 4),
             data=word,
             dst_mask=mask,
@@ -417,6 +472,23 @@ class DmaTxEngine:
 
     def tx_current(self) -> Flit | None:
         """The credit-gated flit to offer the arbiter this cycle."""
+        if self.pending_retx:
+            # Retransmissions first: the NACKing member's stream is
+            # stalled on this word, and its slot is already credited-gated
+            # (it was emitted once), so no new gate applies.
+            member, slot, word = self.pending_retx[0]
+            self._retx_current = True
+            return Flit(
+                dst=member,
+                src=self.node_id,
+                ptype=PacketType.MULTICAST,
+                subtype=int(SubType.MSG_RETX),
+                seq=slot & SLOT_MASK,
+                burst=1,
+                data=word,
+                dst_mask=1 << member,
+            )
+        self._retx_current = False
         active = self._active
         if active is None or active.done:
             return None
@@ -435,8 +507,17 @@ class DmaTxEngine:
 
     def tx_advance(self) -> None:
         """Mark the current flit accepted by the arbiter."""
+        if self._retx_current:
+            member, slot, _word = self.pending_retx.popleft()
+            self._retx_queued.discard((member, slot))
+            self._retx_current = False
+            self.stats.inc("retx_sent")
+            return
         active = self._active
         assert active is not None and not active.done
+        if self.tie.reliable:
+            slot, _member, flit = active.entries[active.index]
+            self._retx[slot] = flit.data
         active.index += 1
         self._n_flits_sent += 1
         if active.done:

@@ -994,6 +994,133 @@ def experiment_simspeed(
 
 
 # ---------------------------------------------------------------------------
+# Fault tolerance: reliable delivery under seeded faults
+# ---------------------------------------------------------------------------
+
+
+def experiment_fault_sweep(
+    full: bool | None = None,
+    jobs: int | None = None,
+    cache_dir: str | Path | None = None,
+) -> ExperimentReport:
+    """Reliable delivery under seeded faults: recovery overhead table.
+
+    Sweeps allreduce on the reference 8-worker mesh over fault rate x
+    algorithm (software ``tree``/``ring`` and the hardware engine path),
+    asserting at every point that the delivered vectors are bit-identical
+    to the fault-free combine-order reference — transient flit loss and
+    corruption must be fully masked by the CRC + NACK/retransmit layer,
+    at a cycle cost the table quantifies.  Three extra rows pin the
+    protocol's edges: ``off`` (no fault layer — the golden baseline
+    format), ``rate 0`` (reliable format on, nothing injected — the pure
+    protocol overhead: wider flits, CRC stamping, credit traffic), and
+    ``dead link`` (a permanently killed non-critical link mid-run — the
+    deflection router's recomputed productive table must deliver, at
+    degraded cycles, without a single lost value).  Points run inline
+    but cache through the versioned :class:`ResultCache`.
+    """
+    del jobs
+    started = time.perf_counter()
+    full = full_scale_requested() if full is None else full
+    algorithms = ("tree", "ring", "hw")
+    drop_rates = (0.005, 0.01, 0.02, 0.05) if full else (0.01, 0.05)
+    corrupt_rate = 0.01
+    seed = 3
+    n_values = 16
+    repeats = 4 if full else 2
+    base = SystemConfig(n_workers=8, topology_kind="mesh")
+    cache = (
+        ResultCache(cache_dir, "fault_sweep")
+        if cache_dir is not None else None
+    )
+
+    def point(config: SystemConfig, algorithm: str, label: str) -> int:
+        params = CollectiveBenchParams(
+            collective="allreduce", model="empi", algorithm=algorithm,
+            n_values=n_values, repeats=repeats,
+        )
+        key = (
+            f"{config_cache_key(config)}|app=collective_bench|"
+            f"{params_cache_key(params)}"
+        )
+        cached = cache.get_raw(key) if cache is not None else None
+        if cached is not None:
+            return cached["total_cycles"]
+        result = run_collective_bench(config, params)
+        _assert_validated(label, result.validated)
+        if cache is not None:
+            cache.put_raw(key, {"total_cycles": result.total_cycles})
+        return result.total_cycles
+
+    from repro.faults import FaultPlan
+
+    variants: list[tuple[str, FaultPlan | None]] = [
+        ("off", None),
+        ("rate 0", FaultPlan(seed=seed)),
+    ]
+    variants += [
+        (f"drop {rate:g}", FaultPlan(seed=seed, drop_rate=rate))
+        for rate in drop_rates
+    ]
+    variants.append(
+        (f"corrupt {corrupt_rate:g}",
+         FaultPlan(seed=seed, corrupt_rate=corrupt_rate))
+    )
+    variants.append(
+        ("dead link", FaultPlan(seed=seed, dead_links=((1, 1, 200),)))
+    )
+
+    rows = []
+    series: dict[str, list[tuple[float, float]]] = {}
+    for algorithm in algorithms:
+        config = (
+            base.with_changes(dma_tx_queue_depth=4)
+            if algorithm == "hw" else base
+        )
+        baseline: int | None = None
+        for name, plan in variants:
+            cycles = point(
+                config.with_changes(faults=plan), algorithm,
+                f"fault_sweep/allreduce/{algorithm}/{name}",
+            )
+            if baseline is None:
+                baseline = cycles
+            rows.append([
+                "allreduce", algorithm, name, cycles,
+                f"{cycles / baseline:.2f}x",
+            ])
+            if name.startswith("drop"):
+                series.setdefault(algorithm, []).append(
+                    (float(name.split()[1]), cycles / baseline)
+                )
+    if cache is not None:
+        cache.save()
+    text = (
+        f"fault_sweep: allreduce under seeded link faults, 8-worker mesh, "
+        f"{n_values} doubles, {repeats} reps (empi model)\n"
+        + _scale_note(full, f"{len(drop_rates)} drop rates, seed {seed}")
+        + format_table(
+            ["collective", "algorithm", "faults", "cycles", "vs off"], rows
+        )
+        + "\nevery point delivered vectors bit-identical to the fault-free "
+          "combine-order reference — transient drops and corruptions are "
+          "fully repaired by CRC + NACK/retransmit; 'rate 0' is the pure "
+          "protocol overhead (wide reliable flit format, CRC stamping, "
+          "credit traffic); 'dead link' kills link 1->E at cycle 200 and "
+          "the rerouted productive table still delivers every value.\n"
+        + ascii_plot(
+            series, x_label="drop rate", y_label="cycle overhead (x)",
+            title="fault_sweep: recovery overhead vs fault rate",
+        )
+    )
+    return ExperimentReport(
+        experiment="fault_sweep", full_scale=full, text=text,
+        series=series, rows=rows,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+# ---------------------------------------------------------------------------
 
 
 def _check_validated(results: list[SweepResult]) -> None:
@@ -1017,4 +1144,5 @@ ALL_EXPERIMENTS = {
     "cg": experiment_cg,
     "noc": experiment_noc,
     "simspeed": experiment_simspeed,
+    "fault_sweep": experiment_fault_sweep,
 }

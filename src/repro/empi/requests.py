@@ -45,9 +45,10 @@ from __future__ import annotations
 
 import typing
 from collections import deque
+from collections.abc import Callable
 from dataclasses import dataclass
 
-from repro.errors import ProgramError
+from repro.errors import EmpiTimeoutError, ProgramError
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.pe.program import Program
@@ -115,6 +116,68 @@ class TurnQueue:
         self._queue.popleft()
 
 
+class TimeoutGuard:
+    """Round-counting timeout with exponential backoff for eMPI waits.
+
+    Every progress round (and every spin iteration of the hw-collective
+    descriptor loops) issues at least one machine op, so one tick is a
+    cycle or more of simulated time — counting ticks against a cycle
+    budget makes the budget a conservative *minimum* horizon without
+    touching the clock (timing-neutral: a guard that never fires changes
+    nothing).  When a horizon expires the guard backs off — the next
+    horizon grows by ``budget << attempt`` — and after ``retries``
+    expirations it raises :class:`~repro.errors.EmpiTimeoutError` naming
+    the rank, the stuck operation, every outstanding request and (when a
+    fault plan is active) the injector's fault context.
+    """
+
+    __slots__ = ("rank", "budget", "retries", "what", "pending",
+                 "fault_context", "rounds", "attempt", "horizon")
+
+    def __init__(
+        self,
+        rank: int,
+        budget: int,
+        retries: int,
+        what: str,
+        pending: Callable[[], list[str]] | None = None,
+        fault_context: Callable[[], str] | None = None,
+    ) -> None:
+        self.rank = rank
+        self.budget = budget
+        self.retries = retries
+        self.what = what
+        self.pending = pending
+        self.fault_context = fault_context
+        self.rounds = 0
+        self.attempt = 0
+        self.horizon = budget
+
+    def tick(self) -> None:
+        """Count one round; escalate (backoff, then raise) when due."""
+        self.rounds += 1
+        if self.rounds < self.horizon:
+            return
+        self.attempt += 1
+        if self.attempt > self.retries:
+            raise EmpiTimeoutError(self._message())
+        self.horizon += self.budget << self.attempt
+
+    def _message(self) -> str:
+        parts = [
+            f"rank {self.rank}: {self.what} timed out after "
+            f"{self.rounds} progress rounds "
+            f"({self.retries} exponential-backoff retries on a "
+            f"{self.budget}-round budget)"
+        ]
+        labels = self.pending() if self.pending is not None else []
+        if labels:
+            parts.append(f"outstanding requests: {', '.join(labels)}")
+        if self.fault_context is not None:
+            parts.append(self.fault_context())
+        return "; ".join(parts)
+
+
 class ProgressEngine:
     """Cooperative scheduler for communication fragments (one per rank).
 
@@ -127,6 +190,35 @@ class ProgressEngine:
     def __init__(self) -> None:
         self._active: list[Request] = []
         self._turns: dict[object, TurnQueue] = {}
+        # Timeout policy (0 budget = wait forever, the fault-free
+        # default); set by configure_timeout.
+        self.rank = -1
+        self.timeout_rounds = 0
+        self.timeout_retries = 3
+        self.fault_context: Callable[[], str] | None = None
+
+    def configure_timeout(
+        self,
+        rank: int,
+        budget: int,
+        retries: int,
+        fault_context: Callable[[], str] | None = None,
+    ) -> None:
+        """Arm wait/progress timeouts (budget 0 keeps them off)."""
+        self.rank = rank
+        self.timeout_rounds = budget
+        self.timeout_retries = retries
+        self.fault_context = fault_context
+
+    def guard(self, what: str) -> TimeoutGuard | None:
+        """A fresh :class:`TimeoutGuard`, or None with timeouts off."""
+        if self.timeout_rounds <= 0:
+            return None
+        return TimeoutGuard(
+            self.rank, self.timeout_rounds, self.timeout_retries, what,
+            pending=lambda: self.active_labels,
+            fault_context=self.fault_context,
+        )
 
     # -- resource turn-taking -------------------------------------------------
 
@@ -198,10 +290,16 @@ class ProgressEngine:
         Progressing always issues at least one machine op per round for
         whichever fragment holds each resource head (a status poll costs
         one cycle), so simulated time advances and the spin terminates
-        when the awaited event arrives.
+        when the awaited event arrives.  With a timeout configured
+        (``configure_timeout``) a wait that never completes raises
+        :class:`~repro.errors.EmpiTimeoutError` instead of spinning
+        forever.
         """
+        guard = self.guard(f"wait on {request.label}")
         while not request.complete:
             yield from self.progress()
+            if guard is not None:
+                guard.tick()
         return request.result
 
     def waitall(self, requests: list[Request]) -> "Program":
@@ -218,11 +316,16 @@ class ProgressEngine:
         without a progress round (matching ``wait``'s semantics)."""
         if not requests:
             raise ProgramError("waitany needs at least one request")
+        guard = self.guard(
+            f"waitany on {', '.join(r.label for r in requests)}"
+        )
         while True:
             for index, request in enumerate(requests):
                 if request.complete:
                     return index, request.result
             yield from self.progress()
+            if guard is not None:
+                guard.tick()
 
     def waitsome(self, requests: list[Request]) -> "Program":
         """MPI_Waitsome: progress until at least one of ``requests`` is
@@ -231,6 +334,9 @@ class ProgressEngine:
         immediately (mirroring ``waitall([])``)."""
         if not requests:
             return []
+        guard = self.guard(
+            f"waitsome on {', '.join(r.label for r in requests)}"
+        )
         while True:
             completed = [
                 (index, request.result)
@@ -240,6 +346,8 @@ class ProgressEngine:
             if completed:
                 return completed
             yield from self.progress()
+            if guard is not None:
+                guard.tick()
 
     def test(self, request: Request) -> "Program":
         """One progress round, then report whether ``request`` finished."""

@@ -74,7 +74,17 @@ class Empi:
         self._stash: list[tuple[int, int, int, int]] = []
         self.barriers = 0
         #: The cooperative progress engine driving non-blocking requests.
+        #: Timeouts (off by default) arm both the engine's waits and the
+        #: hw-collective descriptor spin loops below, so a recovery that
+        #: fails raises a typed error naming rank/op/algorithm instead
+        #: of spinning silently.
         self.engine = ProgressEngine()
+        self.engine.configure_timeout(
+            ctx.rank,
+            getattr(ctx, "empi_timeout_cycles", 0),
+            getattr(ctx, "empi_timeout_retries", 3),
+            fault_context=getattr(ctx, "fault_context", None),
+        )
 
     def _check_engine_idle(
         self, what: str,
@@ -296,8 +306,11 @@ class Empi:
         if ctx.rank == root:
             words = pack_doubles(values)  # type: ignore[arg-type]
             group = self._hw_group_mask(root)
+            guard = self.engine.guard("bcast[hw] multicast post")
             while not (yield ("qmcast", group, words)):
-                pass  # queue full: each retry is a 2-cycle descriptor write
+                # queue full: each retry is a 2-cycle descriptor write
+                if guard is not None:
+                    guard.tick()
             return list(values)  # type: ignore[arg-type]
         words = yield ("mrecv", ctx.node_of(root), 2 * n_values)
         return unpack_doubles(words)
@@ -391,18 +404,27 @@ class Empi:
             if relative & mask:
                 parent = ((relative - mask) + root) % n
                 words = pack_doubles(acc)
+                guard = self.engine.guard("reduce[hw] upward send post")
                 while not (yield ("qmcast", 1 << ctx.node_of(parent), words)):
-                    pass  # queue full / regrouping: 2-cycle retry
+                    # queue full / regrouping: 2-cycle retry
+                    if guard is not None:
+                        guard.tick()
                 return None
             peer = relative | mask
             if peer != relative and peer < n:
                 peer_node = ctx.node_of((peer + root) % n)
+                guard = self.engine.guard("reduce[hw] qreduce post")
                 while not (yield ("qreduce", peer_node, acc, op.value)):
-                    pass  # previous descriptor still combining
+                    # previous descriptor still combining
+                    if guard is not None:
+                        guard.tick()
+                guard = self.engine.guard("reduce[hw] engine combine")
                 while True:
                     combined = yield ("qrpoll",)
                     if combined is not None:
                         break
+                    if guard is not None:
+                        guard.tick()
                 acc = combined
             mask <<= 1
         return acc
@@ -466,18 +488,25 @@ class Empi:
             n_recv = r1 - r0
             if use_hw:
                 if n_recv:
+                    guard = self.engine.guard("allreduce[ring] qreduce post")
                     while not (yield ("qreduce", prv_node, acc[r0:r1],
                                       op.value)):
-                        pass
+                        if guard is not None:
+                            guard.tick()
                 if s1 > s0:
                     words = pack_doubles(acc[s0:s1])
+                    guard = self.engine.guard("allreduce[ring] segment send")
                     while not (yield ("qmcast", 1 << nxt_node, words)):
-                        pass
+                        if guard is not None:
+                            guard.tick()
                 if n_recv:
+                    guard = self.engine.guard("allreduce[ring] combine")
                     while True:
                         combined = yield ("qrpoll",)
                         if combined is not None:
                             break
+                        if guard is not None:
+                            guard.tick()
                     acc[r0:r1] = combined
             else:
                 if s1 > s0:
@@ -493,8 +522,10 @@ class Empi:
             if use_hw:
                 if s1 > s0:
                     words = pack_doubles(acc[s0:s1])
+                    guard = self.engine.guard("allreduce[ring] gather send")
                     while not (yield ("qmcast", 1 << nxt_node, words)):
-                        pass
+                        if guard is not None:
+                            guard.tick()
                 if n_recv:
                     words = yield ("mrecv", prv_node, 2 * n_recv)
                     acc[r0:r1] = unpack_doubles(words)

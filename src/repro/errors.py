@@ -30,6 +30,29 @@ class DeadlockError(SimulationError):
     """
 
 
+class WatchdogError(DeadlockError):
+    """The no-progress watchdog expired.
+
+    Raised by :class:`repro.kernel.watchdog.ProgressWatchdog` when no flit
+    has moved and every core has sat in a WAIT state for a full budget of
+    cycles.  Semantically a deadlock (and a subclass of
+    :class:`DeadlockError` so existing handlers keep working), but raised
+    *eagerly* from inside a still-live simulation — e.g. when reliability
+    retries were exhausted under an unrecoverable fault plan — instead of
+    waiting for the kernel's wakeup queue to drain.
+    """
+
+
+class EmpiTimeoutError(MedeaError):
+    """An eMPI wait/progress loop exceeded its cycle budget.
+
+    Carries the rank, the stuck operation (with its algorithm, e.g.
+    ``iallreduce[ring]``), every still-pending request label and — when a
+    fault plan is active — the fault context, so a lost-message hang names
+    its victim instead of spinning forever.
+    """
+
+
 class FifoError(MedeaError):
     """Illegal operation on a hardware FIFO model."""
 

@@ -1,0 +1,70 @@
+"""No-progress watchdog: turns silent hangs into structured reports.
+
+A deadlock the kernel can prove — empty active set, no pending wakeup —
+already raises :class:`~repro.errors.DeadlockError` with per-component
+diagnostics.  The failure mode the fault layer adds is subtler: a system
+that is *live but stuck*, endlessly polling (reliability timers, lock
+backoff, eMPI progress loops) without any flit ever moving again — e.g.
+after retransmission retries were exhausted on a dead link.  Such a
+system never goes wakeup-free, so it would spin to ``max_cycles``.
+
+The watchdog is a component registered *last* (after every node, so its
+checks see the cycle's final state), waking every ``budget`` cycles.  If
+between two consecutive checks (1) no flit was injected, moved or
+ejected and (2) no core was RUNNING and the MPMMU was idle at both
+check points, it raises :class:`~repro.errors.WatchdogError` carrying
+the system's full progress report.  Both predicates are supplied by the
+system builder as callables, keeping the kernel free of system-layer
+imports.
+
+Timing neutrality: the watchdog's step only reads state, and its wakeups
+merely add cycles to the kernel's visit schedule — they never change
+what any other component does or when, so simulated cycle counts are
+bit-identical with and without it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import WatchdogError
+from repro.kernel.component import Component
+
+
+class ProgressWatchdog(Component):
+    """Periodic liveness check over a snapshot/busy fingerprint pair."""
+
+    def __init__(
+        self,
+        budget: int,
+        snapshot: Callable[[], tuple],
+        busy: Callable[[], bool],
+        report: Callable[[], str],
+    ) -> None:
+        if budget <= 0:
+            raise ValueError(f"watchdog budget must be positive, got {budget}")
+        super().__init__("watchdog")
+        self.budget = budget
+        self._snapshot = snapshot
+        self._busy = busy
+        self._report = report
+        self._last: tuple | None = None
+        self._was_busy = True
+
+    def step(self, cycle: int) -> None:
+        snap = self._snapshot()
+        busy = self._busy()
+        if (
+            self._last is not None
+            and snap == self._last
+            and not busy
+            and not self._was_busy
+        ):
+            raise WatchdogError(
+                f"no progress for {self.budget} cycles (watchdog fired at "
+                f"cycle {cycle}): no flit moved and no core ran since the "
+                f"last check\n{self._report()}"
+            )
+        self._last = snap
+        self._was_busy = busy
+        self.sleep(until=cycle + self.budget)

@@ -33,6 +33,9 @@ class Flit:
     data: int = 0
     #: MULTICAST destination bitmask (0 for every other packet type).
     dst_mask: int = 0
+    #: End-to-end checksum trailer (reliable-delivery mode only; stamped at
+    #: injection by the fault layer, -1 = unstamped).
+    crc: int = -1
     #: Simulation bookkeeping (not wire bits).
     uid: int = field(default_factory=lambda: next(_flit_ids))
     injected_at: int = -1

@@ -57,6 +57,8 @@ class InjectionPort:
         if self.pending is not None:
             return False
         fabric = self.fabric
+        if fabric.faults is not None:
+            fabric.faults.stamp(flit)
         # Inline the common validate_flit fast path; the full check (with
         # its error message / strict wire encoding) runs only when needed.
         n = fabric.topology.n_nodes
@@ -113,16 +115,29 @@ class NocFabric(Component):
         eject_capacity: int = 1,
         strict_encoding: bool = False,
         tracer: Tracer | None = None,
+        faults=None,
     ) -> None:
         super().__init__("noc")
         self.topology = topology
         self.eject_capacity = eject_capacity
         self.strict_encoding = strict_encoding
+        #: Optional :class:`repro.faults.FaultInjector` — the single hook
+        #: behind which every fault-layer branch hides; None keeps the
+        #: fault-free hot path allocation-free and bit-identical.
+        self.faults = faults
         # Every node must be nameable in a multicast mask; on networks
         # bigger than the base format's spare bits the codec widens the
-        # header (the two-flit-header extension in packet.py).
+        # header (the two-flit-header extension in packet.py).  With the
+        # fault layer active the wire format also carries the reliable-
+        # delivery extension: a 16-bit sequence number (so retransmits
+        # place exactly, with duplicates detected rather than aliased)
+        # and an 8-bit end-to-end checksum trailer, both absorbed by the
+        # same whole-byte widening rule as the multicast mask.
         self.codec = FlitCodec(
-            topology.width, topology.height, min_mask_bits=topology.n_nodes
+            topology.width, topology.height,
+            min_mask_bits=topology.n_nodes,
+            seq_bits=16 if faults is not None else 4,
+            crc_bits=8 if faults is not None else 0,
         )
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         n = topology.n_nodes
@@ -170,7 +185,7 @@ class NocFabric(Component):
                 self.codec.encode(
                     0, 0, int(flit.ptype), flit.subtype, flit.seq,
                     min(flit.burst, self.codec.max_burst), flit.src, flit.data,
-                    mask=mask,
+                    mask=mask, crc=max(flit.crc, 0),
                 )
             return
         if not (0 <= flit.dst < n and 0 <= flit.src < n):
@@ -180,6 +195,7 @@ class NocFabric(Component):
             self.codec.encode(
                 x, y, int(flit.ptype), flit.subtype, flit.seq,
                 min(flit.burst, self.codec.max_burst), flit.src, flit.data,
+                crc=max(flit.crc, 0),
             )
 
     # -- clocked behaviour ------------------------------------------------------
@@ -202,10 +218,21 @@ class NocFabric(Component):
         neighbor_table = topo.neighbor_table
         eject_capacity = self.eject_capacity
         scratch = self._scratch
+        faults = self.faults
+        masks_active = False
+        if faults is not None:
+            faults.advance(cycle)
+            masks_active = faults.masks_active
         # Per-step counter accumulation; flushed once into the CounterSet.
         flits_injected = injection_stalls = deflections = eject_overflows = 0
         flits_ejected = flit_hops = 0
         for node in work_nodes:
+            if masks_active and faults.stalled(node):
+                # A stalled switch holds its input registers latched and
+                # neither routes nor accepts anything; neighbours already
+                # exclude it from their output masks.
+                work.add(node)
+                continue
             row = regs[node]
             port = ports[node]
             inject = port.inject.pending
@@ -229,8 +256,13 @@ class NocFabric(Component):
 
             # The register row is handed to the router as-is (it skips
             # idle links); clear it only after routing has read it.
-            outcome = route_node(node, row, inject, topo, eject_capacity,
-                                 out=scratch)
+            outcome = route_node(
+                node, row, inject, topo, eject_capacity, out=scratch,
+                port_mask=faults.out_mask(node) if masks_active else -1,
+                productive=(
+                    faults.productive_override if masks_active else None
+                ),
+            )
             row[0] = row[1] = row[2] = row[3] = None
             for flit in outcome.ejected:
                 flits_ejected += 1
@@ -256,6 +288,13 @@ class NocFabric(Component):
             for direction in range(4):
                 flit = outputs[direction]
                 if flit is not None:
+                    if faults is not None and not faults.on_link(
+                        node, direction, flit, cycle
+                    ):
+                        # Dropped on the wire: never latched, gone from
+                        # the in-network population.
+                        self._flit_count -= 1
+                        continue
                     neighbor = neighbor_table[node][direction]
                     assert neighbor >= 0, "routed to a missing link"
                     flit.hops += 1
@@ -287,6 +326,13 @@ class NocFabric(Component):
     def _eject(
         self, port: NodePorts, flit: Flit, cycle: int, zero_hop: bool = False
     ) -> None:
+        if self.faults is not None and not self.faults.check_eject(
+            flit, port.node, cycle
+        ):
+            # Checksum mismatch: the ejection port discards the flit, so
+            # corruption degenerates to loss and the NACK path repairs it.
+            self._flit_count -= 1
+            return
         latency = 0 if zero_hop else cycle - flit.injected_at + 1
         self.latency.record(latency)
         self._flit_count -= 1

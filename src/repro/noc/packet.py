@@ -66,6 +66,10 @@ class SubType(enum.IntEnum):
     # MESSAGE-type aliases (same wire values, different interpretation).
     MSG_DATA = 1
     MSG_REQUEST = 0
+    #: Retransmitted stream data (reliable-delivery mode only): carried in
+    #: the otherwise-free MESSAGE/MULTICAST code 2 so receivers and fault
+    #: statistics can tell replays from first transmissions.
+    MSG_RETX = 2
 
 
 @dataclass(frozen=True)
@@ -114,6 +118,7 @@ class FlitCodec:
         src_bits: int = 4,
         data_bits: int = 32,
         min_mask_bits: int = 0,
+        crc_bits: int = 0,
     ) -> None:
         self.width = width
         self.height = height
@@ -134,19 +139,30 @@ class FlitCodec:
             ("src", src_bits),
             ("data", data_bits),
         ]
+        # Reliable-delivery extension: an end-to-end checksum trailer.
+        # Like the multicast mask, it consumes spare low-order bits first
+        # and widens the header by whole bytes when they run out (the same
+        # "two-flit header" rule as min_mask_bits below).
+        if crc_bits > 0:
+            layout.append(("crc", crc_bits))
         self.fields: dict[str, FieldSpec] = {}
         # Pack from the MSB end down so 'valid' sits at the top, like Fig. 5.
         total = sum(width_ for _, width_ in layout)
-        if total > flit_width:
-            raise PacketFormatError(
-                f"layout needs {total} bits but flit is {flit_width} bits wide"
-            )
         # The spare low-order bits (12 on the reference 64-bit flit) carry
         # the MULTICAST destination bitmask.  A network whose node count
-        # exceeds the spare bits extends the header by whole bytes — the
-        # wire sends the extension as a second header beat (the "two-flit
-        # header"); the codec models the pair as one widened mask word.
+        # exceeds the spare bits — or whose layout itself outgrows the base
+        # width, as the reliable format's 16-bit SEQ plus CRC trailer does —
+        # extends the header by whole bytes: the wire sends the extension
+        # as a second header beat (the "two-flit header"); the codec models
+        # the pair as one widened word.
         if flit_width - total < min_mask_bits:
+            if min_mask_bits == 0 and crc_bits == 0 and seq_bits <= 4:
+                # No extension asked for more room: the base layout simply
+                # does not fit the configured width.
+                raise PacketFormatError(
+                    f"layout needs {total} bits but flit is "
+                    f"{flit_width} bits wide"
+                )
             flit_width = -(-(total + min_mask_bits) // 8) * 8
         self.flit_width = flit_width
         position = flit_width
@@ -157,6 +173,7 @@ class FlitCodec:
         self.payload_bits = data_bits
         self.max_seq = (1 << seq_bits) - 1
         self.max_burst = (1 << burst_bits) - 1
+        self.crc_bits = crc_bits
         self.mask_bits = flit_width - total
         if self.mask_bits > 0:
             self.fields["mask"] = FieldSpec("mask", self.mask_bits, 0)
@@ -174,6 +191,7 @@ class FlitCodec:
         src: int,
         data: int,
         mask: int = 0,
+        crc: int = 0,
     ) -> int:
         """Pack fields into the flat wire word (valid bit set)."""
         word = 0
@@ -187,6 +205,8 @@ class FlitCodec:
         word = fields["burst"].insert(word, burst)
         word = fields["src"].insert(word, src)
         word = fields["data"].insert(word, data)
+        if self.crc_bits > 0:
+            word = fields["crc"].insert(word, crc)
         if mask:
             if self.mask_bits <= 0:
                 raise PacketFormatError(

@@ -85,6 +85,8 @@ def route_node(
     topology: Topology,
     eject_capacity: int = 1,
     out: RoutingOutcome | None = None,
+    port_mask: int = -1,
+    productive: list[tuple[int, ...]] | None = None,
 ) -> RoutingOutcome:
     """Route all flits present at ``node`` for this cycle.
 
@@ -92,6 +94,19 @@ def route_node(
     most one per link).  ``inject`` is the locally pending flit, accepted
     only if an output port remains free after all transit flits are placed
     (local traffic has the lowest priority, the standard deflection rule).
+
+    ``port_mask`` (default -1 = all physical ports) overrides the usable
+    output ports — the fault layer's hook for killed links and stalled
+    neighbours.  A masked port stops accepting *new* traffic immediately;
+    on the activation cycle the node may still hold more transit flits
+    than live outputs, and the excess drains across a masked-but-present
+    wire once (see the spill paths below), preserving the deflection
+    invariant without dropping anything.
+
+    ``productive`` (default None = the topology's table) substitutes a
+    mask-aware productive-direction table — the fault layer's rerouted
+    tables after a permanent link kill, without which X-Y preference can
+    steer flits into a dead-end next to the dead link forever.
 
     Up to ``eject_capacity`` flits destined for this node leave through the
     local port, oldest first; any excess arrival is deflected back into the
@@ -153,8 +168,9 @@ def route_node(
                 contenders.extend(recirculating)
     out.eject_overflow = eject_overflow
 
-    free_mask = topology.port_mask_table[node]
-    productive = topology.productive_table
+    free_mask = topology.port_mask_table[node] if port_mask < 0 else port_mask
+    if productive is None:
+        productive = topology.productive_table
     base = node * topology.n_nodes
     deflections = 0
 
@@ -183,13 +199,28 @@ def route_node(
                         flit.deflections += 1
                         deflections += 1
                         break
+            if not placed and port_mask >= 0:
+                # Fault masks shrink output capacity one cycle before the
+                # senders' masks throttle arrivals, so a link-kill or
+                # stall activation cycle can present more transit flits
+                # than live outputs.  Drain the excess across a masked but
+                # physically present wire (the dying link delivers its
+                # in-flight traffic; a stalled neighbour latches and
+                # holds it).
+                for direction in ports:
+                    if outputs[direction] is None:
+                        outputs[direction] = flit
+                        placed = True
+                        flit.deflections += 1
+                        deflections += 1
+                        break
             assert placed, "deflection routing must always place a transit flit"
     out.deflections = deflections
 
     if mcast is not None:
         free_mask = _route_multicast(
             node, mcast, free_mask, eject_capacity - len(ejected),
-            topology, out,
+            topology, out, spill=port_mask >= 0, productive=productive,
         )
 
     if inject is not None and free_mask:
@@ -201,6 +232,7 @@ def route_node(
             # zero the slot simply retries next cycle.
             out.injected = _place_multicast(
                 node, inject, free_mask, 0, topology, out, must_place=False,
+                productive=productive,
             )[1]
             return out
         injected = False
@@ -230,6 +262,7 @@ def _copy_flit(flit: Flit, dst: int, dst_mask: int) -> Flit:
         burst=flit.burst,
         data=flit.data,
         dst_mask=dst_mask,
+        crc=flit.crc,
         injected_at=flit.injected_at,
         hops=flit.hops,
         deflections=flit.deflections,
@@ -243,6 +276,8 @@ def _route_multicast(
     eject_budget: int,
     topology: Topology,
     out: RoutingOutcome,
+    spill: bool = False,
+    productive: list[tuple[int, ...]] | None = None,
 ) -> int:
     """Place every transit MULTICAST flit; returns the updated free mask.
 
@@ -276,6 +311,7 @@ def _route_multicast(
                 out.eject_overflow += 1
         free_mask, placed = _place_multicast(
             node, flit, free_mask, reserve, topology, out, must_place=True,
+            spill=spill, productive=productive,
         )
         assert placed, "multicast transit flit must always find a port"
     return free_mask
@@ -289,6 +325,8 @@ def _place_multicast(
     topology: Topology,
     out: RoutingOutcome,
     must_place: bool,
+    spill: bool = False,
+    productive: list[tuple[int, ...]] | None = None,
 ) -> tuple[int, bool]:
     """Replicate one multicast flit toward its tree branches.
 
@@ -298,7 +336,8 @@ def _place_multicast(
     branches into the first placed copy, and deflects the whole flit when
     no branch port is free.  Returns ``(free_mask, placed)``.
     """
-    productive = topology.productive_table
+    if productive is None:
+        productive = topology.productive_table
     base = node * topology.n_nodes
     local_bit = (1 << node) & flit.dst_mask  # deferred local delivery
     groups = [0, 0, 0, 0]
@@ -306,7 +345,14 @@ def _place_multicast(
     while m:
         bit = m & -m
         m ^= bit
-        groups[productive[base + (bit.bit_length() - 1)][0]] |= bit
+        dirs = productive[base + (bit.bit_length() - 1)]
+        if dirs:
+            groups[dirs[0]] |= bit
+        else:
+            # Unreachable under a fault-rerouted table (partitioned
+            # network): keep the bit on the flit; it rides along until
+            # the watchdog reports the partition.
+            local_bit |= bit
     outputs = out.outputs
     free_count = free_mask.bit_count()
     first_copy: Flit | None = None
@@ -346,5 +392,15 @@ def _place_multicast(
                 flit.deflections += 1
                 out.deflections += 1
             return free_mask ^ bit, True
+    if must_place and spill:
+        # Same fault-mask activation transient as the unicast spill path:
+        # drain across a masked-but-present wire rather than drop.
+        for direction in topology.ports_table[node]:
+            if outputs[direction] is None:
+                flit.dst_mask = deferred
+                outputs[direction] = flit
+                flit.deflections += 1
+                out.deflections += 1
+                return free_mask, True
     assert not must_place, "deflection invariant violated for multicast flit"
     return free_mask, False

@@ -49,6 +49,7 @@ from repro.pe.tie import TieInterface
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.dma.engine import DmaTxEngine
+    from repro.pe.reliability import ReliabilityAgent
 
 
 class CoreState(enum.Enum):
@@ -99,6 +100,7 @@ class ProcessorNode(Component):
         recv_overhead: int = 2,
         notes: list[tuple[int, int, str]] | None = None,
         dma: "DmaTxEngine | None" = None,
+        reliability: "ReliabilityAgent | None" = None,
     ) -> None:
         super().__init__(f"pe[{rank}]")
         self.rank = rank
@@ -118,6 +120,8 @@ class ProcessorNode(Component):
         self.notes = notes if notes is not None else []
         #: Optional DMA/collective TX engine (None = seed behaviour).
         self.dma = dma
+        #: Reliability agent (fault plan active only): NACK/probe timers.
+        self.reliability = reliability
 
         self._program: Generator | None = None
         self.state = CoreState.DONE
@@ -178,6 +182,7 @@ class ProcessorNode(Component):
             and not self.tie.tx_busy
             and self._pending_req_flit is None
             and self.tie.pending_credits.empty
+            and not self.tie.pending_retx
             and (self.dma is None or not (self.dma.busy or self.dma.rx_busy))
             and not self.arbiter.has_pending
             and self.ports.eject.queue.empty
@@ -193,6 +198,11 @@ class ProcessorNode(Component):
         dma = self.dma
         if self._rx_items:
             self._phase_rx(cycle)
+        if self.reliability is not None:
+            # After RX (freshly arrived words clear starvation before any
+            # timer can expire on them), before TX (tokens armed this
+            # cycle can leave this cycle).
+            self.reliability.tick(cycle)
         if dma is not None and dma._rx is not None:
             # Reduction assist: combine one arrived double per cycle.
             dma.rx_pump()
@@ -210,6 +220,7 @@ class ProcessorNode(Component):
             self._credit_items
             or self._pending_req_flit is not None
             or tie.tx is not None
+            or tie.pending_retx
             or (dma is not None and dma.busy)
         ):
             self._phase_tie_tx(cycle)
@@ -248,6 +259,13 @@ class ProcessorNode(Component):
         if credit is not None:
             if self.arbiter.offer_message(credit):
                 self.tie.credit_sent()
+            return
+        if self.tie.pending_retx:
+            # NACK-requested retransmissions next: the peer's stream is
+            # stalled on these words (reliable-delivery mode only).
+            retx = self.tie.retx_flit()
+            if retx is not None and self.arbiter.offer_message(retx):
+                self.tie.retx_sent()
             return
         if self._pending_req_flit is not None:
             if self.arbiter.offer_message(self._pending_req_flit):
@@ -722,6 +740,7 @@ class ProcessorNode(Component):
             self.tie.tx is not None
             or self._pending_req_flit is not None
             or self._credit_items
+            or self.tie.pending_retx
         ):
             return
         if self.dma is not None and (self.dma.busy or self.dma.rx_can_progress()):
@@ -744,6 +763,11 @@ class ProcessorNode(Component):
             return
         # Blocked on an external event (reply flit, message, token) or done.
         self.flush_op_stats()
+        if self.reliability is not None and self.reliability.wants_poll:
+            # A starvation timer is armed: wake to check it even if no
+            # flit ever arrives (the very loss being timed out on).
+            self.sleep(until=cycle + self.reliability.poll_interval)
+            return
         self.sleep()
 
     def _nothing_but_backoff(self) -> bool:

@@ -84,6 +84,8 @@ class ProgramContext:
         local_mem_bytes: int = 1 << 20,
         dma_queue_depth: int = 0,
         dma_reduce_assist: bool = True,
+        empi_timeout_cycles: int = 0,
+        empi_timeout_retries: int = 3,
     ) -> None:
         self.rank = rank
         self.n_workers = n_workers
@@ -100,9 +102,19 @@ class ProgramContext:
         #: is used by the runtime's hw/ring reductions.  Off = PR-4
         #: behaviour: the combining leg serializes through processor ops.
         self.dma_reduce_assist = dma_reduce_assist
+        #: eMPI wait/progress cycle budget before a timed retry; 0 = the
+        #: fault-free default, wait forever.
+        self.empi_timeout_cycles = empi_timeout_cycles
+        #: Exponential-backoff retries before a timed-out eMPI wait
+        #: raises :class:`~repro.errors.EmpiTimeoutError`.
+        self.empi_timeout_retries = empi_timeout_retries
         self._local_alloc = 0
         # Bound by the system builder (import cycle otherwise).
         self.empi: "Empi | None" = None
+        #: Optional () -> str callable supplying fault-injection context
+        #: for timeout diagnostics; set by the system builder when a
+        #: fault plan is active.
+        self.fault_context: "typing.Callable[[], str] | None" = None
 
     # -- address helpers -----------------------------------------------------
 

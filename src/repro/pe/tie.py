@@ -21,6 +21,8 @@ The model here is architecturally equivalent:
 
 from __future__ import annotations
 
+from collections import deque
+
 from repro.errors import ProtocolError
 from repro.kernel.fifo import Fifo
 from repro.kernel.stats import CounterSet
@@ -63,6 +65,23 @@ MCAST_SYNC_ACK_WORD = 0x7F03_0000
 #: SYNC carries the slot phase (mod SEQ_WINDOW) in its low bits.
 MCAST_SYNC_SLOT_MASK = SEQ_WINDOW - 1
 
+#: Reliable-delivery control tokens (fault layer only; same 0x7Fxx_0000
+#: marker family, still disjoint from eMPI token encoding).  In reliable
+#: mode every credit/sync/NACK token carries an *absolute* stream slot
+#: (mod 2^16) in its low 16 bits instead of being a bare increment — a
+#: lost or duplicated token then merely delays the window instead of
+#: corrupting it, and an idempotent probe can always resynchronize.
+#: NACKs name the receiver's lowest missing slot; probes ask the peer to
+#: re-send its current credit value after a suspicious stall.
+NACK_WORD = 0x7F04_0000
+MCAST_NACK_WORD = 0x7F05_0000
+CREDIT_PROBE_WORD = 0x7F06_0000
+MCAST_CREDIT_PROBE_WORD = 0x7F07_0000
+#: High-half marker match for the whole token family.
+MARKER_MASK = 0xFFFF_0000
+#: Low-half payload of reliable-mode tokens (absolute slot mod 2^16).
+SLOT_MASK = 0xFFFF
+
 
 class ReceiveStream:
     """In-order word stream reassembled from out-of-order flits.
@@ -77,7 +96,7 @@ class ReceiveStream:
     """
 
     __slots__ = ("slots", "lowest_missing", "consumed", "max_span",
-                 "credited_upto")
+                 "credited_upto", "wide", "wanted")
 
     def __init__(self) -> None:
         self.slots: dict[int, int] = {}
@@ -86,33 +105,69 @@ class ReceiveStream:
         self.max_span = 0
         #: Slots for which credit tokens have already been issued.
         self.credited_upto = 0
+        #: Reliable mode: flits carry 16-bit sequence numbers, so arrivals
+        #: place exactly and duplicates (retransmit + late original) are
+        #: detected and dropped instead of aliasing into a future frame.
+        self.wide = False
+        #: Highest slot a consumer has asked :meth:`available` for and not
+        #: yet received — the reliability agent's starvation signal for
+        #: tail loss (nothing buffered, but someone is waiting).
+        self.wanted = 0
 
-    def insert(self, seq: int, word: int) -> None:
-        if not (0 <= seq < SEQ_WINDOW):
-            raise ProtocolError(f"sequence number {seq} exceeds 4-bit field")
-        # The two hardware buffers are frame-aligned: frame k covers slots
-        # [16k, 16k+16).  A flit lands in the frame of the oldest missing
-        # slot unless that slot already arrived, in which case it belongs
-        # to the next frame (the second buffer).
-        frame_base = (self.lowest_missing // SEQ_WINDOW) * SEQ_WINDOW
-        slot = frame_base + seq
-        if slot < self.lowest_missing or slot in self.slots:
-            slot += SEQ_WINDOW
-        if slot in self.slots:
-            raise ProtocolError(
-                f"reorder span exceeded double buffer: seq={seq}, "
-                f"oldest missing slot {self.lowest_missing}"
-            )
+    def insert(self, seq: int, word: int) -> bool:
+        """Scatter one arrival; False = duplicate, silently discarded.
+
+        Duplicates can only occur in reliable mode (a retransmit racing
+        its delayed original); the fault-free 4-bit protocol never
+        duplicates, so the narrow path keeps treating a same-slot arrival
+        as the double-buffer overrun it would be in hardware.
+        """
+        if self.wide:
+            delta = (seq - self.lowest_missing) & SLOT_MASK
+            if delta >= 0x8000:
+                return False  # behind the front: a stale duplicate
+            slot = self.lowest_missing + delta
+            if slot in self.slots:
+                return False  # duplicate of a buffered arrival
+            if delta >= MAX_SPAN:
+                raise ProtocolError(
+                    f"reorder span exceeded double buffer: seq={seq}, "
+                    f"oldest missing slot {self.lowest_missing}"
+                )
+        else:
+            if not (0 <= seq < SEQ_WINDOW):
+                raise ProtocolError(
+                    f"sequence number {seq} exceeds 4-bit field"
+                )
+            # The two hardware buffers are frame-aligned: frame k covers
+            # slots [16k, 16k+16).  A flit lands in the frame of the
+            # oldest missing slot unless that slot already arrived, in
+            # which case it belongs to the next frame (the second buffer).
+            frame_base = (self.lowest_missing // SEQ_WINDOW) * SEQ_WINDOW
+            slot = frame_base + seq
+            if slot < self.lowest_missing or slot in self.slots:
+                slot += SEQ_WINDOW
+            if slot in self.slots:
+                raise ProtocolError(
+                    f"reorder span exceeded double buffer: seq={seq}, "
+                    f"oldest missing slot {self.lowest_missing}"
+                )
         self.slots[slot] = word
         span = slot - self.lowest_missing
         if span > self.max_span:
             self.max_span = span
         while self.lowest_missing in self.slots:
             self.lowest_missing += 1
+        return True
 
     def available(self, n_words: int) -> bool:
         """True when the next ``n_words`` of the stream are contiguous."""
-        return self.consumed + n_words <= self.lowest_missing
+        need = self.consumed + n_words
+        if need <= self.lowest_missing:
+            return True
+        if need > self.wanted:
+            self.wanted = need
+        return False
 
     def take(self, n_words: int) -> list[int]:
         if not self.available(n_words):
@@ -139,7 +194,8 @@ class ReceiveStream:
         that data would be lost, which is a protocol violation, not a
         detail to hide.
         """
-        if not (0 <= phase < SEQ_WINDOW):
+        span = SLOT_MASK + 1 if self.wide else SEQ_WINDOW
+        if not (0 <= phase < span):
             raise ProtocolError(f"sync phase {phase} exceeds the seq window")
         if self.slots or self.consumed != self.lowest_missing:
             raise ProtocolError(
@@ -147,7 +203,7 @@ class ReceiveStream:
                 f"unconsumed word(s) and {len(self.slots)} buffered flit(s)"
             )
         base = self.lowest_missing
-        base += (phase - base) % SEQ_WINDOW
+        base += (phase - base) % span
         self.lowest_missing = base
         self.consumed = base
         self.credited_upto = base
@@ -206,6 +262,29 @@ class TieInterface:
             None, name=f"tie[{node_id}].cr"
         )
         self.tx: _PendingSend | None = None
+        #: Reliable-delivery mode (fault layer active): 16-bit wire
+        #: sequence numbers, absolute credit tokens, and a bounded
+        #: retransmit buffer serving NACKs.  Default off — the fault-free
+        #: protocol below is bit-identical to the pre-fault-layer model.
+        self.reliable = False
+        #: :class:`repro.faults.FaultInjector` when reliable (credit-drop
+        #: hooks + fault accounting); None otherwise.
+        self.faults = None
+        #: Backpressure bound on emitted-but-unretired slots per peer
+        #: (the modelled retransmit SRAM depth; <= CREDIT_LIMIT).
+        self.retx_slots = CREDIT_LIMIT
+        #: Per-destination absolute credit floor confirmed by the peer
+        #: (reliable mode replacement for the incremental _credit_limit).
+        self._peer_credited: dict[int, int] = {}
+        #: Per-destination retransmit buffer: slot -> word, filled as
+        #: flits are emitted and pruned as the peer's credits retire them.
+        self._retx: dict[int, dict[int, int]] = {}
+        #: NACK-requested retransmissions awaiting a TX slot:
+        #: (dst, slot, word), drained by the node at one flit per cycle.
+        self.pending_retx: deque[tuple[int, int, int]] = deque()
+        self._retx_queued: set[tuple[int, int]] = set()
+        #: Multicast NACKs for the DMA engine: (member, slot mod 2^16).
+        self.mcast_nacks: deque[tuple[int, int]] = deque()
         self.stats = CounterSet(f"tie[{node_id}]")
         #: Set when a flit arrives; the node uses it to re-check waiters.
         self.rx_event = False
@@ -228,23 +307,42 @@ class TieInterface:
             raise ProtocolError(f"TIE got non-message flit {flit!r}")
         self.rx_event = True
         if flit.subtype == SubType.MSG_REQUEST:
-            if flit.data == CREDIT_WORD:
+            # Token family dispatch on the marker half-word.  In the
+            # fault-free protocol every token is exactly its marker (low
+            # bits zero); reliable mode carries an absolute slot in the
+            # low bits, which the masked match makes transparent here.
+            marker = flit.data & MARKER_MASK
+            if marker == CREDIT_WORD:
                 # The peer completed a window of our stream to it.
-                limit = self._credit_limit.get(flit.src, CREDIT_LIMIT)
-                self._credit_limit[flit.src] = limit + CREDIT_WINDOW
+                if self.faults is not None and self.faults.eat_credit(
+                    self.node_id, flit.src
+                ):
+                    return
+                if self.reliable:
+                    self._apply_credit(flit.src, flit.data & SLOT_MASK)
+                else:
+                    limit = self._credit_limit.get(flit.src, CREDIT_LIMIT)
+                    self._credit_limit[flit.src] = limit + CREDIT_WINDOW
                 self.stats.inc("credits_received")
                 return
-            if flit.data == MCAST_CREDIT_WORD:
+            if marker == MCAST_CREDIT_WORD:
                 # A multicast group member completed a window.
-                credited = self.mcast_credited.get(flit.src, 0)
-                self.mcast_credited[flit.src] = credited + CREDIT_WINDOW
+                if self.faults is not None and self.faults.eat_mcast_credit(
+                    self.node_id, flit.src
+                ):
+                    return
+                if self.reliable:
+                    self._apply_mcast_credit(flit.src, flit.data & SLOT_MASK)
+                else:
+                    credited = self.mcast_credited.get(flit.src, 0)
+                    self.mcast_credited[flit.src] = credited + CREDIT_WINDOW
                 self.stats.inc("mcast_credits_received")
                 return
-            if flit.data & ~MCAST_SYNC_SLOT_MASK == MCAST_SYNC_WORD:
+            if marker == MCAST_SYNC_WORD:
                 # The peer re-registered its multicast group with this
                 # node as a new member: align our stream to the phase of
                 # its shared sequence space and ack on the reverse path.
-                phase = flit.data & MCAST_SYNC_SLOT_MASK
+                phase = flit.data & self.sync_slot_mask
                 self.mcast_stream_from(flit.src).realign(phase)
                 self.pending_credits.push((flit.src, MCAST_SYNC_ACK_WORD))
                 self.stats.inc("mcast_syncs_received")
@@ -253,19 +351,52 @@ class TieInterface:
                 self.mcast_sync_acks.add(flit.src)
                 self.stats.inc("mcast_sync_acks_received")
                 return
+            if self.reliable:
+                if marker == NACK_WORD:
+                    self._handle_nack(flit.src, flit.data & SLOT_MASK)
+                    return
+                if marker == MCAST_NACK_WORD:
+                    self.mcast_nacks.append((flit.src, flit.data & SLOT_MASK))
+                    self.stats.inc("mcast_nacks_received")
+                    return
+                if marker == CREDIT_PROBE_WORD:
+                    # Idempotent resync: re-issue our current credit value
+                    # for the probing sender's stream (a lost credit token
+                    # deadlocks its window otherwise).
+                    stream = self.streams.get(flit.src)
+                    upto = stream.credited_upto if stream is not None else 0
+                    self.pending_credits.push(
+                        (flit.src, CREDIT_WORD | (upto & SLOT_MASK))
+                    )
+                    self.stats.inc("credit_probes_received")
+                    return
+                if marker == MCAST_CREDIT_PROBE_WORD:
+                    stream = self.mcast_streams.get(flit.src)
+                    upto = stream.credited_upto if stream is not None else 0
+                    self.pending_credits.push(
+                        (flit.src, MCAST_CREDIT_WORD | (upto & SLOT_MASK))
+                    )
+                    self.stats.inc("mcast_credit_probes_received")
+                    return
             self.requests.push((flit.src, flit.data))
             self.stats.inc("requests_received")
             return
         stream = self.streams.get(flit.src)
         if stream is None:
             stream = ReceiveStream()
+            stream.wide = self.reliable
             self.streams[flit.src] = stream
-        stream.insert(flit.seq, flit.data)
+        if not stream.insert(flit.seq, flit.data):
+            self.stats.inc("duplicate_flits_dropped")
+            return
         self._n_data_flits_received += 1
         # Flow control: one credit per CREDIT_WINDOW contiguous slots.
         while stream.lowest_missing >= stream.credited_upto + CREDIT_WINDOW:
             stream.credited_upto += CREDIT_WINDOW
-            self.pending_credits.push((flit.src, CREDIT_WORD))
+            word = CREDIT_WORD
+            if self.reliable:
+                word |= stream.credited_upto & SLOT_MASK
+            self.pending_credits.push((flit.src, word))
             self.stats.inc("credits_sent")
 
     def _accept_multicast(self, flit: Flit) -> None:
@@ -280,18 +411,25 @@ class TieInterface:
         stream = self.mcast_streams.get(flit.src)
         if stream is None:
             stream = ReceiveStream()
+            stream.wide = self.reliable
             self.mcast_streams[flit.src] = stream
-        stream.insert(flit.seq, flit.data)
+        if not stream.insert(flit.seq, flit.data):
+            self.stats.inc("duplicate_flits_dropped")
+            return
         self._n_mcast_flits_received += 1
         while stream.lowest_missing >= stream.credited_upto + CREDIT_WINDOW:
             stream.credited_upto += CREDIT_WINDOW
-            self.pending_credits.push((flit.src, MCAST_CREDIT_WORD))
+            word = MCAST_CREDIT_WORD
+            if self.reliable:
+                word |= stream.credited_upto & SLOT_MASK
+            self.pending_credits.push((flit.src, word))
             self.stats.inc("mcast_credits_sent")
 
     def stream_from(self, src_node: int) -> ReceiveStream:
         stream = self.streams.get(src_node)
         if stream is None:
             stream = ReceiveStream()
+            stream.wide = self.reliable
             self.streams[src_node] = stream
         return stream
 
@@ -299,8 +437,87 @@ class TieInterface:
         stream = self.mcast_streams.get(src_node)
         if stream is None:
             stream = ReceiveStream()
+            stream.wide = self.reliable
             self.mcast_streams[src_node] = stream
         return stream
+
+    @property
+    def sync_slot_mask(self) -> int:
+        """Slot bits carried by multicast SYNC tokens (wide when reliable)."""
+        return SLOT_MASK if self.reliable else MCAST_SYNC_SLOT_MASK
+
+    # -- reliable-delivery bookkeeping (fault layer only) --------------------
+
+    def _apply_credit(self, src: int, value: int) -> None:
+        """Fold an absolute 16-bit credit value into the per-peer floor.
+
+        Forward-only (signed mod-2^16 delta): a reordered or retransmitted
+        stale token is a no-op, so credits are idempotent under faults.
+        """
+        prev = self._peer_credited.get(src, 0)
+        delta = (value - prev) & SLOT_MASK
+        if not delta or delta >= 0x8000:
+            return
+        floor = prev + delta
+        self._peer_credited[src] = floor
+        retx = self._retx.get(src)
+        if retx:
+            for slot in [s for s in retx if s < floor]:
+                del retx[slot]
+
+    def _apply_mcast_credit(self, src: int, value: int) -> None:
+        prev = self.mcast_credited.get(src, 0)
+        delta = (value - prev) & SLOT_MASK
+        if not delta or delta >= 0x8000:
+            return
+        self.mcast_credited[src] = prev + delta
+
+    def _handle_nack(self, src: int, slot16: int) -> None:
+        """Queue a retransmission for the peer's lowest missing slot."""
+        self.stats.inc("nacks_received")
+        floor = self._peer_credited.get(src, 0)
+        delta = (slot16 - floor) & SLOT_MASK
+        if delta >= 0x8000:
+            # Behind the credited floor: the slot already retired from
+            # the retransmit buffer (a stale NACK that crossed the credit
+            # repairing it in flight) — nothing to do.
+            self.stats.inc("nacks_retired")
+            return
+        slot = floor + delta
+        retx = self._retx.get(src)
+        if (
+            slot >= self._send_slots.get(src, 0)
+            or retx is None
+            or slot not in retx
+        ):
+            # Unsent or unknown slot — e.g. the NACK token itself was
+            # corrupted.  Harmless: the receiver keeps NACKing with
+            # backoff until a well-formed one lands.
+            self.stats.inc("nacks_ignored")
+            return
+        if (src, slot) not in self._retx_queued:
+            self._retx_queued.add((src, slot))
+            self.pending_retx.append((src, slot, retx[slot]))
+
+    def retx_flit(self) -> Flit | None:
+        """Next owed retransmission (drained by the node, 1/cycle)."""
+        if not self.pending_retx:
+            return None
+        dst, slot, word = self.pending_retx[0]
+        return Flit(
+            dst=dst,
+            src=self.node_id,
+            ptype=PacketType.MESSAGE,
+            subtype=int(SubType.MSG_RETX),
+            seq=slot & SLOT_MASK,
+            burst=1,
+            data=word,
+        )
+
+    def retx_sent(self) -> None:
+        dst, slot, _word = self.pending_retx.popleft()
+        self._retx_queued.discard((dst, slot))
+        self.stats.inc("retx_sent")
 
     # -- TX ----------------------------------------------------------------------
 
@@ -317,6 +534,7 @@ class TieInterface:
         base_slot = self._send_slots.get(dst_node, 0)
         flits = []
         total = len(words)
+        seq_mod = SLOT_MASK + 1 if self.reliable else SEQ_WINDOW
         for offset, word in enumerate(words):
             slot = base_slot + offset
             # Logic packets group up to 4 flits; BURST tells the receiver
@@ -328,7 +546,7 @@ class TieInterface:
                     src=self.node_id,
                     ptype=PacketType.MESSAGE,
                     subtype=int(SubType.MSG_DATA),
-                    seq=slot % SEQ_WINDOW,
+                    seq=slot % seq_mod,
                     burst=burst,
                     data=word,
                 )
@@ -354,7 +572,15 @@ class TieInterface:
         if self.tx is None or self.tx.done:
             return None
         # Credit gate: never exceed the peer-confirmed window.
-        limit = self._credit_limit.get(self.tx.dst_node, CREDIT_LIMIT)
+        if self.reliable:
+            floor = self._peer_credited.get(self.tx.dst_node, 0)
+            # Same window as the fault-free gate (floor + CREDIT_LIMIT ==
+            # the incremental limit in a lossless run), narrowed by the
+            # retransmit SRAM depth: every emitted-but-unretired slot
+            # must stay replayable.
+            limit = floor + min(CREDIT_LIMIT, self.retx_slots)
+        else:
+            limit = self._credit_limit.get(self.tx.dst_node, CREDIT_LIMIT)
         if self.tx.current_slot() >= limit:
             self._n_credit_stall_cycles += 1
             return None
@@ -381,7 +607,13 @@ class TieInterface:
     def tx_advance(self) -> bool:
         """Mark the current flit accepted; True when the message finished."""
         assert self.tx is not None
-        self.tx.index += 1
+        tx = self.tx
+        if self.reliable:
+            # Record the word at emission time, so the buffer only ever
+            # holds emitted-but-unretired slots (bounded by the TX gate).
+            slot = tx.base_slot + tx.index
+            self._retx.setdefault(tx.dst_node, {})[slot] = tx.words[tx.index]
+        tx.index += 1
         self._n_data_flits_sent += 1
         if self.tx.done:
             self.tx = None

@@ -8,6 +8,7 @@ from repro.cache.l1 import WritePolicy
 from repro.bridge.arbiter import ArbiterMode, TrafficClass
 from repro.empi.runtime import BarrierAlgorithm
 from repro.errors import ConfigError
+from repro.faults import FaultPlan
 from repro.pe.costmodel import FpCostModel
 
 #: The paper sweeps caches from 2 kB to 64 kB in powers of two.
@@ -89,6 +90,22 @@ class SystemConfig:
     trace: bool = False
     max_cycles: int = 2_000_000_000
 
+    # -- fault injection + recovery (opt-in; default off) -----------------------------
+    #: Seeded fault schedule (:class:`repro.faults.FaultPlan`).  None keeps
+    #: every fault/reliability code path dormant — committed golden cycle
+    #: counts are bit-identical with the subsystem absent.
+    faults: FaultPlan | None = None
+    #: No-progress watchdog check interval in cycles; 0 = disabled unless
+    #: a fault plan is active (then a 200k-cycle default kicks in, so a
+    #: stuck recovery reports instead of spinning to max_cycles).
+    watchdog_cycles: int = 0
+    #: eMPI wait/progress cycle budget before a timed retry; 0 = wait
+    #: forever (the fault-free default).
+    empi_timeout_cycles: int = 0
+    #: Exponential-backoff retries before an eMPI wait raises
+    #: :class:`~repro.errors.EmpiTimeoutError`.
+    empi_timeout_retries: int = 3
+
     # -- derived -------------------------------------------------------------------------
 
     @property
@@ -142,6 +159,12 @@ class SystemConfig:
         for name in ("mpmmu_service_overhead", "ddr_read_latency"):
             if getattr(self, name) < 1:
                 raise ConfigError(f"{name} must be >= 1")
+        if self.faults is not None:
+            self.faults.validate()
+        for name in ("watchdog_cycles", "empi_timeout_cycles",
+                     "empi_timeout_retries"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be >= 0")
 
     def with_changes(self, **changes: object) -> "SystemConfig":
         """A copy with the given fields replaced (sweep convenience)."""

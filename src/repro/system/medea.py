@@ -11,7 +11,9 @@ from repro.cache.l1 import L1Cache, WritePolicy
 from repro.cache.writebuffer import WriteBuffer
 from repro.empi.runtime import Empi
 from repro.errors import ConfigError, MemoryAccessError
+from repro.faults import FaultInjector
 from repro.kernel.simulator import Simulator
+from repro.kernel.watchdog import ProgressWatchdog
 from repro.kernel.trace import Tracer
 from repro.mem.ddr import DdrModel
 from repro.mem.memory_map import MemoryMap
@@ -22,6 +24,7 @@ from repro.noc.network import NocFabric
 from repro.noc.topology import FoldedTorusTopology, MeshTopology, grid_for_nodes
 from repro.pe.processor import ProcessorNode
 from repro.pe.program import ProgramContext
+from repro.pe.reliability import ReliabilityAgent
 from repro.pe.tie import TieInterface
 from repro.system.config import SystemConfig
 
@@ -45,11 +48,18 @@ class MedeaSystem:
             self.topology = FoldedTorusTopology(width, height)
         self.sim = Simulator()
         self.tracer = Tracer(enabled=config.trace)
+        #: Fault-injection runtime (None when config.faults is None — the
+        #: fault-free build carries no hook anywhere on the hot path).
+        self.injector = (
+            FaultInjector(config.faults, self.topology)
+            if config.faults is not None else None
+        )
         self.fabric = NocFabric(
             self.topology,
             eject_capacity=config.eject_width,
             strict_encoding=config.strict_encoding,
             tracer=self.tracer,
+            faults=self.injector,
         )
         self.sim.register(self.fabric)
 
@@ -90,6 +100,25 @@ class MedeaSystem:
         for rank in range(config.n_workers):
             self.nodes.append(self._build_worker(rank))
         self.contexts: list[ProgramContext] = []
+        # The watchdog registers last so its checks see each cycle's
+        # final state.  Default on whenever faults are injected: a failed
+        # recovery must report, not spin silently to max_cycles.
+        budget = config.watchdog_cycles or (
+            200_000 if self.injector is not None else 0
+        )
+        self.watchdog = None
+        if budget > 0:
+            self.watchdog = self.sim.register(
+                ProgressWatchdog(
+                    budget,
+                    snapshot=self._progress_snapshot,
+                    busy=self._progress_busy,
+                    report=self._progress_report,
+                )
+            )
+            # Components register asleep; arm the periodic check so the
+            # kernel always holds a pending wakeup for it.
+            self.watchdog.wake()
 
     # -- construction -----------------------------------------------------------
 
@@ -99,6 +128,10 @@ class MedeaSystem:
         ports = self.fabric.ports_of(node_id)
         lut = AddressLut(MPMMU_NODE)
         tie = TieInterface(node_id)
+        if self.injector is not None:
+            tie.reliable = True
+            tie.faults = self.injector
+            tie.retx_slots = config.faults.retx_slots
         dma = None
         if config.dma_tx_queue_depth > 0:
             dma = DmaTxEngine(
@@ -107,6 +140,9 @@ class MedeaSystem:
                 depth=config.dma_tx_queue_depth,
                 multicast=config.noc_multicast,
             )
+        reliability = None
+        if self.injector is not None:
+            reliability = ReliabilityAgent(tie, self.injector, dma=dma)
         node = ProcessorNode(
             rank=rank,
             ports=ports,
@@ -134,9 +170,46 @@ class MedeaSystem:
             recv_overhead=config.recv_overhead,
             notes=self.notes,
             dma=dma,
+            reliability=reliability,
         )
         self.sim.register(node)
         return node
+
+    # -- watchdog plumbing -------------------------------------------------------
+
+    def _progress_snapshot(self) -> tuple:
+        """Flit-motion fingerprint: unchanged between checks = no traffic."""
+        stats = self.fabric.stats
+        return (
+            stats.get("flits_injected"),
+            stats.get("flits_ejected"),
+            self.fabric.flits_in_network,
+        )
+
+    def _progress_busy(self) -> bool:
+        """True while any core is RUNNING or the MPMMU is mid-service."""
+        from repro.pe.processor import CoreState
+        if not self.mpmmu.idle:
+            return True
+        return any(
+            node.state is CoreState.RUNNING for node in self.nodes
+        )
+
+    def _progress_report(self) -> str:
+        lines = []
+        for comp in self.sim.components:
+            lines.append(f"  {comp.name}: {comp.describe_state()}")
+        for ctx in self.contexts:
+            empi = getattr(ctx, "empi", None)
+            if empi is not None:
+                labels = empi.engine.active_labels
+                if labels:
+                    lines.append(
+                        f"  empi[rank {ctx.rank}]: pending {', '.join(labels)}"
+                    )
+        if self.injector is not None:
+            lines.append(f"  {self.injector.describe()}")
+        return "\n".join(lines)
 
     def context_for(self, rank: int) -> ProgramContext:
         """Build the architectural context handed to rank's program."""
@@ -152,6 +225,11 @@ class MedeaSystem:
             local_mem_bytes=config.local_mem_bytes,
             dma_queue_depth=config.dma_tx_queue_depth,
             dma_reduce_assist=config.dma_reduce_assist,
+            empi_timeout_cycles=config.empi_timeout_cycles,
+            empi_timeout_retries=config.empi_timeout_retries,
+        )
+        ctx.fault_context = (
+            self.injector.describe if self.injector is not None else None
         )
         ctx.empi = Empi(ctx, barrier_algorithm=config.empi_barrier)
         return ctx
@@ -260,4 +338,8 @@ class MedeaSystem:
                 }
                 for node in self.nodes
             ],
+            **(
+                {"faults": self.injector.as_dict()}
+                if self.injector is not None else {}
+            ),
         }

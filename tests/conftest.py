@@ -15,8 +15,17 @@ def run_programs(
     *programs: Callable[..., Generator],
     max_cycles: int = 2_000_000,
 ) -> MedeaSystem:
-    """Build a system, run one program per worker, return it for inspection."""
+    """Build a system, run one program per worker, return it for inspection.
+
+    A default no-progress watchdog is armed on every run (unless the
+    test configured its own): a protocol regression that live-locks the
+    machine then fails fast with a structured progress report instead of
+    spinning the suite to ``max_cycles``.  The watchdog only reads state,
+    so simulated cycle counts are unaffected.
+    """
     assert len(programs) == config.n_workers
+    if config.watchdog_cycles == 0:
+        config = config.with_changes(watchdog_cycles=500_000)
     system = MedeaSystem(config)
     system.load_programs(list(programs))
     system.run(max_cycles=max_cycles)

@@ -25,6 +25,7 @@ def test_registry_covers_every_artifact():
     assert set(ALL_EXPERIMENTS) == {
         "fig6", "fig7", "fig8", "fig9", "compare", "noc", "simspeed",
         "collectives", "hw_collectives", "matmul", "stream", "cg",
+        "fault_sweep",
     }
 
 

@@ -83,3 +83,60 @@ def test_stream_double_run_is_bit_identical():
     assert first.stats["noc"] == second.stats["noc"]
     assert first.stats["mpmmu"] == second.stats["mpmmu"]
     assert first.stats["workers"] == second.stats["workers"]
+
+
+def test_fault_injection_double_run_is_bit_identical():
+    # The fault layer's seeded RNG joins the determinism contract: two
+    # runs of the same FaultPlan must inject the same faults at the same
+    # cycles and recover through the same retransmissions — identical
+    # cycle counts, fault counters, event traces and NoC stats.
+    from repro.apps.collective_bench import (
+        CollectiveBenchParams,
+        run_collective_bench,
+    )
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan(
+        seed=11, drop_rate=0.02, corrupt_rate=0.01, stalls=((4, 300, 50),)
+    )
+    config = SystemConfig(n_workers=8, topology_kind="mesh", faults=plan)
+    params = CollectiveBenchParams(
+        collective="allreduce", model="empi", algorithm="tree",
+        n_values=8, repeats=2,
+    )
+    first = run_collective_bench(config, params)
+    second = run_collective_bench(config, params)
+    assert first.validated and second.validated
+    assert first.stats["faults"]["dropped"] > 0  # faults actually fired
+    assert first.total_cycles == second.total_cycles
+    assert first.stats["faults"] == second.stats["faults"]
+    assert first.stats["noc"] == second.stats["noc"]
+    assert first.stats["workers"] == second.stats["workers"]
+
+
+def test_fault_injector_trace_replays_identically():
+    # Same seed, same machine: the injector's raw event trace (what was
+    # dropped/corrupted, where, when) is itself bit-identical.
+    from repro.empi.collectives import make_comm
+    from repro.faults import FaultPlan
+    from repro.system.medea import MedeaSystem
+
+    def make_program(rank):
+        def program(ctx):
+            comm = make_comm(ctx, "empi", "tree", max_values=4)
+            yield from comm.allreduce([float(rank)] * 4)
+        return program
+
+    def run_once():
+        plan = FaultPlan(seed=7, drop_rate=0.2)
+        config = SystemConfig(n_workers=4, faults=plan)
+        system = MedeaSystem(config)
+        system.load_programs([make_program(r) for r in range(4)])
+        cycles = system.run(max_cycles=2_000_000)
+        return cycles, list(system.injector.trace)
+
+    first_cycles, first_trace = run_once()
+    second_cycles, second_trace = run_once()
+    assert first_trace  # faults actually fired
+    assert first_cycles == second_cycles
+    assert first_trace == second_trace
