@@ -17,21 +17,21 @@ from repro.dse.area import AreaModel
 from repro.dse.pareto import FrontPoint, kill_rule_prune, pareto_front
 from repro.dse.report import ascii_plot, format_table
 from repro.dse.runner import run_sweep
-from repro.dse.space import SweepSpec
+from repro.dse.space import jacobi_sweep_space
 from repro.system.config import SystemConfig
 
 
 def main() -> None:
-    spec = SweepSpec(
-        name="example_dse",
+    space = jacobi_sweep_space(
+        "example_dse",
         workers=(1, 2, 4, 6, 8),
         cache_sizes_kb=(2, 8, 32),
         policies=("wb",),
         params=JacobiParams(n=20, iterations=3, warmup=1),
     )
-    print(f"running {spec.n_points} architecture points "
+    print(f"running {space.n_points} architecture points "
           f"(Jacobi 20x20, write-back)...")
-    results = run_sweep(spec, progress=True)
+    results = run_sweep(space, progress=True)
     assert all(result.validated for result in results)
 
     area_model = AreaModel()

@@ -171,3 +171,37 @@ def latency_throughput_sweep(
 ) -> list[TrafficStats]:
     """The classic NoC load/latency curve, one run per offered rate."""
     return [run_synthetic_traffic(rate=rate, **kwargs) for rate in rates]
+
+
+@dataclass
+class SyntheticParams:
+    """One synthetic-traffic point, sweep-service style.
+
+    The params-dataclass face of :func:`run_synthetic_traffic`, so NoC
+    characterization sweeps ride the same declarative
+    :class:`~repro.dse.space.SweepSpace` + executor machinery (and result
+    cache keys) as every architecture sweep.
+    """
+
+    rate: float = 0.1
+    pattern: str = "uniform"
+    cycles: int = 2000
+    width: int = 4
+    height: int = 4
+    topology_kind: str = "folded_torus"
+    drain_cycles: int = 2000
+    seed: int = 1
+
+
+def run_synthetic_point(params: SyntheticParams) -> TrafficStats:
+    """Evaluate one :class:`SyntheticParams` point."""
+    return run_synthetic_traffic(
+        width=params.width,
+        height=params.height,
+        rate=params.rate,
+        cycles=params.cycles,
+        pattern=params.pattern,
+        topology_kind=params.topology_kind,
+        drain_cycles=params.drain_cycles,
+        seed=params.seed,
+    )

@@ -2,20 +2,18 @@
 
 Usage::
 
+    python -m repro list            # every experiment with its help line
     python -m repro fig6            # reduced-scale Fig. 6 regeneration
     python -m repro fig7 --full     # the paper's full 168-point sweep
     python -m repro all --jobs 8    # every experiment
-    python -m repro compare         # hybrid vs sync-only vs pure-SM
-    python -m repro collectives     # collective x algorithm x model x mesh
-    python -m repro hw_collectives  # hardware engine vs software crossover
-    python -m repro matmul          # tiled matmul (bcast + reduce)
-    python -m repro stream          # producer/consumer pipeline
-    python -m repro cg              # CG solver, overlap on/off sweep
-    python -m repro fault_sweep     # recovery overhead under seeded faults
+    python -m repro fig6 --backend inline --jobs 1   # deterministic baseline
+    python -m repro fig6 --fresh    # ignore cached points, recompute all
+    python -m repro fig6 --retry 2  # retry failed points twice before giving up
 
 Reports are printed and saved under ``--out`` (default ``./results``);
-sweep points are cached there too, so derived figures (7, 9) reuse the
-execution-time sweeps of figures 6 and 8.
+sweep points are cached there too — incrementally, so an interrupted
+sweep resumes where it died — and derived figures (7, 9) reuse the
+execution-time sweeps of figures 6 and 8 from the shared warm cache.
 """
 
 from __future__ import annotations
@@ -23,6 +21,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.dse.executor import EXECUTOR_BACKENDS
 from repro.dse.experiments import ALL_EXPERIMENTS, DEFAULT_RESULTS_DIR
 
 
@@ -33,8 +32,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(ALL_EXPERIMENTS) + ["all"],
-        help="which paper artifact to regenerate",
+        choices=sorted(ALL_EXPERIMENTS) + ["all", "list"],
+        help="which paper artifact to regenerate ('list' shows them all)",
     )
     parser.add_argument(
         "--full", action="store_true",
@@ -43,6 +42,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--jobs", type=int, default=None,
         help="worker processes for sweeps (default: cpu count - 1)",
+    )
+    parser.add_argument(
+        "--backend", choices=sorted(EXECUTOR_BACKENDS), default=None,
+        help="sweep executor backend (default: process pool, or inline "
+             "when --jobs 1)",
+    )
+    parser.add_argument(
+        "--fresh", dest="resume", action="store_false", default=True,
+        help="ignore cached sweep points and recompute everything "
+             "(the recomputed points still persist)",
+    )
+    parser.add_argument(
+        "--retry", type=int, default=0, metavar="N",
+        help="retry failed sweep points up to N extra rounds (default: 0)",
     )
     parser.add_argument(
         "--out", default=str(DEFAULT_RESULTS_DIR),
@@ -56,31 +69,49 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def list_experiments() -> str:
+    """The ``medea list`` table, straight from the registry."""
+    width = max(len(name) for name in ALL_EXPERIMENTS)
+    lines = [
+        f"  {name:<{width}}  [{experiment.default_scale}]  {experiment.help}"
+        for name, experiment in sorted(ALL_EXPERIMENTS.items())
+    ]
+    return "available experiments:\n" + "\n".join(lines) + "\n"
+
+
 def run_experiment(
-    name: str, full: bool | None, jobs: int | None, out: str
+    name: str, full: bool | None, jobs: int | None, out: str,
+    backend: str | None = None, resume: bool = True, retries: int = 0,
 ) -> str:
     # full=None defers to the MEDEA_FULL environment variable.  Every
-    # experiment shares the (full, jobs, cache_dir) signature; inline
-    # experiments accept and ignore the sweep arguments.
-    report = ALL_EXPERIMENTS[name](full=full, jobs=jobs, cache_dir=out)
+    # registered experiment runs through the sweep service with the same
+    # backend/resume/retry policy.
+    report = ALL_EXPERIMENTS[name](
+        full=full, jobs=jobs, cache_dir=out, backend=backend,
+        resume=resume, retries=retries,
+    )
     path = report.save(out)
     return f"{report.text}\n[saved to {path}; wall {report.wall_seconds:.1f}s]\n"
 
 
 def run_experiments(names: list[str], full: bool | None, jobs: int | None,
-                    out: str) -> None:
+                    out: str, backend: str | None = None,
+                    resume: bool = True, retries: int = 0) -> None:
     for name in names:
         print(f"=== {name} ===")
-        print(run_experiment(name, full, jobs, out))
+        print(run_experiment(name, full, jobs, out, backend=backend,
+                             resume=resume, retries=retries))
 
 
 def run_profiled(names: list[str], full: bool | None, jobs: int | None,
-                 out: str) -> None:
+                 out: str, backend: str | None = None,
+                 resume: bool = True, retries: int = 0) -> None:
     """Run the experiments under cProfile and print the hot spots.
 
-    Sweeps are forced to ``jobs=1``: cProfile only sees this process, so
-    a multiprocessing pool would leave the profile full of IPC waits
-    instead of the simulator functions the flag exists to surface.
+    Sweeps are forced to ``--backend inline --jobs 1``: cProfile only
+    sees this process, so a multiprocessing pool would leave the profile
+    full of IPC waits instead of the simulator functions the flag exists
+    to surface.
     """
     import cProfile
     import io
@@ -92,7 +123,8 @@ def run_profiled(names: list[str], full: bool | None, jobs: int | None,
     profile = cProfile.Profile()
     profile.enable()
     try:
-        run_experiments(names, full, 1, out)
+        run_experiments(names, full, 1, out, backend="inline",
+                        resume=resume, retries=retries)
     finally:
         profile.disable()
         stream = io.StringIO()
@@ -104,12 +136,18 @@ def run_profiled(names: list[str], full: bool | None, jobs: int | None,
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        print(list_experiments(), end="")
+        return 0
     names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     full = True if args.full else None  # None -> honour MEDEA_FULL
     if args.profile:
-        run_profiled(names, full, args.jobs, args.out)
+        run_profiled(names, full, args.jobs, args.out,
+                     resume=args.resume, retries=args.retry)
     else:
-        run_experiments(names, full, args.jobs, args.out)
+        run_experiments(names, full, args.jobs, args.out,
+                        backend=args.backend, resume=args.resume,
+                        retries=args.retry)
     return 0
 
 

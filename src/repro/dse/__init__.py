@@ -1,4 +1,4 @@
-"""Design-space exploration: sweep runner, area model, Pareto + kill rule.
+"""Design-space exploration: sweep service, area model, Pareto + kill rule.
 
 Section III of the paper explores 168 architecture points (2-15 workers x
 2-64 kB x WB/WT) with the Jacobi workload at three problem sizes, then
@@ -6,9 +6,15 @@ prunes the (area, speedup) cloud to a Pareto front and applies Agarwal's
 "kill rule" (kill a resource increase that buys less than linear
 performance).  This package is that harness:
 
-* :mod:`repro.dse.space` — declarative sweep definitions;
-* :mod:`repro.dse.runner` — multiprocessing sweep executor with a JSON
-  result cache (re-running a figure is free once its points exist);
+* :mod:`repro.dse.space` — declarative sweep spaces: named axes over the
+  architecture config and any app's params dataclass, compiled to a
+  keyed worklist;
+* :mod:`repro.dse.executor` — the sweep service: pluggable
+  inline/process/threaded backends, bounded retries, progress callbacks,
+  and resumable schema-hashed caching;
+* :mod:`repro.dse.runner` — the journaled result store + the classic
+  Jacobi ``run_sweep`` entry point;
+* :mod:`repro.dse.registry` — the experiment registry the CLI introspects;
 * :mod:`repro.dse.area` — the TSMC-65nm-calibrated area model;
 * :mod:`repro.dse.pareto` — Pareto front + kill-rule pruning;
 * :mod:`repro.dse.report` — figure regeneration: series tables and ASCII
@@ -16,16 +22,26 @@ performance).  This package is that harness:
 """
 
 from repro.dse.area import AreaModel
+from repro.dse.executor import PointOutcome, SpaceResults, run_space
 from repro.dse.pareto import kill_rule_prune, pareto_front
+from repro.dse.registry import Experiment, ExperimentReport, register_experiment
 from repro.dse.runner import SweepResult, run_sweep
-from repro.dse.space import SweepPoint, SweepSpec
+from repro.dse.space import Axis, SweepSpace, Variant, jacobi_sweep_space
 
 __all__ = [
     "AreaModel",
-    "SweepPoint",
+    "Axis",
+    "Experiment",
+    "ExperimentReport",
+    "PointOutcome",
+    "SpaceResults",
     "SweepResult",
-    "SweepSpec",
+    "SweepSpace",
+    "Variant",
+    "jacobi_sweep_space",
     "kill_rule_prune",
     "pareto_front",
+    "register_experiment",
+    "run_space",
     "run_sweep",
 ]

@@ -1,9 +1,16 @@
-"""Experiment definitions: one entry point per paper figure / claim.
+"""Experiment definitions: one registered entry point per paper artifact.
 
-Each ``experiment_*`` function runs (or reuses, via the sweep cache) the
-simulations behind one artifact of the paper's evaluation and returns an
-:class:`ExperimentReport` with the same series the paper plots.  The CLI
-(``python -m repro``) and the benchmark suite both call these.
+Every experiment is an :class:`~repro.dse.registry.Experiment` built from
+two hooks: ``build_space(full)`` declares its design space as one or more
+:class:`~repro.dse.space.SweepSpace` objects, and ``summarize(run)``
+renders the executed results into an
+:class:`~repro.dse.registry.ExperimentReport` with the same series the
+paper plots.  The sweep service (:mod:`repro.dse.executor`) supplies the
+pool wiring, resumable schema-hashed caching, retries and progress for
+all of them — no experiment hand-rolls its own cache or pool any more.
+The CLI (``python -m repro``) and the benchmark suite both call the
+registered objects, which keep the classic
+``f(full=..., jobs=..., cache_dir=...)`` calling convention.
 
 Scale control: ``full=False`` (default) runs a reduced grid that finishes
 in minutes on a laptop; ``full=True`` reproduces the paper's exact axes
@@ -13,9 +20,7 @@ in minutes on a laptop; ``full=True`` reproduces the paper's exact axes
 
 from __future__ import annotations
 
-import os
 import time
-from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.apps.cg import CgParams, run_cg
@@ -24,42 +29,35 @@ from repro.apps.collective_bench import (
     CollectiveBenchParams,
     run_collective_bench,
 )
-from repro.apps.jacobi.driver import JacobiParams, run_jacobi
+from repro.apps.jacobi.driver import JacobiParams
 from repro.apps.matmul import MatmulParams, run_matmul
 from repro.apps.stream import StreamParams, run_stream
-from repro.apps.synthetic import latency_throughput_sweep
+from repro.apps.synthetic import SyntheticParams, run_synthetic_point
 from repro.dse.area import AreaModel
-from repro.system.presets import mesh_sweep_configs
+from repro.dse.executor import SpaceResults, run_space
 from repro.dse.pareto import FrontPoint, kill_rule_prune, pareto_front
+from repro.dse.registry import (
+    REGISTRY,
+    ExperimentReport,
+    ExperimentRun,
+    full_scale_requested,
+    register_experiment,
+)
 from repro.dse.report import ascii_plot, format_table
-from repro.dse.runner import ResultCache, SweepResult, run_sweep
-from repro.dse.space import SweepSpec, config_cache_key, params_cache_key
+from repro.dse.runner import SweepResult, jacobi_app
+from repro.dse.space import Axis, SweepSpace, Variant, jacobi_sweep_space
+from repro.faults import FaultPlan
 from repro.system.config import SystemConfig
 
-#: Default location of the sweep cache and rendered reports.
+#: Default location of the sweep cache and rendered reports.  The CLI
+#: points every experiment at one ``--out`` directory, so the whole
+#: figure pipeline shares a single warm cache: the speedup-vs-area
+#: figures reuse the execution-time sweeps, and repeated invocations
+#: reuse everything.
 DEFAULT_RESULTS_DIR = Path("results")
 
-
-@dataclass
-class ExperimentReport:
-    """Rendered outcome of one experiment."""
-
-    experiment: str
-    full_scale: bool
-    text: str
-    series: dict = field(default_factory=dict)
-    rows: list = field(default_factory=list)
-    wall_seconds: float = 0.0
-
-    def save(self, out_dir: str | Path) -> Path:
-        path = Path(out_dir) / f"{self.experiment}.txt"
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.text)
-        return path
-
-
-def full_scale_requested() -> bool:
-    return os.environ.get("MEDEA_FULL", "") not in ("", "0")
+#: The registry, under its historical name: the CLI introspects this.
+ALL_EXPERIMENTS = REGISTRY
 
 
 def _scale_note(full: bool, detail: str) -> str:
@@ -68,60 +66,108 @@ def _scale_note(full: bool, detail: str) -> str:
     return f"scale: reduced for quick runs ({detail}); MEDEA_FULL=1 for paper axes\n"
 
 
+def _check_validated(results: list[SweepResult]) -> None:
+    bad = [r.label for r in results if not r.validated]
+    if bad:
+        raise AssertionError(
+            f"numerical validation failed for: {', '.join(bad)}"
+        )
+
+
+def _assert_validated(label: str, ok: bool) -> None:
+    if not ok:
+        raise AssertionError(f"numerical validation failed for: {label}")
+
+
+# ---------------------------------------------------------------------------
+# App drivers: module-level (config, params) -> JSON payload callables,
+# picklable by reference so every executor backend can run them.
+# ---------------------------------------------------------------------------
+
+
+def collective_bench_app(config: SystemConfig,
+                         params: CollectiveBenchParams) -> dict:
+    result = run_collective_bench(config, params)
+    return {
+        "cycles_per_op": result.cycles_per_op,
+        "total_cycles": result.total_cycles,
+        "validated": result.validated,
+    }
+
+
+def cg_app(config: SystemConfig, params: CgParams) -> dict:
+    result = run_cg(config, params)
+    return {
+        "total_cycles": result.total_cycles,
+        "solve_cycles": result.solve_cycles,
+        "overlap_efficiency": result.overlap_efficiency,
+        "validated": result.validated,
+        "converged": result.converged,
+    }
+
+
+def matmul_app(config: SystemConfig, params: MatmulParams) -> dict:
+    result = run_matmul(config, params)
+    return {
+        "total_cycles": result.total_cycles,
+        "reduce_cycles": result.reduce_cycles,
+        "validated": result.validated,
+    }
+
+
+def stream_app(config: SystemConfig, params: StreamParams) -> dict:
+    result = run_stream(config, params)
+    return {
+        "cycles_per_block": result.cycles_per_block,
+        "validated": result.validated,
+    }
+
+
+def synthetic_app(config: SystemConfig, params: SyntheticParams) -> dict:
+    del config  # a bare-fabric experiment: no PEs, no memory system
+    stats = run_synthetic_point(params)
+    return {
+        "offered_rate": stats.offered_rate,
+        "mean_latency": stats.mean_latency,
+        "max_latency": stats.max_latency,
+        "p99_latency_bound": stats.p99_latency_bound,
+        "deflections_per_flit": stats.deflections_per_flit,
+        "throughput": stats.throughput,
+        "all_delivered": stats.all_delivered,
+    }
+
+
 # ---------------------------------------------------------------------------
 # Figures 6 and 8: execution time vs cores / cache size / policy
 # ---------------------------------------------------------------------------
 
 
-def _execution_time_spec(
+def _execution_time_space(
     name: str,
     size: int,
     policies: tuple[str, ...],
     cache_sizes: tuple[int, ...],
     workers: tuple[int, ...],
     iterations: int,
-    base_config: SystemConfig,
-) -> SweepSpec:
-    return SweepSpec(
+) -> SweepSpace:
+    return jacobi_sweep_space(
         name=name,
         workers=workers,
         cache_sizes_kb=cache_sizes,
         policies=policies,
-        base_config=base_config,
         params=JacobiParams(n=size, iterations=iterations, warmup=1),
     )
 
 
-def execution_time_experiment(
-    experiment: str,
-    paper_size: int,
-    policies: tuple[str, ...],
-    paper_caches: tuple[int, ...],
-    full: bool,
-    jobs: int | None,
-    cache_dir: str | Path | None,
-    quick_size: int,
-    quick_caches: tuple[int, ...],
-    quick_workers: tuple[int, ...] = (2, 4, 8, 15),
+def _summarize_execution_time(
+    experiment: str, paper_size: int, size: int, workers: tuple[int, ...],
+    full: bool, results: SpaceResults,
 ) -> ExperimentReport:
-    """Shared harness for Figs. 6 and 8 (and WB/WT ablations)."""
-    started = time.perf_counter()
-    if full:
-        size = paper_size
-        caches = paper_caches
-        workers = tuple(range(2, 16))
-    else:
-        size = quick_size
-        caches = quick_caches
-        workers = quick_workers
-    spec = _execution_time_spec(
-        f"{experiment}_n{size}", size, policies, caches, workers, 3, SystemConfig()
-    )
-    results = run_sweep(spec, jobs=jobs, cache_dir=cache_dir, progress=True)
-    _check_validated(results)
+    sweep = [SweepResult.from_json(payload) for payload in results.payloads()]
+    _check_validated(sweep)
 
     series: dict[str, list[tuple[float, float]]] = {}
-    for result in results:
+    for result in sweep:
         label = f"{result.cache_kb}kB${result.policy.upper()}"
         series.setdefault(label, []).append(
             (result.n_workers, result.cycles_per_iteration)
@@ -153,55 +199,74 @@ def execution_time_experiment(
                   f"(compare paper Fig. {'6' if paper_size == 60 else '8'})",
         )
     )
-    report = ExperimentReport(
-        experiment=experiment,
-        full_scale=full,
-        text=text,
-        series=series,
-        rows=rows,
-        wall_seconds=time.perf_counter() - started,
+    return ExperimentReport(
+        experiment=experiment, full_scale=full, text=text,
+        series=series, rows=rows,
     )
+
+
+def execution_time_experiment(
+    experiment: str,
+    paper_size: int,
+    policies: tuple[str, ...],
+    paper_caches: tuple[int, ...],
+    full: bool,
+    jobs: int | None,
+    cache_dir: str | Path | None,
+    quick_size: int,
+    quick_caches: tuple[int, ...],
+    quick_workers: tuple[int, ...] = (2, 4, 8, 15),
+) -> ExperimentReport:
+    """Shared harness for Figs. 6 and 8 (and WB/WT ablations)."""
+    started = time.perf_counter()
+    if full:
+        size, caches, workers = paper_size, paper_caches, tuple(range(2, 16))
+    else:
+        size, caches, workers = quick_size, quick_caches, quick_workers
+    space = _execution_time_space(
+        f"{experiment}_n{size}", size, policies, caches, workers, 3
+    )
+    results = run_space(space, jobs=jobs, cache_dir=cache_dir, progress=True)
+    report = _summarize_execution_time(
+        experiment, paper_size, size, workers, full, results
+    )
+    report.wall_seconds = time.perf_counter() - started
     return report
 
 
-def experiment_fig6(
-    full: bool | None = None,
-    jobs: int | None = None,
-    cache_dir: str | Path | None = DEFAULT_RESULTS_DIR,
-) -> ExperimentReport:
-    """Fig. 6: 60x60 Jacobi, WB and WT, cache 2-64 kB, 2-15 cores."""
-    full = full_scale_requested() if full is None else full
-    return execution_time_experiment(
-        "fig6",
-        paper_size=60,
-        policies=("wb", "wt"),
-        paper_caches=(2, 4, 8, 16, 32, 64),
-        full=full,
-        jobs=jobs,
-        cache_dir=cache_dir,
-        quick_size=30,
-        quick_caches=(2, 8, 32),
-    )
+def _register_execution_time(
+    name: str, paper_size: int, policies: tuple[str, ...],
+    paper_caches: tuple[int, ...], quick_size: int,
+    quick_caches: tuple[int, ...], help_line: str,
+) -> None:
+    def scale(full: bool) -> tuple[int, tuple[int, ...], tuple[int, ...]]:
+        if full:
+            return paper_size, paper_caches, tuple(range(2, 16))
+        return quick_size, quick_caches, (2, 4, 8, 15)
+
+    def build_space(full: bool) -> SweepSpace:
+        size, caches, workers = scale(full)
+        return _execution_time_space(
+            f"{name}_n{size}", size, policies, caches, workers, 3
+        )
+
+    def summarize(run: ExperimentRun) -> ExperimentReport:
+        size, __, workers = scale(run.full)
+        return _summarize_execution_time(
+            name, paper_size, size, workers, run.full, run.result()
+        )
+
+    register_experiment(name, help_line, build_space, summarize)
 
 
-def experiment_fig8(
-    full: bool | None = None,
-    jobs: int | None = None,
-    cache_dir: str | Path | None = DEFAULT_RESULTS_DIR,
-) -> ExperimentReport:
-    """Fig. 8: 30x30 Jacobi, write-back only, cache 2-32 kB."""
-    full = full_scale_requested() if full is None else full
-    return execution_time_experiment(
-        "fig8",
-        paper_size=30,
-        policies=("wb",),
-        paper_caches=(2, 4, 8, 16, 32),
-        full=full,
-        jobs=jobs,
-        cache_dir=cache_dir,
-        quick_size=16,
-        quick_caches=(2, 4, 8),
-    )
+_register_execution_time(
+    "fig6", 60, ("wb", "wt"), (2, 4, 8, 16, 32, 64), 30, (2, 8, 32),
+    "Fig. 6: 60x60 Jacobi execution time vs cores/cache/policy",
+)
+_register_execution_time(
+    "fig8", 30, ("wb",), (2, 4, 8, 16, 32), 16, (2, 4, 8),
+    "Fig. 8: 30x30 Jacobi execution time, write-back caches",
+)
 
 
 # ---------------------------------------------------------------------------
@@ -209,38 +274,16 @@ def experiment_fig8(
 # ---------------------------------------------------------------------------
 
 
-def speedup_area_experiment(
-    experiment: str,
-    time_experiment: str,
-    paper_size: int,
-    paper_caches: tuple[int, ...],
-    full: bool,
-    jobs: int | None,
-    cache_dir: str | Path | None,
-    quick_size: int,
-    quick_caches: tuple[int, ...],
+def _summarize_speedup_area(
+    experiment: str, paper_size: int, size: int, full: bool,
+    results: SpaceResults,
 ) -> ExperimentReport:
-    started = time.perf_counter()
-    if full:
-        size = paper_size
-        caches = paper_caches
-        workers = tuple(range(2, 16))
-    else:
-        size = quick_size
-        caches = quick_caches
-        workers = (2, 4, 8, 15)
-    # Reuse the execution-time sweep (cache hit if that figure ran first)
-    # plus WT points: the optimum may pick either policy.
-    spec = _execution_time_spec(
-        f"{time_experiment}_n{size}", size, ("wb", "wt") if full else ("wb",),
-        caches, workers, 3, SystemConfig(),
-    )
-    results = run_sweep(spec, jobs=jobs, cache_dir=cache_dir, progress=True)
-    _check_validated(results)
+    sweep = [SweepResult.from_json(payload) for payload in results.payloads()]
+    _check_validated(sweep)
 
     area_model = AreaModel()
     candidates = []
-    for result in results:
+    for result in sweep:
         config = SystemConfig(
             n_workers=result.n_workers,
             cache_size_kb=result.cache_kb,
@@ -288,39 +331,74 @@ def speedup_area_experiment(
         )
     )
     return ExperimentReport(
-        experiment=experiment,
-        full_scale=full,
-        text=text,
-        series=series,
-        rows=rows,
-        wall_seconds=time.perf_counter() - started,
+        experiment=experiment, full_scale=full, text=text,
+        series=series, rows=rows,
     )
 
 
-def experiment_fig7(
-    full: bool | None = None,
-    jobs: int | None = None,
-    cache_dir: str | Path | None = DEFAULT_RESULTS_DIR,
+def speedup_area_experiment(
+    experiment: str,
+    time_experiment: str,
+    paper_size: int,
+    paper_caches: tuple[int, ...],
+    full: bool,
+    jobs: int | None,
+    cache_dir: str | Path | None,
+    quick_size: int,
+    quick_caches: tuple[int, ...],
 ) -> ExperimentReport:
-    """Fig. 7: kill-rule-pruned speedup vs area for the 60x60 run."""
-    full = full_scale_requested() if full is None else full
-    return speedup_area_experiment(
-        "fig7", "fig6", 60, (2, 4, 8, 16, 32, 64),
-        full, jobs, cache_dir, quick_size=30, quick_caches=(2, 8, 32),
+    started = time.perf_counter()
+    if full:
+        size, caches, workers = paper_size, paper_caches, tuple(range(2, 16))
+    else:
+        size, caches, workers = quick_size, quick_caches, (2, 4, 8, 15)
+    # Reuse the execution-time sweep (cache hit if that figure ran first)
+    # plus WT points: the optimum may pick either policy.
+    space = _execution_time_space(
+        f"{time_experiment}_n{size}", size,
+        ("wb", "wt") if full else ("wb",), caches, workers, 3,
     )
+    results = run_space(space, jobs=jobs, cache_dir=cache_dir, progress=True)
+    report = _summarize_speedup_area(experiment, paper_size, size, full,
+                                     results)
+    report.wall_seconds = time.perf_counter() - started
+    return report
 
 
-def experiment_fig9(
-    full: bool | None = None,
-    jobs: int | None = None,
-    cache_dir: str | Path | None = DEFAULT_RESULTS_DIR,
-) -> ExperimentReport:
-    """Fig. 9: kill-rule-pruned speedup vs area for the 30x30 run."""
-    full = full_scale_requested() if full is None else full
-    return speedup_area_experiment(
-        "fig9", "fig8", 30, (2, 4, 8, 16, 32),
-        full, jobs, cache_dir, quick_size=16, quick_caches=(2, 4, 8),
-    )
+def _register_speedup_area(
+    experiment: str, time_experiment: str, paper_size: int,
+    paper_caches: tuple[int, ...], quick_size: int,
+    quick_caches: tuple[int, ...], help_line: str,
+) -> None:
+    def build_space(full: bool) -> SweepSpace:
+        if full:
+            size, caches, workers = (
+                paper_size, paper_caches, tuple(range(2, 16))
+            )
+        else:
+            size, caches, workers = quick_size, quick_caches, (2, 4, 8, 15)
+        return _execution_time_space(
+            f"{time_experiment}_n{size}", size,
+            ("wb", "wt") if full else ("wb",), caches, workers, 3,
+        )
+
+    def summarize(run: ExperimentRun) -> ExperimentReport:
+        size = paper_size if run.full else quick_size
+        return _summarize_speedup_area(
+            experiment, paper_size, size, run.full, run.result()
+        )
+
+    register_experiment(experiment, help_line, build_space, summarize)
+
+
+_register_speedup_area(
+    "fig7", "fig6", 60, (2, 4, 8, 16, 32, 64), 30, (2, 8, 32),
+    "Fig. 7: kill-rule speedup vs area for the 60x60 sweep",
+)
+_register_speedup_area(
+    "fig9", "fig8", 30, (2, 4, 8, 16, 32), 16, (2, 4, 8),
+    "Fig. 9: kill-rule speedup vs area for the 30x30 sweep",
+)
 
 
 # ---------------------------------------------------------------------------
@@ -328,11 +406,26 @@ def experiment_fig9(
 # ---------------------------------------------------------------------------
 
 
-def experiment_compare(
-    full: bool | None = None,
-    jobs: int | None = None,
-    cache_dir: str | Path | None = DEFAULT_RESULTS_DIR,
-) -> ExperimentReport:
+def _compare_workers(full: bool) -> tuple[int, ...]:
+    return tuple(range(2, 16, 2)) + (15,) if full else (6, 10)
+
+
+def _build_compare(full: bool) -> SweepSpace:
+    return SweepSpace(
+        name="compare_n60",
+        app=jacobi_app,
+        app_id="jacobi",
+        axes=(
+            Axis("workers", _compare_workers(full), field="n_workers"),
+            Axis("model", ("hybrid_full", "hybrid_sync", "pure_sm"),
+                 target="params"),
+        ),
+        base_config=SystemConfig(cache_size_kb=16, cache_policy="wb"),
+        base_params=JacobiParams(n=60, iterations=3, warmup=1),
+    )
+
+
+def _summarize_compare(run: ExperimentRun) -> ExperimentReport:
     """Section III's programming-model comparison on the 60x60 problem.
 
     Paper claims: hybrid (full MP) beats pure shared memory by ~2x at 6
@@ -340,10 +433,8 @@ def experiment_compare(
     hybrid recovers 2x-2.8x of that; full vs sync-only differ by 2-20%
     when the miss rate is relevant.
     """
-    started = time.perf_counter()
-    full = full_scale_requested() if full is None else full
-    workers = tuple(range(2, 16, 2)) + (15,) if full else (6, 10)
-    cache_kb = 16
+    results = run.result()
+    workers = _compare_workers(run.full)
     rows = []
     series: dict[str, list[tuple[float, float]]] = {
         "sm_over_full": [], "sm_over_sync": [], "sync_over_full": [],
@@ -351,16 +442,9 @@ def experiment_compare(
     for n_workers in workers:
         cycles = {}
         for model in ("hybrid_full", "hybrid_sync", "pure_sm"):
-            spec_m = SweepSpec(
-                name=f"compare_n60_{model}",
-                workers=(n_workers,),
-                cache_sizes_kb=(cache_kb,),
-                policies=("wb",),
-                params=JacobiParams(n=60, iterations=3, warmup=1, model=model),
-            )
-            result = run_sweep(spec_m, jobs=jobs, cache_dir=cache_dir)[0]
-            _check_validated([result])
-            cycles[model] = result.cycles_per_iteration
+            payload = results.get(workers=n_workers, model=model)
+            _check_validated([SweepResult.from_json(payload)])
+            cycles[model] = payload["cycles_per_iteration"]
         full_c = cycles["hybrid_full"]
         sync_c = cycles["hybrid_sync"]
         sm_c = cycles["pure_sm"]
@@ -375,7 +459,7 @@ def experiment_compare(
 
     text = (
         "compare: programming models on Jacobi 60x60, 16 kB WB caches\n"
-        + _scale_note(full, "2 core counts")
+        + _scale_note(run.full, "2 core counts")
         + format_table(
             ["cores", "hybrid_full", "hybrid_sync", "pure_sm",
              "sm/full", "sm/sync", "sync/full"],
@@ -385,13 +469,16 @@ def experiment_compare(
           "sm/sync in 2x-2.8x; sync/full within 2-20% at low counts\n"
     )
     return ExperimentReport(
-        experiment="compare",
-        full_scale=full,
-        text=text,
-        series=series,
-        rows=rows,
-        wall_seconds=time.perf_counter() - started,
+        experiment="compare", full_scale=run.full, text=text,
+        series=series, rows=rows,
     )
+
+
+register_experiment(
+    "compare",
+    "Section III: hybrid vs sync-only vs pure-SM on 60x60 Jacobi",
+    _build_compare, _summarize_compare,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -399,40 +486,47 @@ def experiment_compare(
 # ---------------------------------------------------------------------------
 
 
-def _assert_validated(label: str, ok: bool) -> None:
-    if not ok:
-        raise AssertionError(f"numerical validation failed for: {label}")
+def _collectives_workers(full: bool) -> tuple[int, ...]:
+    return (2, 4, 8, 15) if full else (4, 8)
 
 
-def experiment_collectives(
-    full: bool | None = None,
-    jobs: int | None = None,
-    cache_dir: str | Path | None = None,
-) -> ExperimentReport:
+def _build_collectives(full: bool) -> SweepSpace:
+    n_values = 16 if full else 8
+    repeats = 8 if full else 4
+    return SweepSpace(
+        name="collectives",
+        app=collective_bench_app,
+        app_id="collective_bench",
+        axes=(
+            Axis("workers", _collectives_workers(full), field="n_workers"),
+            Axis("collective", tuple(COLLECTIVES), target="params"),
+            Axis("algorithm", ("linear", "tree"), target="params"),
+            Axis("model", ("empi", "pure_sm"), target="params"),
+        ),
+        base_params=CollectiveBenchParams(n_values=n_values, repeats=repeats),
+        # Scatter/gather are root-centric by definition: linear only.
+        prune=lambda coords: (
+            coords["collective"] in ("scatter", "gather")
+            and coords["algorithm"] == "tree"
+        ),
+    )
+
+
+def _summarize_collectives(run: ExperimentRun) -> ExperimentReport:
     """Cycles per collective op: algorithm x programming model x mesh size.
 
     The per-collective generalization of the paper's barrier comparison:
     broadcast / reduce / allreduce / scatter / gather, each timed over
-    the eMPI message path and the shared-memory MPMMU path.  Points run
-    inline (``jobs`` is accepted for CLI uniformity and ignored) but go
-    through the versioned :class:`ResultCache`, so repeated sweeps hit
-    disk exactly like the Jacobi figures do.
+    the eMPI message path and the shared-memory MPMMU path.
     """
-    del jobs
-    started = time.perf_counter()
-    full = full_scale_requested() if full is None else full
-    workers = (2, 4, 8, 15) if full else (4, 8)
-    n_values = 16 if full else 8
-    repeats = 8 if full else 4
-    cache = (
-        ResultCache(cache_dir, "collectives") if cache_dir is not None else None
-    )
+    results = run.result()
+    workers = _collectives_workers(run.full)
+    n_values = 16 if run.full else 8
+    repeats = 8 if run.full else 4
     rows = []
     series: dict[str, list[tuple[float, float]]] = {}
-    for config in mesh_sweep_configs(workers):
-        sm_bcast_cycles: float | None = None
+    for n_workers in workers:
         for collective in COLLECTIVES:
-            # Scatter/gather are root-centric by definition: linear only.
             algorithms = (
                 ("linear", "tree")
                 if collective in ("bcast", "reduce", "allreduce")
@@ -441,56 +535,27 @@ def experiment_collectives(
             for algorithm in algorithms:
                 cycles = {}
                 for model in ("empi", "pure_sm"):
-                    label = (
-                        f"{collective}/{algorithm}/{model}/"
-                        f"{config.n_workers}w"
+                    payload = results.get(
+                        workers=n_workers, collective=collective,
+                        algorithm=algorithm, model=model,
                     )
-                    params = CollectiveBenchParams(
-                        collective=collective, model=model,
-                        algorithm=algorithm, n_values=n_values,
-                        repeats=repeats,
+                    _assert_validated(
+                        f"{collective}/{algorithm}/{model}/{n_workers}w",
+                        payload["validated"],
                     )
-                    key = (
-                        f"{config_cache_key(config)}|app=collective_bench|"
-                        f"{params_cache_key(params)}"
-                    )
-                    cached = cache.get_raw(key) if cache is not None else None
-                    if cached is not None:
-                        cycles[model] = cached["cycles_per_op"]
-                    elif (collective == "bcast" and model == "pure_sm"
-                            and sm_bcast_cycles is not None):
-                        # The SM broadcast ignores the algorithm (the
-                        # MPMMU serializes all readers either way), so
-                        # the tree point would be a bit-identical rerun.
-                        cycles[model] = sm_bcast_cycles
-                        if cache is not None:
-                            cache.put_raw(
-                                key, {"cycles_per_op": sm_bcast_cycles}
-                            )
-                    else:
-                        result = run_collective_bench(config, params)
-                        _assert_validated(label, result.validated)
-                        cycles[model] = result.cycles_per_op
-                        if cache is not None:
-                            cache.put_raw(
-                                key, {"cycles_per_op": result.cycles_per_op}
-                            )
-                    if collective == "bcast" and model == "pure_sm":
-                        sm_bcast_cycles = cycles[model]
+                    cycles[model] = payload["cycles_per_op"]
                     series.setdefault(
                         f"{collective}_{algorithm}_{model}", []
-                    ).append((config.n_workers, cycles[model]))
+                    ).append((n_workers, cycles[model]))
                 rows.append([
-                    collective, algorithm, config.n_workers,
+                    collective, algorithm, n_workers,
                     f"{cycles['empi']:.0f}", f"{cycles['pure_sm']:.0f}",
                     f"{cycles['pure_sm'] / cycles['empi']:.2f}x",
                 ])
-    if cache is not None:
-        cache.save()
     text = (
         f"collectives: cycles per op, {n_values} doubles, mean of "
         f"{repeats} reps\n"
-        + _scale_note(full, f"{len(workers)} mesh sizes")
+        + _scale_note(run.full, f"{len(workers)} mesh sizes")
         + format_table(
             ["collective", "algorithm", "workers", "empi", "pure_sm",
              "sm/empi"],
@@ -500,46 +565,64 @@ def experiment_collectives(
           "serialized MPMMU traffic; the hybrid column never touches it\n"
     )
     return ExperimentReport(
-        experiment="collectives", full_scale=full, text=text,
+        experiment="collectives", full_scale=run.full, text=text,
         series=series, rows=rows,
-        wall_seconds=time.perf_counter() - started,
     )
 
 
-def experiment_matmul(
-    full: bool | None = None,
-    jobs: int | None = None,
-    cache_dir: str | Path | None = None,
-) -> ExperimentReport:
-    """Tiled matmul: total and reduce-phase cycles per model/algorithm."""
-    del jobs, cache_dir
-    started = time.perf_counter()
-    full = full_scale_requested() if full is None else full
+register_experiment(
+    "collectives",
+    "Collective ops: cycles/op over algorithm x model x mesh size",
+    _build_collectives, _summarize_collectives,
+)
+
+
+def _matmul_scale(full: bool) -> tuple[tuple[int, ...], int, int]:
     workers = (2, 4, 8, 15) if full else (2, 4)
     n, tile = (12, 4) if full else (6, 2)
+    return workers, n, tile
+
+
+def _build_matmul(full: bool) -> SweepSpace:
+    workers, n, tile = _matmul_scale(full)
+    return SweepSpace(
+        name="matmul",
+        app=matmul_app,
+        app_id="matmul",
+        axes=(
+            Axis("workers", workers, field="n_workers"),
+            Axis("algorithm", ("linear", "tree"), target="params"),
+            Axis("model", ("empi", "pure_sm"), target="params"),
+        ),
+        base_params=MatmulParams(n=n, tile=tile),
+    )
+
+
+def _summarize_matmul(run: ExperimentRun) -> ExperimentReport:
+    """Tiled matmul: total and reduce-phase cycles per model/algorithm."""
+    results = run.result()
+    workers, n, tile = _matmul_scale(run.full)
     rows = []
     series: dict[str, list[tuple[float, float]]] = {}
-    for config in mesh_sweep_configs(workers):
+    for n_workers in workers:
         for algorithm in ("linear", "tree"):
             totals = {}
             reduces = {}
             for model in ("empi", "pure_sm"):
-                result = run_matmul(
-                    config,
-                    MatmulParams(n=n, tile=tile, model=model,
-                                 algorithm=algorithm),
+                payload = results.get(
+                    workers=n_workers, algorithm=algorithm, model=model
                 )
                 _assert_validated(
-                    f"matmul/{algorithm}/{model}/{config.n_workers}w",
-                    result.validated,
+                    f"matmul/{algorithm}/{model}/{n_workers}w",
+                    payload["validated"],
                 )
-                totals[model] = result.total_cycles
-                reduces[model] = result.reduce_cycles
+                totals[model] = payload["total_cycles"]
+                reduces[model] = payload["reduce_cycles"]
                 series.setdefault(f"{model}_{algorithm}", []).append(
-                    (config.n_workers, result.total_cycles)
+                    (n_workers, payload["total_cycles"])
                 )
             rows.append([
-                config.n_workers, algorithm,
+                n_workers, algorithm,
                 totals["empi"], totals["pure_sm"],
                 f"{totals['pure_sm'] / totals['empi']:.2f}x",
                 reduces["empi"], reduces["pure_sm"],
@@ -548,7 +631,7 @@ def experiment_matmul(
     text = (
         f"matmul: {n}x{n} tiled (tile={tile}), row broadcast + "
         f"partial-sum reduce\n"
-        + _scale_note(full, f"{n}x{n}, {len(workers)} mesh sizes")
+        + _scale_note(run.full, f"{n}x{n}, {len(workers)} mesh sizes")
         + format_table(
             ["workers", "algorithm", "empi_total", "sm_total", "sm/empi",
              "empi_reduce", "sm_reduce", "reduce sm/empi"],
@@ -561,49 +644,65 @@ def experiment_matmul(
         )
     )
     return ExperimentReport(
-        experiment="matmul", full_scale=full, text=text,
+        experiment="matmul", full_scale=run.full, text=text,
         series=series, rows=rows,
-        wall_seconds=time.perf_counter() - started,
     )
 
 
-def experiment_stream(
-    full: bool | None = None,
-    jobs: int | None = None,
-    cache_dir: str | Path | None = None,
-) -> ExperimentReport:
-    """Stream pipeline: cycles per block, TIE streams vs SM mailboxes."""
-    del jobs, cache_dir
-    started = time.perf_counter()
-    full = full_scale_requested() if full is None else full
+register_experiment(
+    "matmul",
+    "Tiled matmul: bcast + partial-sum reduce over both models",
+    _build_matmul, _summarize_matmul,
+)
+
+
+def _stream_scale(full: bool) -> tuple[tuple[int, ...], int, int]:
     workers = (2, 4, 8) if full else (2, 4)
     n_blocks, block_values = (16, 16) if full else (4, 8)
+    return workers, n_blocks, block_values
+
+
+def _build_stream(full: bool) -> SweepSpace:
+    workers, n_blocks, block_values = _stream_scale(full)
+    return SweepSpace(
+        name="stream",
+        app=stream_app,
+        app_id="stream",
+        axes=(
+            Axis("workers", workers, field="n_workers"),
+            Axis("model", ("empi", "pure_sm"), target="params"),
+        ),
+        base_params=StreamParams(n_blocks=n_blocks,
+                                 block_values=block_values),
+    )
+
+
+def _summarize_stream(run: ExperimentRun) -> ExperimentReport:
+    """Stream pipeline: cycles per block, TIE streams vs SM mailboxes."""
+    results = run.result()
+    workers, n_blocks, block_values = _stream_scale(run.full)
     rows = []
     series: dict[str, list[tuple[float, float]]] = {}
-    for config in mesh_sweep_configs(workers):
+    for n_workers in workers:
         cycles = {}
         for model in ("empi", "pure_sm"):
-            result = run_stream(
-                config,
-                StreamParams(n_blocks=n_blocks, block_values=block_values,
-                             model=model),
-            )
+            payload = results.get(workers=n_workers, model=model)
             _assert_validated(
-                f"stream/{model}/{config.n_workers}w", result.validated
+                f"stream/{model}/{n_workers}w", payload["validated"]
             )
-            cycles[model] = result.cycles_per_block
+            cycles[model] = payload["cycles_per_block"]
             series.setdefault(model, []).append(
-                (config.n_workers, result.cycles_per_block)
+                (n_workers, payload["cycles_per_block"])
             )
         rows.append([
-            config.n_workers,
+            n_workers,
             f"{cycles['empi']:.0f}", f"{cycles['pure_sm']:.0f}",
             f"{cycles['pure_sm'] / cycles['empi']:.2f}x",
         ])
     text = (
         f"stream: {n_blocks} blocks of {block_values} doubles through a "
         f"worker pipeline\n"
-        + _scale_note(full, f"{len(workers)} pipeline depths")
+        + _scale_note(run.full, f"{len(workers)} pipeline depths")
         + format_table(
             ["workers", "empi cyc/blk", "sm cyc/blk", "sm/empi"], rows
         )
@@ -611,17 +710,42 @@ def experiment_stream(
           "pure_sm polls shared-memory mailboxes through the MPMMU\n"
     )
     return ExperimentReport(
-        experiment="stream", full_scale=full, text=text,
+        experiment="stream", full_scale=run.full, text=text,
         series=series, rows=rows,
-        wall_seconds=time.perf_counter() - started,
     )
 
 
-def experiment_cg(
-    full: bool | None = None,
-    jobs: int | None = None,
-    cache_dir: str | Path | None = None,
-) -> ExperimentReport:
+register_experiment(
+    "stream",
+    "Producer/consumer pipeline: TIE streams vs SM mailboxes",
+    _build_stream, _summarize_stream,
+)
+
+
+def _cg_scale(full: bool) -> tuple[tuple[int, ...], int, int]:
+    # The 8-worker reference mesh is the acceptance point; keep it in
+    # every scale.
+    workers = (2, 4, 8, 15) if full else (4, 8)
+    n, iterations = (128, 16) if full else (64, 10)
+    return workers, n, iterations
+
+
+def _build_cg(full: bool) -> SweepSpace:
+    workers, n, iterations = _cg_scale(full)
+    return SweepSpace(
+        name="cg",
+        app=cg_app,
+        app_id="cg",
+        axes=(
+            Axis("workers", workers, field="n_workers"),
+            Axis("model", ("empi", "pure_sm"), target="params"),
+            Axis("overlap", (False, True), target="params"),
+        ),
+        base_params=CgParams(n=n, iterations=iterations, algorithm="tree"),
+    )
+
+
+def _summarize_cg(run: ExperimentRun) -> ExperimentReport:
     """Conjugate gradient: the overlap-on/off sweep over both models.
 
     The architecture argument of the non-blocking layer, in one table:
@@ -632,66 +756,39 @@ def experiment_cg(
     hybrid model has hardware to overlap with — the TIE streams while
     the core computes — while the pure-SM model must move every word
     with the core, which is exactly what the efficiency column shows.
-    Points run inline but cache through the versioned
-    :class:`ResultCache` (``jobs`` accepted for CLI uniformity).
     """
-    del jobs
-    started = time.perf_counter()
-    full = full_scale_requested() if full is None else full
-    # The 8-worker reference mesh is the acceptance point; keep it in
-    # every scale.
-    workers = (2, 4, 8, 15) if full else (4, 8)
-    n, iterations = (128, 16) if full else (64, 10)
-    cache = ResultCache(cache_dir, "cg") if cache_dir is not None else None
+    results = run.result()
+    workers, n, iterations = _cg_scale(run.full)
     rows = []
     series: dict[str, list[tuple[float, float]]] = {}
-    for config in mesh_sweep_configs(workers):
+    for n_workers in workers:
         for model in ("empi", "pure_sm"):
             cycles: dict[bool, int] = {}
             efficiency: dict[bool, float] = {}
             for overlap in (False, True):
-                params = CgParams(
-                    n=n, iterations=iterations, model=model,
-                    algorithm="tree", overlap=overlap,
+                payload = results.get(
+                    workers=n_workers, model=model, overlap=overlap
                 )
-                key = (
-                    f"{config_cache_key(config)}|app=cg|"
-                    f"{params_cache_key(params)}"
+                _assert_validated(
+                    f"cg/{model}/overlap={overlap}/{n_workers}w",
+                    payload["validated"] and payload["converged"],
                 )
-                cached = cache.get_raw(key) if cache is not None else None
-                if cached is not None:
-                    cycles[overlap] = cached["total_cycles"]
-                    efficiency[overlap] = cached["overlap_efficiency"]
-                else:
-                    result = run_cg(config, params)
-                    _assert_validated(
-                        f"cg/{model}/overlap={overlap}/{config.n_workers}w",
-                        result.validated and result.converged,
-                    )
-                    cycles[overlap] = result.total_cycles
-                    efficiency[overlap] = result.overlap_efficiency
-                    if cache is not None:
-                        cache.put_raw(key, {
-                            "total_cycles": result.total_cycles,
-                            "solve_cycles": result.solve_cycles,
-                            "overlap_efficiency": result.overlap_efficiency,
-                        })
+                cycles[overlap] = payload["total_cycles"]
+                efficiency[overlap] = payload["overlap_efficiency"]
                 series.setdefault(
                     f"{model}_{'overlap' if overlap else 'blocking'}", []
-                ).append((config.n_workers, cycles[overlap]))
+                ).append((n_workers, cycles[overlap]))
             rows.append([
-                config.n_workers, model,
+                n_workers, model,
                 cycles[False], cycles[True],
                 cycles[False] - cycles[True],
                 f"{cycles[False] / cycles[True]:.4f}x",
                 f"{efficiency[True]:.2f}",
             ])
-    if cache is not None:
-        cache.save()
     text = (
         f"cg: conjugate gradient, {n}-row tridiagonal SPD system, "
         f"{iterations} iterations\n"
-        + _scale_note(full, f"n={n}, {len(workers)} mesh sizes")
+        + _scale_note(run.full, f"n={n}, {len(workers)} mesh sizes")
         + format_table(
             ["workers", "model", "blocking", "overlap", "saved",
              "speedup", "ovl eff"],
@@ -703,17 +800,91 @@ def experiment_cg(
           "fraction of in-flight communication cycles spent computing\n"
     )
     return ExperimentReport(
-        experiment="cg", full_scale=full, text=text,
+        experiment="cg", full_scale=run.full, text=text,
         series=series, rows=rows,
-        wall_seconds=time.perf_counter() - started,
     )
 
 
-def experiment_hw_collectives(
-    full: bool | None = None,
-    jobs: int | None = None,
-    cache_dir: str | Path | None = None,
-) -> ExperimentReport:
+register_experiment(
+    "cg",
+    "CG solver: compute/communication overlap on vs off, both models",
+    _build_cg, _summarize_cg,
+)
+
+
+# ---------------------------------------------------------------------------
+# Hardware collective engine vs software: the offload crossover
+# ---------------------------------------------------------------------------
+
+
+def _hw_scale(full: bool):
+    workers = (2, 4, 8, 15) if full else (4, 8)
+    depths = (1, 2, 4, 8) if full else (1, 4)
+    lengths = (16, 64, 256, 1024) if full else (16, 64, 256)
+    repeats = 8 if full else 4
+    long_repeats = 4 if full else 2
+    return workers, depths, lengths, repeats, long_repeats
+
+
+def _build_hw_collectives(full: bool) -> list[SweepSpace]:
+    workers, depths, lengths, repeats, long_repeats = _hw_scale(full)
+    variants = (
+        Variant("linear", params={"algorithm": "linear"}),
+        Variant("tree", params={"algorithm": "tree"}),
+        *(
+            Variant(f"hw(q{depth})",
+                    config={"dma_tx_queue_depth": depth},
+                    params={"algorithm": "hw"})
+            for depth in depths
+        ),
+        Variant("hw-uc",
+                config={"dma_tx_queue_depth": depths[-1],
+                        "noc_multicast": False},
+                params={"algorithm": "hw"}),
+    )
+    main = SweepSpace(
+        name="hw_collectives",
+        app=collective_bench_app,
+        app_id="collective_bench",
+        axes=(
+            Axis("workers", workers, field="n_workers"),
+            Axis("collective", ("bcast", "allreduce"), target="params"),
+            Axis("variant", variants),
+        ),
+        base_params=CollectiveBenchParams(model="empi", n_values=16,
+                                          repeats=repeats),
+    )
+    long_variants = (
+        Variant("tree", params={"algorithm": "tree"}),
+        Variant("ring", params={"algorithm": "ring"}),
+        Variant("hw-na",
+                config={"dma_tx_queue_depth": depths[-1],
+                        "dma_reduce_assist": False},
+                params={"algorithm": "hw"}),
+        Variant("hw",
+                config={"dma_tx_queue_depth": depths[-1]},
+                params={"algorithm": "hw"}),
+        Variant("ring-hw",
+                config={"dma_tx_queue_depth": depths[-1]},
+                params={"algorithm": "ring"}),
+    )
+    long = SweepSpace(
+        name="hw_collectives_long",
+        app=collective_bench_app,
+        app_id="collective_bench",
+        axes=(
+            Axis("workers", workers, field="n_workers"),
+            Axis("variant", long_variants),
+            Axis("length", lengths, target="params", field="n_values"),
+        ),
+        base_params=CollectiveBenchParams(collective="allreduce",
+                                          model="empi",
+                                          repeats=long_repeats),
+    )
+    return [main, long]
+
+
+def _summarize_hw_collectives(run: ExperimentRun) -> ExperimentReport:
     """Hardware collective engine vs software: the offload crossover.
 
     Sweeps bcast and allreduce over queue depth x algorithm x mesh size:
@@ -726,69 +897,33 @@ def experiment_hw_collectives(
     paths, with the PR-4 engine (``hw-na``, reduction assist off, only
     the broadcast leg offloaded) as the hw-reduce-vs-sw-reduce
     comparison point.  Every point validates bit for bit against the
-    combine-order references.  Points run inline but cache through the
-    versioned :class:`ResultCache` (``jobs`` accepted for CLI
-    uniformity).
+    combine-order references.
     """
-    del jobs
-    started = time.perf_counter()
-    full = full_scale_requested() if full is None else full
-    workers = (2, 4, 8, 15) if full else (4, 8)
-    depths = (1, 2, 4, 8) if full else (1, 4)
-    lengths = (16, 64, 256, 1024) if full else (16, 64, 256)
+    workers, depths, lengths, repeats, long_repeats = _hw_scale(run.full)
+    main, long_results = run.result(0), run.result(1)
     n_values = 16
-    repeats = 8 if full else 4
-    long_repeats = 4 if full else 2
-    cache = (
-        ResultCache(cache_dir, "hw_collectives")
-        if cache_dir is not None else None
-    )
 
-    def point(config: SystemConfig, collective: str, algorithm: str,
-              label: str, n_values: int = n_values,
-              repeats: int = repeats) -> float:
-        params = CollectiveBenchParams(
-            collective=collective, model="empi", algorithm=algorithm,
-            n_values=n_values, repeats=repeats,
-        )
-        key = (
-            f"{config_cache_key(config)}|app=collective_bench|"
-            f"{params_cache_key(params)}"
-        )
-        cached = cache.get_raw(key) if cache is not None else None
-        if cached is not None:
-            return cached["cycles_per_op"]
-        result = run_collective_bench(config, params)
-        _assert_validated(label, result.validated)
-        if cache is not None:
-            cache.put_raw(key, {"cycles_per_op": result.cycles_per_op})
-        return result.cycles_per_op
+    def point(results: SpaceResults, label: str, **coords) -> float:
+        payload = results.get(**coords)
+        _assert_validated(label, payload["validated"])
+        return payload["cycles_per_op"]
 
     rows = []
     series: dict[str, list[tuple[float, float]]] = {}
     crossover: dict[str, int | None] = {}
-    for config in mesh_sweep_configs(workers):
-        w = config.n_workers
+    for w in workers:
         for collective in ("bcast", "allreduce"):
             cycles: dict[str, float] = {}
-            for algorithm in ("linear", "tree"):
-                cycles[algorithm] = point(
-                    config, collective, algorithm,
-                    f"hw_collectives/{collective}/{algorithm}/{w}w",
+            for variant in (
+                ["linear", "tree"]
+                + [f"hw(q{d})" for d in depths]
+                + ["hw-uc"]
+            ):
+                cycles[variant] = point(
+                    main,
+                    f"hw_collectives/{collective}/{variant}/{w}w",
+                    workers=w, collective=collective, variant=variant,
                 )
-            for depth in depths:
-                hw_config = config.with_changes(dma_tx_queue_depth=depth)
-                cycles[f"hw(q{depth})"] = point(
-                    hw_config, collective, "hw",
-                    f"hw_collectives/{collective}/hw-q{depth}/{w}w",
-                )
-            fallback_config = config.with_changes(
-                dma_tx_queue_depth=depths[-1], noc_multicast=False
-            )
-            cycles["hw-uc"] = point(
-                fallback_config, collective, "hw",
-                f"hw_collectives/{collective}/hw-uc/{w}w",
-            )
             best_hw = min(cycles[f"hw(q{d})"] for d in depths)
             if best_hw < cycles["tree"] and collective not in crossover:
                 crossover[collective] = w
@@ -806,25 +941,15 @@ def experiment_hw_collectives(
     long_series: dict[str, list[tuple[float, float]]] = {}
     long_algos = ("tree", "ring", "hw-na", "hw", "ring-hw")
     ring_crossover: dict[int, int | None] = {}
-    for config in mesh_sweep_configs(workers):
-        w = config.n_workers
-        engine_config = config.with_changes(dma_tx_queue_depth=depths[-1])
-        noassist_config = engine_config.with_changes(dma_reduce_assist=False)
-        variants = {
-            "tree": (config, "tree"),
-            "ring": (config, "ring"),
-            "hw-na": (noassist_config, "hw"),
-            "hw": (engine_config, "hw"),
-            "ring-hw": (engine_config, "ring"),
-        }
+    for w in workers:
         for length in lengths:
             cycles = {
                 name: point(
-                    cfg, "allreduce", algorithm,
+                    long_results,
                     f"hw_collectives/allreduce/{name}/{w}w/{length}v",
-                    n_values=length, repeats=long_repeats,
+                    workers=w, variant=name, length=length,
                 )
-                for name, (cfg, algorithm) in variants.items()
+                for name in long_algos
             }
             if cycles["ring"] < cycles["tree"] and w not in ring_crossover:
                 ring_crossover[w] = length
@@ -843,8 +968,6 @@ def experiment_hw_collectives(
                 (length, cycles["tree"])
             )
         ring_crossover.setdefault(w, None)
-    if cache is not None:
-        cache.save()
     labels = (
         ["linear", "tree"] + [f"hw(q{d})" for d in depths] + ["hw-uc"]
     )
@@ -859,7 +982,8 @@ def experiment_hw_collectives(
     text = (
         f"hw_collectives: cycles per op, {n_values} doubles, mean of "
         f"{repeats} reps (empi model)\n"
-        + _scale_note(full, f"{len(workers)} mesh sizes, {len(depths)} depths")
+        + _scale_note(run.full,
+                      f"{len(workers)} mesh sizes, {len(depths)} depths")
         + format_table(
             ["collective", "workers"] + labels + ["tree/hw"], rows
         )
@@ -892,11 +1016,17 @@ def experiment_hw_collectives(
         )
     )
     return ExperimentReport(
-        experiment="hw_collectives", full_scale=full, text=text,
+        experiment="hw_collectives", full_scale=run.full, text=text,
         series={**series, **{f"long_{k}": v for k, v in long_series.items()}},
         rows=rows + long_rows,
-        wall_seconds=time.perf_counter() - started,
     )
+
+
+register_experiment(
+    "hw_collectives",
+    "HW collective engine vs software: offload + long-vector crossover",
+    _build_hw_collectives, _summarize_hw_collectives,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -904,38 +1034,49 @@ def experiment_hw_collectives(
 # ---------------------------------------------------------------------------
 
 
-def experiment_noc(
-    full: bool | None = None,
-    jobs: int | None = None,
-    cache_dir: str | Path | None = None,
-) -> ExperimentReport:
-    """Deflection-routing latency/throughput and outlier behaviour."""
-    del jobs, cache_dir  # accepted for CLI uniformity; runs inline
-    started = time.perf_counter()
-    full = full_scale_requested() if full is None else full
+def _noc_scale(full: bool) -> tuple[tuple[float, ...], int]:
     rates = (0.02, 0.05, 0.1, 0.2, 0.3, 0.45) if full else (0.05, 0.2, 0.45)
     cycles = 4000 if full else 1500
+    return rates, cycles
+
+
+def _build_noc(full: bool) -> SweepSpace:
+    rates, cycles = _noc_scale(full)
+    return SweepSpace(
+        name="noc",
+        app=synthetic_app,
+        app_id="synthetic",
+        axes=(
+            Axis("pattern", ("uniform", "hotspot"), target="params"),
+            Axis("rate", rates, target="params"),
+        ),
+        base_params=SyntheticParams(cycles=cycles),
+    )
+
+
+def _summarize_noc(run: ExperimentRun) -> ExperimentReport:
+    """Deflection-routing latency/throughput and outlier behaviour."""
+    results = run.result()
+    rates, __ = _noc_scale(run.full)
     rows = []
     series: dict[str, list[tuple[float, float]]] = {}
     for pattern in ("uniform", "hotspot"):
-        stats_list = latency_throughput_sweep(
-            rates=rates, pattern=pattern, cycles=cycles
-        )
-        for stats in stats_list:
+        for rate in rates:
+            stats = results.get(pattern=pattern, rate=rate)
             rows.append([
-                pattern, f"{stats.offered_rate:.2f}",
-                f"{stats.mean_latency:.1f}", stats.max_latency,
-                stats.p99_latency_bound,
-                f"{stats.deflections_per_flit:.2f}",
-                f"{stats.throughput:.3f}",
-                "yes" if stats.all_delivered else "NO",
+                pattern, f"{stats['offered_rate']:.2f}",
+                f"{stats['mean_latency']:.1f}", stats["max_latency"],
+                stats["p99_latency_bound"],
+                f"{stats['deflections_per_flit']:.2f}",
+                f"{stats['throughput']:.3f}",
+                "yes" if stats["all_delivered"] else "NO",
             ])
             series.setdefault(pattern, []).append(
-                (stats.offered_rate, stats.mean_latency)
+                (stats["offered_rate"], stats["mean_latency"])
             )
     text = (
         "noc: deflection routing under synthetic traffic (4x4 folded torus)\n"
-        + _scale_note(full, "3 rates, 1500 cycles")
+        + _scale_note(run.full, "3 rates, 1500 cycles")
         + format_table(
             ["pattern", "rate", "mean_lat", "max_lat", "p99<=",
              "defl/flit", "thruput", "all delivered"],
@@ -948,36 +1089,48 @@ def experiment_noc(
                      title="noc: load-latency curve")
     )
     return ExperimentReport(
-        experiment="noc", full_scale=full, text=text, series=series,
-        rows=rows, wall_seconds=time.perf_counter() - started,
+        experiment="noc", full_scale=run.full, text=text, series=series,
+        rows=rows,
     )
 
 
-def experiment_simspeed(
-    full: bool | None = None,
-    jobs: int | None = None,
-    cache_dir: str | Path | None = None,
-) -> ExperimentReport:
+register_experiment(
+    "noc",
+    "Deflection-routed NoC alone: load/latency under synthetic traffic",
+    _build_noc, _summarize_noc,
+)
+
+
+def _build_simspeed(full: bool) -> SweepSpace:
+    return SweepSpace(
+        name="simspeed",
+        app=jacobi_app,
+        app_id="jacobi",
+        axes=(),
+        base_config=SystemConfig(n_workers=8, cache_size_kb=16),
+        base_params=JacobiParams(n=30 if not full else 60, iterations=3,
+                                 warmup=1),
+        cacheable=False,  # a wall-clock measurement: caching would lie
+    )
+
+
+def _summarize_simspeed(run: ExperimentRun) -> ExperimentReport:
     """Simulator-throughput counterpart of the paper's 15x HDL-ISS claim."""
-    del jobs, cache_dir  # accepted for CLI uniformity; runs inline
-    started = time.perf_counter()
-    full = full_scale_requested() if full is None else full
-    config = SystemConfig(n_workers=8, cache_size_kb=16)
-    params = JacobiParams(n=30 if not full else 60, iterations=3, warmup=1)
-    t0 = time.perf_counter()
-    result = run_jacobi(config, params)
-    wall = time.perf_counter() - t0
-    cps = result.total_cycles / wall
+    space = run.spaces[0]
+    payload = run.result().payloads()[0]
+    wall = payload["wall_seconds"]
+    cps = payload["total_cycles"] / wall
     sweep_points = 168 * 3  # three problem sizes, as in the paper
     est_hours = sweep_points * wall / 3600
     rows = [[
-        config.label(), params.n, result.total_cycles, f"{wall:.2f}",
-        f"{cps:,.0f}", f"{est_hours:.2f}",
+        space.base_config.label(), space.base_params.n,
+        payload["total_cycles"], f"{wall:.2f}", f"{cps:,.0f}",
+        f"{est_hours:.2f}",
     ]]
     text = (
         "simspeed: kernel throughput (stand-in for the paper's 15x-vs-"
         "HDL-ISS claim)\n"
-        + _scale_note(full, "30x30 reference run")
+        + _scale_note(run.full, "30x30 reference run")
         + format_table(
             ["config", "grid", "cycles", "wall_s", "cycles/sec",
              "est. hours for 168x3 sweep (serial)"],
@@ -988,9 +1141,15 @@ def experiment_simspeed(
           "worker-pool size used in run_sweep.\n"
     )
     return ExperimentReport(
-        experiment="simspeed", full_scale=full, text=text, rows=rows,
-        wall_seconds=time.perf_counter() - started,
+        experiment="simspeed", full_scale=run.full, text=text, rows=rows,
     )
+
+
+register_experiment(
+    "simspeed",
+    "Simulator throughput: cycles/sec on the reference Jacobi run",
+    _build_simspeed, _summarize_simspeed,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -998,11 +1157,62 @@ def experiment_simspeed(
 # ---------------------------------------------------------------------------
 
 
-def experiment_fault_sweep(
-    full: bool | None = None,
-    jobs: int | None = None,
-    cache_dir: str | Path | None = None,
-) -> ExperimentReport:
+def _fault_scale(full: bool):
+    drop_rates = (0.005, 0.01, 0.02, 0.05) if full else (0.01, 0.05)
+    repeats = 4 if full else 2
+    return drop_rates, repeats
+
+
+def _fault_variants(full: bool) -> tuple[Variant, ...]:
+    drop_rates, __ = _fault_scale(full)
+    seed = 3
+    corrupt_rate = 0.01
+    variants = [
+        Variant("off", config={"faults": None}),
+        Variant("rate 0", config={"faults": FaultPlan(seed=seed)}),
+    ]
+    variants += [
+        Variant(f"drop {rate:g}",
+                config={"faults": FaultPlan(seed=seed, drop_rate=rate)})
+        for rate in drop_rates
+    ]
+    variants.append(
+        Variant(f"corrupt {corrupt_rate:g}",
+                config={"faults": FaultPlan(seed=seed,
+                                            corrupt_rate=corrupt_rate)})
+    )
+    variants.append(
+        Variant("dead link",
+                config={"faults": FaultPlan(seed=seed,
+                                            dead_links=((1, 1, 200),))})
+    )
+    return tuple(variants)
+
+
+def _build_fault_sweep(full: bool) -> SweepSpace:
+    __, repeats = _fault_scale(full)
+    algorithms = (
+        Variant("tree", params={"algorithm": "tree"}),
+        Variant("ring", params={"algorithm": "ring"}),
+        Variant("hw", config={"dma_tx_queue_depth": 4},
+                params={"algorithm": "hw"}),
+    )
+    return SweepSpace(
+        name="fault_sweep",
+        app=collective_bench_app,
+        app_id="collective_bench",
+        axes=(
+            Axis("algorithm", algorithms),
+            Axis("faults", _fault_variants(full)),
+        ),
+        base_config=SystemConfig(n_workers=8, topology_kind="mesh"),
+        base_params=CollectiveBenchParams(collective="allreduce",
+                                          model="empi", n_values=16,
+                                          repeats=repeats),
+    )
+
+
+def _summarize_fault_sweep(run: ExperimentRun) -> ExperimentReport:
     """Reliable delivery under seeded faults: recovery overhead table.
 
     Sweeps allreduce on the reference 8-worker mesh over fault rate x
@@ -1016,73 +1226,24 @@ def experiment_fault_sweep(
     protocol overhead: wider flits, CRC stamping, credit traffic), and
     ``dead link`` (a permanently killed non-critical link mid-run — the
     deflection router's recomputed productive table must deliver, at
-    degraded cycles, without a single lost value).  Points run inline
-    but cache through the versioned :class:`ResultCache`.
+    degraded cycles, without a single lost value).
     """
-    del jobs
-    started = time.perf_counter()
-    full = full_scale_requested() if full is None else full
-    algorithms = ("tree", "ring", "hw")
-    drop_rates = (0.005, 0.01, 0.02, 0.05) if full else (0.01, 0.05)
-    corrupt_rate = 0.01
+    results = run.result()
+    drop_rates, repeats = _fault_scale(run.full)
     seed = 3
     n_values = 16
-    repeats = 4 if full else 2
-    base = SystemConfig(n_workers=8, topology_kind="mesh")
-    cache = (
-        ResultCache(cache_dir, "fault_sweep")
-        if cache_dir is not None else None
-    )
-
-    def point(config: SystemConfig, algorithm: str, label: str) -> int:
-        params = CollectiveBenchParams(
-            collective="allreduce", model="empi", algorithm=algorithm,
-            n_values=n_values, repeats=repeats,
-        )
-        key = (
-            f"{config_cache_key(config)}|app=collective_bench|"
-            f"{params_cache_key(params)}"
-        )
-        cached = cache.get_raw(key) if cache is not None else None
-        if cached is not None:
-            return cached["total_cycles"]
-        result = run_collective_bench(config, params)
-        _assert_validated(label, result.validated)
-        if cache is not None:
-            cache.put_raw(key, {"total_cycles": result.total_cycles})
-        return result.total_cycles
-
-    from repro.faults import FaultPlan
-
-    variants: list[tuple[str, FaultPlan | None]] = [
-        ("off", None),
-        ("rate 0", FaultPlan(seed=seed)),
-    ]
-    variants += [
-        (f"drop {rate:g}", FaultPlan(seed=seed, drop_rate=rate))
-        for rate in drop_rates
-    ]
-    variants.append(
-        (f"corrupt {corrupt_rate:g}",
-         FaultPlan(seed=seed, corrupt_rate=corrupt_rate))
-    )
-    variants.append(
-        ("dead link", FaultPlan(seed=seed, dead_links=((1, 1, 200),)))
-    )
-
+    variant_names = [variant.label for variant in _fault_variants(run.full)]
     rows = []
     series: dict[str, list[tuple[float, float]]] = {}
-    for algorithm in algorithms:
-        config = (
-            base.with_changes(dma_tx_queue_depth=4)
-            if algorithm == "hw" else base
-        )
+    for algorithm in ("tree", "ring", "hw"):
         baseline: int | None = None
-        for name, plan in variants:
-            cycles = point(
-                config.with_changes(faults=plan), algorithm,
+        for name in variant_names:
+            payload = results.get(algorithm=algorithm, faults=name)
+            _assert_validated(
                 f"fault_sweep/allreduce/{algorithm}/{name}",
+                payload["validated"],
             )
+            cycles = payload["total_cycles"]
             if baseline is None:
                 baseline = cycles
             rows.append([
@@ -1093,12 +1254,10 @@ def experiment_fault_sweep(
                 series.setdefault(algorithm, []).append(
                     (float(name.split()[1]), cycles / baseline)
                 )
-    if cache is not None:
-        cache.save()
     text = (
         f"fault_sweep: allreduce under seeded link faults, 8-worker mesh, "
         f"{n_values} doubles, {repeats} reps (empi model)\n"
-        + _scale_note(full, f"{len(drop_rates)} drop rates, seed {seed}")
+        + _scale_note(run.full, f"{len(drop_rates)} drop rates, seed {seed}")
         + format_table(
             ["collective", "algorithm", "faults", "cycles", "vs off"], rows
         )
@@ -1114,35 +1273,41 @@ def experiment_fault_sweep(
         )
     )
     return ExperimentReport(
-        experiment="fault_sweep", full_scale=full, text=text,
+        experiment="fault_sweep", full_scale=run.full, text=text,
         series=series, rows=rows,
-        wall_seconds=time.perf_counter() - started,
     )
 
 
+register_experiment(
+    "fault_sweep",
+    "Allreduce under seeded faults: recovery overhead vs fault rate",
+    _build_fault_sweep, _summarize_fault_sweep,
+)
+
+
+# ---------------------------------------------------------------------------
+# Back-compat callables: the registered objects under their classic names.
 # ---------------------------------------------------------------------------
 
+experiment_fig6 = ALL_EXPERIMENTS["fig6"]
+experiment_fig7 = ALL_EXPERIMENTS["fig7"]
+experiment_fig8 = ALL_EXPERIMENTS["fig8"]
+experiment_fig9 = ALL_EXPERIMENTS["fig9"]
+experiment_compare = ALL_EXPERIMENTS["compare"]
+experiment_collectives = ALL_EXPERIMENTS["collectives"]
+experiment_hw_collectives = ALL_EXPERIMENTS["hw_collectives"]
+experiment_matmul = ALL_EXPERIMENTS["matmul"]
+experiment_stream = ALL_EXPERIMENTS["stream"]
+experiment_cg = ALL_EXPERIMENTS["cg"]
+experiment_noc = ALL_EXPERIMENTS["noc"]
+experiment_simspeed = ALL_EXPERIMENTS["simspeed"]
+experiment_fault_sweep = ALL_EXPERIMENTS["fault_sweep"]
 
-def _check_validated(results: list[SweepResult]) -> None:
-    bad = [r.label for r in results if not r.validated]
-    if bad:
-        raise AssertionError(
-            f"numerical validation failed for: {', '.join(bad)}"
-        )
-
-
-ALL_EXPERIMENTS = {
-    "fig6": experiment_fig6,
-    "fig7": experiment_fig7,
-    "fig8": experiment_fig8,
-    "fig9": experiment_fig9,
-    "compare": experiment_compare,
-    "collectives": experiment_collectives,
-    "hw_collectives": experiment_hw_collectives,
-    "matmul": experiment_matmul,
-    "stream": experiment_stream,
-    "cg": experiment_cg,
-    "noc": experiment_noc,
-    "simspeed": experiment_simspeed,
-    "fault_sweep": experiment_fault_sweep,
-}
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "DEFAULT_RESULTS_DIR",
+    "ExperimentReport",
+    "execution_time_experiment",
+    "full_scale_requested",
+    "speedup_area_experiment",
+]

@@ -1,24 +1,28 @@
-"""Parallel sweep execution with a JSON result cache.
+"""The journaled sweep result store and the classic Jacobi sweep runner.
 
-The paper ran its 168 configurations overnight on five dual-Xeon servers;
-we run them with a :mod:`multiprocessing` pool and cache each point's
-result keyed by every field that affects it, so regenerating a figure
-after the sweep exists costs nothing.
+Two layers live here:
+
+* :class:`ResultCache` — one versioned JSON store per sweep name, with an
+  append-only JSONL *journal* beside it.  The executor service persists
+  every completed point to the journal as it finishes (crash-safe: a torn
+  final line is ignored on load), and :meth:`ResultCache.save` compacts
+  journal + store into the JSON file.  A sweep killed at point k resumes
+  at point k+1 — the fix for the old whole-sweep-or-nothing write.
+* :func:`run_sweep` — the historical entry point, now a thin wrapper over
+  :func:`repro.dse.executor.run_space` for Jacobi-shaped spaces (see
+  :func:`repro.dse.space.jacobi_sweep_space`), returning typed
+  :class:`SweepResult` rows in point order.
 """
 
 from __future__ import annotations
 
 import json
-import multiprocessing
-import os
-import sys
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro import __version__ as _repro_version
 from repro.apps.jacobi.driver import run_jacobi
-from repro.dse.space import SweepPoint, SweepSpec
 
 
 @dataclass
@@ -46,20 +50,21 @@ class SweepResult:
         return cls(**data)
 
 
-def evaluate_point(point: SweepPoint) -> SweepResult:
-    """Run one sweep point in-process (also the pool worker body)."""
+def jacobi_app(config, params) -> dict:
+    """Evaluate one Jacobi point: the app driver every backend runs."""
     started = time.perf_counter()
-    outcome = run_jacobi(point.config, point.params)
+    outcome = run_jacobi(config, params)
     wall = time.perf_counter() - started
     noc = outcome.stats.get("noc", {})
     mpmmu = outcome.stats.get("mpmmu", {})
-    return SweepResult(
-        label=point.config.label(),
-        n_workers=point.config.n_workers,
-        cache_kb=point.config.cache_size_kb,
-        policy=point.config.policy.value,
-        model=point.params.model.value,  # type: ignore[union-attr]
-        n=point.params.n,
+    return asdict(SweepResult(
+        label=config.label(),
+        n_workers=config.n_workers,
+        cache_kb=config.cache_size_kb,
+        policy=config.policy.value,
+        model=params.model.value if hasattr(params.model, "value")
+        else str(params.model),
+        n=params.n,
         cycles_per_iteration=outcome.cycles_per_iteration,
         iteration_cycles=outcome.iteration_cycles,
         total_cycles=outcome.total_cycles,
@@ -68,28 +73,28 @@ def evaluate_point(point: SweepPoint) -> SweepResult:
         noc_flits=noc.get("flits_ejected", 0),
         noc_deflections=noc.get("deflections", 0),
         mpmmu_busy_cycles=mpmmu.get("busy_cycles", 0),
-    )
-
-
-def _pool_worker(item: tuple[str, SweepPoint]) -> tuple[str, SweepResult]:
-    key, point = item
-    return key, evaluate_point(point)
+    ))
 
 
 #: Bump whenever a change can alter simulated cycle counts (kernel/NoC/
-#: timing-model changes): cached sweep points are only trusted when they
-#: were produced by the same cache version, so a hot-path overhaul can
-#: never silently serve stale figures.  The schema part covers the JSON
-#: layout itself.
-CACHE_VERSION = f"2:{_repro_version}"
+#: timing-model changes) or the cache-key/JSON layout: cached sweep points
+#: are only trusted when they were produced by the same cache version, so
+#: a hot-path overhaul can never silently serve stale figures.  Version 3
+#: introduced schema-hash-prefixed keys and the resume journal.
+CACHE_VERSION = f"3:{_repro_version}"
 
 
 class ResultCache:
-    """One JSON file per sweep name, mapping point keys to results.
+    """One JSON store + JSONL journal per sweep name, keyed by point.
 
-    The file embeds :data:`CACHE_VERSION`; on load, any mismatch (including
-    the version-less seed layout) discards the cached points wholesale and
-    the sweep recomputes them.
+    The compact file embeds :data:`CACHE_VERSION`; on load, any mismatch
+    (including the version-less seed layout) discards the cached points
+    wholesale and the sweep recomputes them.  The journal holds points
+    persisted *during* a sweep — :meth:`append` writes one line per
+    completed point, so an interrupted run keeps everything it finished.
+    Journal lines are version-stamped too, and a torn final line (the
+    crash case) is skipped silently.  :meth:`save` compacts journal +
+    store into the JSON file and removes the journal.
 
     Two layers of access: ``get``/``put`` speak :class:`SweepResult` (the
     Jacobi-shaped sweeps), ``get_raw``/``put_raw`` speak plain JSON dicts
@@ -99,8 +104,10 @@ class ResultCache:
 
     def __init__(self, directory: str | Path, name: str) -> None:
         self.path = Path(directory) / f"{name}.json"
+        self.journal_path = Path(directory) / f"{name}.journal.jsonl"
         self._data: dict[str, dict] = {}
         self.discarded_stale = False
+        self.journal_points = 0
         if self.path.exists():
             raw = json.loads(self.path.read_text())
             points = (
@@ -113,12 +120,40 @@ class ResultCache:
                 self._data = points
             else:
                 self.discarded_stale = True
+        if self.journal_path.exists():
+            self._replay_journal()
+
+    def _replay_journal(self) -> None:
+        for line in self.journal_path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn final line from a killed sweep: ignore the tail
+            if entry.get("v") != CACHE_VERSION:
+                continue
+            self._data[entry["key"]] = entry["payload"]
+            self.journal_points += 1
 
     def get_raw(self, key: str) -> dict | None:
         return self._data.get(key)
 
     def put_raw(self, key: str, payload: dict) -> None:
         self._data[key] = payload
+
+    def append(self, key: str, payload: dict) -> None:
+        """Persist one completed point durably, right now.
+
+        The incremental half of resume semantics: one JSON line appended
+        and flushed per point, so whatever a killed sweep already computed
+        survives to the next run.
+        """
+        self._data[key] = payload
+        self.journal_path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"v": CACHE_VERSION, "key": key, "payload": payload}
+        with self.journal_path.open("a") as journal:
+            journal.write(json.dumps(entry) + "\n")
 
     def get(self, key: str) -> SweepResult | None:
         raw = self.get_raw(key)
@@ -128,60 +163,34 @@ class ResultCache:
         self.put_raw(key, asdict(result))
 
     def save(self) -> None:
+        """Compact store + journal into the versioned JSON file."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"__cache_version__": CACHE_VERSION, "points": self._data}
         self.path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        if self.journal_path.exists():
+            self.journal_path.unlink()
+        self.journal_points = 0
 
 
 def run_sweep(
-    spec: SweepSpec,
+    space,
     jobs: int | None = None,
     cache_dir: str | Path | None = None,
     progress: bool = False,
+    backend: str | None = None,
 ) -> list[SweepResult]:
-    """Evaluate every point of ``spec``; results come back in point order.
+    """Evaluate every point of a Jacobi ``SweepSpace``; results in point order.
 
     ``jobs=None`` auto-sizes the pool (capped at the point count);
     ``jobs=1`` runs inline, which is what the unit tests use.  With a
-    ``cache_dir``, previously computed points are reused.
+    ``cache_dir``, previously computed points are reused and new points
+    persist incrementally (a killed sweep resumes where it died).
     """
-    points = spec.points()
-    cache = ResultCache(cache_dir, spec.name) if cache_dir is not None else None
-    keyed = [(point.key(), point) for point in points]
-    results: dict[str, SweepResult] = {}
-    pending: list[tuple[str, SweepPoint]] = []
-    for key, point in keyed:
-        cached = cache.get(key) if cache is not None else None
-        if cached is not None:
-            results[key] = cached
-        else:
-            pending.append((key, point))
+    from repro.dse.executor import run_space
 
-    if pending:
-        if jobs is None:
-            jobs = max(1, min(len(pending), (os.cpu_count() or 2) - 1))
-        done = 0
-        if jobs == 1:
-            for key, point in pending:
-                results[key] = evaluate_point(point)
-                done += 1
-                _report_progress(progress, done, len(pending))
-        else:
-            with multiprocessing.Pool(jobs) as pool:
-                for key, result in pool.imap_unordered(_pool_worker, pending):
-                    results[key] = result
-                    done += 1
-                    _report_progress(progress, done, len(pending))
-        if cache is not None:
-            for key, __ in pending:
-                cache.put(key, results[key])
-            cache.save()
-
-    return [results[key] for key, __ in keyed]
-
-
-def _report_progress(enabled: bool, done: int, total: int) -> None:
-    if enabled:
-        print(f"\r  sweep: {done}/{total} points", end="", file=sys.stderr)
-        if done == total:
-            print(file=sys.stderr)
+    results = run_space(
+        space, backend=backend, jobs=jobs, cache_dir=cache_dir,
+        progress=progress,
+    )
+    return [SweepResult.from_json(outcome.payload)
+            for outcome in results.outcomes]

@@ -1,14 +1,39 @@
-"""Declarative sweep definitions and result-cache key construction."""
+"""Declarative sweep spaces: named axes compiled to a keyed worklist.
+
+A :class:`SweepSpace` describes one experiment's design space: a base
+:class:`~repro.system.config.SystemConfig`, a base app-params dataclass
+(any app — Jacobi, the collective microbenchmark, CG, synthetic NoC
+traffic), and a tuple of named :class:`Axis` objects whose values are
+either scalars (one field each) or :class:`Variant` bundles (several
+coordinated overrides under one label, e.g. ``hw(q4)`` = queue depth 4
+*and* the ``hw`` algorithm).  Axes combine as a cross product by default;
+``zip_groups`` names axes that advance together instead (paired axes of
+equal length).  An optional ``prune`` predicate drops coordinate
+combinations that make no sense (e.g. tree-algorithm scatter).
+
+``points()`` compiles the space to a list of :class:`WorkItem`\\ s, each
+carrying a stable cache key ``schema_hash | config fields | app | params
+fields``.  The schema hash covers the *shape* of the space — the app, the
+axis names/targets/fields, the zip structure, and the field schemas of
+the config and params dataclasses — so a changed axis definition or a
+migrated dataclass can never serve stale cached rows, while value-level
+changes are already covered by the per-field key body.  Two spaces with
+the same shape share keys (and therefore cached points) even when their
+value lists differ: that is what lets the speedup-vs-area figures reuse
+the execution-time sweeps from a warm cache directory.
+"""
 
 from __future__ import annotations
 
 import dataclasses
 import enum
+import hashlib
+import json
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
-from repro.apps.jacobi.driver import JacobiParams
 from repro.errors import ConfigError
-from repro.system.config import VALID_CACHE_SIZES_KB, SystemConfig
+from repro.system.config import SystemConfig
 
 
 def _dataclass_cache_key(instance) -> str:
@@ -38,46 +63,271 @@ def params_cache_key(params) -> str:
     return _dataclass_cache_key(params)
 
 
+def dataclass_schema(instance_or_cls) -> list[str]:
+    """``name:type`` rows for every field of a dataclass (schema, not values)."""
+    cls = (
+        instance_or_cls
+        if isinstance(instance_or_cls, type)
+        else type(instance_or_cls)
+    )
+    return [f"{f.name}:{f.type}" for f in dataclasses.fields(cls)]
+
+
 @dataclass(frozen=True)
-class SweepPoint:
-    """One (architecture, workload) pair inside a sweep."""
+class Variant:
+    """One named bundle of coordinated overrides — a non-scalar axis value.
 
+    ``config`` fields go through :meth:`SystemConfig.with_changes`,
+    ``params`` fields through :func:`dataclasses.replace` on the app's
+    params dataclass.  The ``label`` is the value's coordinate in result
+    lookups and report rows.
+    """
+
+    label: str | int | float
+    config: dict = field(default_factory=dict)
+    params: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One named sweep axis.
+
+    Scalar values override a single field (``field``, defaulting to the
+    axis name) on the ``target`` dataclass (``"config"`` or ``"params"``);
+    :class:`Variant` values carry their own per-target override dicts and
+    ignore ``target``/``field``.  A seed axis is just an ordinary axis
+    over a seed-bearing field (see :func:`seed_axis`).
+    """
+
+    name: str
+    values: tuple
+    target: str = "config"
+    field: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ConfigError(f"axis {self.name!r} has no values")
+        if self.target not in ("config", "params"):
+            raise ConfigError(
+                f"axis {self.name!r}: target must be 'config' or 'params', "
+                f"got {self.target!r}"
+            )
+
+    @property
+    def field_name(self) -> str:
+        return self.field if self.field is not None else self.name
+
+    def label_of(self, value) -> str | int | float:
+        return value.label if isinstance(value, Variant) else value
+
+    def schema(self) -> list:
+        """Shape of this axis (no values): participates in the schema hash."""
+        kinds = sorted({
+            "variant" if isinstance(v, Variant) else "scalar"
+            for v in self.values
+        })
+        return [self.name, self.target, self.field_name, kinds]
+
+
+def seed_axis(seeds: int | tuple[int, ...], name: str = "seed",
+              target: str = "params") -> Axis:
+    """An axis over a seed field: ``seeds`` is a count or explicit tuple."""
+    values = tuple(range(seeds)) if isinstance(seeds, int) else tuple(seeds)
+    return Axis(name=name, values=values, target=target)
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One compiled sweep point: what an executor worker evaluates.
+
+    Picklable by construction (the app driver is a module-level callable,
+    pickled by reference), so the same item runs identically on the
+    inline, threaded and process backends.
+    """
+
+    key: str
+    coords: tuple  # ((axis_name, label), ...) in axis order
     config: SystemConfig
-    params: JacobiParams
+    params: object
+    app: Callable
 
-    def key(self) -> str:
-        """Stable cache key over every field that affects the result."""
-        return f"{config_cache_key(self.config)}|{params_cache_key(self.params)}"
+    @property
+    def coords_dict(self) -> dict:
+        return dict(self.coords)
 
 
 @dataclass
-class SweepSpec:
-    """A full sweep: the cross product of architecture axes x workload."""
+class SweepSpace:
+    """A declarative sweep over one app: axes -> keyed worklist.
+
+    ``app`` is a module-level callable ``(config, params) -> dict`` whose
+    JSON-serializable payload is what gets cached; ``app_id`` names it in
+    cache keys (defaults to the callable's ``__name__``).
+    ``cacheable=False`` opts a space out of the result cache entirely
+    (wall-clock measurements must rerun).
+    """
 
     name: str
-    workers: tuple[int, ...] = tuple(range(2, 16))
-    cache_sizes_kb: tuple[int, ...] = VALID_CACHE_SIZES_KB
-    policies: tuple[str, ...] = ("wb", "wt")
+    app: Callable
+    axes: tuple[Axis, ...] = ()
     base_config: SystemConfig = field(default_factory=SystemConfig)
-    params: JacobiParams = field(default_factory=JacobiParams)
+    base_params: object = None
+    zip_groups: tuple[tuple[str, ...], ...] = ()
+    prune: Callable[[dict], bool] | None = None
+    app_id: str | None = None
+    cacheable: bool = True
 
     def __post_init__(self) -> None:
-        if not self.workers or not self.cache_sizes_kb or not self.policies:
-            raise ConfigError(f"sweep {self.name!r} has an empty axis")
+        if self.app_id is None:
+            self.app_id = getattr(self.app, "__name__", str(self.app))
+        names = [axis.name for axis in self.axes]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"space {self.name!r} has duplicate axis names")
+        grouped = [name for group in self.zip_groups for name in group]
+        if len(set(grouped)) != len(grouped):
+            raise ConfigError(
+                f"space {self.name!r}: an axis appears in two zip groups"
+            )
+        for name in grouped:
+            if name not in names:
+                raise ConfigError(
+                    f"space {self.name!r}: zip group names unknown axis "
+                    f"{name!r}"
+                )
 
-    def points(self) -> list[SweepPoint]:
-        result = []
-        for n_workers in self.workers:
-            for cache_kb in self.cache_sizes_kb:
-                for policy in self.policies:
-                    config = self.base_config.with_changes(
-                        n_workers=n_workers,
-                        cache_size_kb=cache_kb,
-                        cache_policy=policy,
+    # -- schema hashing ----------------------------------------------------
+
+    def schema_hash(self) -> str:
+        """12-hex-digit hash of the space's *shape* (axes + dataclass schemas).
+
+        Covers the app id, every axis definition (name, target, field,
+        value kind — not the value lists), the zip structure, and the
+        field schemas of the config and params dataclasses.  Any change
+        to one of those invalidates every cached row keyed under it;
+        value-level changes are covered by the key body instead.
+        """
+        shape = {
+            "app": self.app_id,
+            "axes": [axis.schema() for axis in self.axes],
+            "zip": sorted(tuple(g) for g in self.zip_groups),
+            "config_schema": dataclass_schema(self.base_config),
+            "params_schema": (
+                dataclass_schema(self.base_params)
+                if self.base_params is not None else None
+            ),
+        }
+        digest = hashlib.sha256(
+            json.dumps(shape, sort_keys=True, default=str).encode()
+        )
+        return digest.hexdigest()[:12]
+
+    # -- worklist compilation ----------------------------------------------
+
+    def _axis_groups(self) -> list[list[Axis]]:
+        """Axes bundled by zip group, in declaration order of first member."""
+        by_name = {axis.name: axis for axis in self.axes}
+        grouped: dict[str, tuple[str, ...]] = {}
+        for group in self.zip_groups:
+            lengths = {len(by_name[name].values) for name in group}
+            if len(lengths) > 1:
+                raise ConfigError(
+                    f"space {self.name!r}: zipped axes {group} have "
+                    f"unequal lengths"
+                )
+            for name in group:
+                grouped[name] = tuple(group)
+        groups: list[list[Axis]] = []
+        seen: set[tuple[str, ...]] = set()
+        for axis in self.axes:
+            group = grouped.get(axis.name)
+            if group is None:
+                groups.append([axis])
+            elif group not in seen:
+                seen.add(group)
+                groups.append([by_name[name] for name in group])
+        return groups
+
+    def _apply(self, axis: Axis, value, config: SystemConfig, params):
+        if isinstance(value, Variant):
+            if value.config:
+                config = config.with_changes(**value.config)
+            if value.params:
+                params = dataclasses.replace(params, **value.params)
+            return config, params
+        if axis.target == "config":
+            return config.with_changes(**{axis.field_name: value}), params
+        return config, dataclasses.replace(params, **{axis.field_name: value})
+
+    def points(self) -> list[WorkItem]:
+        """Compile the space to its worklist, in axis declaration order."""
+        schema = self.schema_hash()
+        items: list[WorkItem] = []
+
+        def expand(group_index: int, config: SystemConfig, params,
+                   coords: tuple) -> None:
+            if group_index == len(groups):
+                if self.prune is not None and self.prune(dict(coords)):
+                    return
+                key = (
+                    f"s={schema}|{config_cache_key(config)}"
+                    f"|app={self.app_id}|"
+                    + (params_cache_key(params) if params is not None else "")
+                )
+                items.append(WorkItem(
+                    key=key, coords=coords, config=config, params=params,
+                    app=self.app,
+                ))
+                return
+            group = groups[group_index]
+            for position in range(len(group[0].values)):
+                next_config, next_params = config, params
+                next_coords = coords
+                for axis in group:
+                    value = axis.values[position]
+                    next_config, next_params = self._apply(
+                        axis, value, next_config, next_params
                     )
-                    result.append(SweepPoint(config, self.params))
-        return result
+                    next_coords += ((axis.name, axis.label_of(value)),)
+                expand(group_index + 1, next_config, next_params, next_coords)
+
+        groups = self._axis_groups()
+        expand(0, self.base_config, self.base_params, ())
+        return items
 
     @property
     def n_points(self) -> int:
-        return len(self.workers) * len(self.cache_sizes_kb) * len(self.policies)
+        return len(self.points())
+
+
+def jacobi_sweep_space(
+    name: str,
+    workers: tuple[int, ...] = tuple(range(2, 16)),
+    cache_sizes_kb: tuple[int, ...] | None = None,
+    policies: tuple[str, ...] = ("wb", "wt"),
+    base_config: SystemConfig | None = None,
+    params=None,
+) -> SweepSpace:
+    """The paper's execution-time sweep as one :class:`SweepSpace`.
+
+    Cores x cache size x write policy over the Jacobi workload — the
+    168-point design space of Section III when called with the full axes.
+    (This is the sweep that used to be hard-coded as ``SweepSpec``.)
+    """
+    from repro.apps.jacobi.driver import JacobiParams
+    from repro.dse.runner import jacobi_app
+    from repro.system.config import VALID_CACHE_SIZES_KB
+
+    if cache_sizes_kb is None:
+        cache_sizes_kb = VALID_CACHE_SIZES_KB
+    return SweepSpace(
+        name=name,
+        app=jacobi_app,
+        app_id="jacobi",
+        axes=(
+            Axis("workers", tuple(workers), field="n_workers"),
+            Axis("cache_kb", tuple(cache_sizes_kb), field="cache_size_kb"),
+            Axis("policy", tuple(policies), field="cache_policy"),
+        ),
+        base_config=base_config if base_config is not None else SystemConfig(),
+        base_params=params if params is not None else JacobiParams(),
+    )

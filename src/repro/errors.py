@@ -79,3 +79,26 @@ class PacketFormatError(MedeaError):
 
 class ProgramError(MedeaError):
     """A PE program yielded an unknown or malformed operation."""
+
+
+class SweepError(MedeaError):
+    """Sweep points still failed after every bounded retry round.
+
+    Raised by :func:`repro.dse.executor.run_space` with the space name and
+    every unrecovered ``(point key, error message)`` pair, so a 168-point
+    overnight sweep reports *which* points died instead of crashing on the
+    first one.  Points that did complete were already persisted
+    incrementally and are served from cache on the next run.
+    """
+
+    def __init__(self, space: str, failures: list[tuple[str, str]]) -> None:
+        self.space = space
+        self.failures = failures
+        lines = "\n".join(f"  {key}: {error}" for key, error in failures[:10])
+        more = len(failures) - 10
+        if more > 0:
+            lines += f"\n  ... and {more} more"
+        super().__init__(
+            f"sweep {space!r}: {len(failures)} point(s) failed after "
+            f"retries:\n{lines}"
+        )

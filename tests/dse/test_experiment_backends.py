@@ -1,0 +1,71 @@
+"""Every migrated experiment, through both backends, bit for bit.
+
+The acceptance sweep of the executor migration: all registered
+experiments run once through the inline backend (``--backend inline
+--jobs 1``, the deterministic baseline) and once through the process
+pool, each pass sharing one warm cache directory the way the CLI's
+figure pipeline does (fig7/fig9 reuse fig6/fig8 sweep points).  Reports
+must agree row for row and series for series — simulated cycle counts
+cannot depend on the execution backend or on scheduling order.
+
+``simspeed`` is the one exception: it *measures* wall-clock throughput,
+so only its shape is compared.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dse.experiments import ALL_EXPERIMENTS
+
+#: Experiments whose rows contain inherent wall-clock measurements.
+WALL_CLOCK_EXPERIMENTS = {"simspeed"}
+
+
+@pytest.fixture(scope="module")
+def inline_cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("inline_cache")
+
+
+@pytest.fixture(scope="module")
+def inline_reports(inline_cache_dir):
+    return {
+        name: experiment(full=False, jobs=1, backend="inline",
+                         cache_dir=inline_cache_dir)
+        for name, experiment in ALL_EXPERIMENTS.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def process_reports(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("process_cache")
+    return {
+        name: experiment(full=False, jobs=2, backend="process",
+                         cache_dir=cache_dir)
+        for name, experiment in ALL_EXPERIMENTS.items()
+    }
+
+
+@pytest.mark.parametrize("name", sorted(ALL_EXPERIMENTS))
+def test_inline_and_process_backends_agree(name, inline_reports,
+                                           process_reports):
+    inline, pooled = inline_reports[name], process_reports[name]
+    if name in WALL_CLOCK_EXPERIMENTS:
+        assert len(inline.rows) == len(pooled.rows)
+        return
+    assert inline.rows == pooled.rows
+    assert inline.series == pooled.series
+    # Strip the wall-time footer noise: the report text itself has none.
+    assert inline.text == pooled.text
+
+
+@pytest.mark.parametrize("name", sorted(ALL_EXPERIMENTS))
+def test_second_run_is_deterministic_and_cache_served(name, inline_reports,
+                                                      inline_cache_dir):
+    """Double-run determinism: a rerun over the warm cache is identical."""
+    if name in WALL_CLOCK_EXPERIMENTS:
+        pytest.skip("wall-clock measurement: rerun values differ by design")
+    rerun = ALL_EXPERIMENTS[name](full=False, jobs=1, backend="inline",
+                                  cache_dir=inline_cache_dir)
+    assert rerun.rows == inline_reports[name].rows
+    assert rerun.text == inline_reports[name].text

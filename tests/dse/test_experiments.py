@@ -16,9 +16,9 @@ from repro.dse.experiments import (
     full_scale_requested,
     speedup_area_experiment,
 )
-from repro.system.config import SystemConfig
+from repro.dse.registry import Experiment
 from repro.dse.runner import run_sweep
-from repro.dse.space import SweepSpec
+from repro.dse.space import jacobi_sweep_space
 
 
 def test_registry_covers_every_artifact():
@@ -132,14 +132,21 @@ def test_stream_experiment_quick():
 
 def test_validation_failure_aborts(tmp_path):
     """A sweep whose results failed validation must raise, not report."""
-    spec = SweepSpec(
-        name="check", workers=(1,), cache_sizes_kb=(4,), policies=("wb",),
+    space = jacobi_sweep_space(
+        "check", workers=(1,), cache_sizes_kb=(4,), policies=("wb",),
         params=JacobiParams(n=6, iterations=2, warmup=0),
     )
-    results = run_sweep(spec, jobs=1, cache_dir=tmp_path)
+    results = run_sweep(space, jobs=1, cache_dir=tmp_path)
     results[0].validated = False
     from repro.dse.experiments import _check_validated
 
     with pytest.raises(AssertionError):
         _check_validated(results)
-    __ = SystemConfig  # silence unused-import linters
+
+
+def test_registry_entries_are_experiments():
+    """Every registry value is a registered Experiment with a help line."""
+    for name, experiment in ALL_EXPERIMENTS.items():
+        assert isinstance(experiment, Experiment)
+        assert experiment.name == name
+        assert experiment.help

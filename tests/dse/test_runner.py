@@ -1,66 +1,64 @@
-"""Sweep runner and its result cache."""
+"""The journaled result store and the classic Jacobi sweep entry point."""
 
 from __future__ import annotations
 
 import json
 
 from repro.apps.jacobi.driver import JacobiParams
-from repro.dse.runner import ResultCache, SweepResult, evaluate_point, run_sweep
-from repro.dse.space import SweepSpec
+from repro.dse.runner import (
+    CACHE_VERSION,
+    ResultCache,
+    SweepResult,
+    jacobi_app,
+    run_sweep,
+)
+from repro.dse.space import SweepSpace, jacobi_sweep_space
 
 
-def tiny_spec(name: str = "tiny") -> SweepSpec:
-    return SweepSpec(
-        name=name,
-        workers=(1, 2),
-        cache_sizes_kb=(4,),
-        policies=("wb",),
+def tiny_space(name: str = "tiny", **kwargs) -> SweepSpace:
+    defaults = dict(
+        workers=(1, 2), cache_sizes_kb=(4,), policies=("wb",),
         params=JacobiParams(n=6, iterations=2, warmup=0),
     )
+    defaults.update(kwargs)
+    return jacobi_sweep_space(name, **defaults)
 
 
-def test_evaluate_point_validates():
-    point = tiny_spec().points()[0]
-    result = evaluate_point(point)
+def test_jacobi_app_validates():
+    point = tiny_space().points()[0]
+    result = SweepResult.from_json(jacobi_app(point.config, point.params))
     assert result.validated
     assert result.cycles_per_iteration > 0
     assert result.n_workers == 1
 
 
 def test_run_sweep_inline_order_matches_points():
-    spec = tiny_spec()
-    results = run_sweep(spec, jobs=1)
+    results = run_sweep(tiny_space(), jobs=1)
     assert [r.n_workers for r in results] == [1, 2]
 
 
 def test_run_sweep_parallel_pool():
-    spec = tiny_spec()
-    results = run_sweep(spec, jobs=2)
+    results = run_sweep(tiny_space(), jobs=2)
     assert len(results) == 2
     assert all(r.validated for r in results)
 
 
 def test_cache_reuse(tmp_path):
-    spec = tiny_spec("cached")
-    first = run_sweep(spec, jobs=1, cache_dir=tmp_path)
+    space = tiny_space("cached")
+    first = run_sweep(space, jobs=1, cache_dir=tmp_path)
     assert (tmp_path / "cached.json").exists()
-    second = run_sweep(spec, jobs=1, cache_dir=tmp_path)
+    second = run_sweep(space, jobs=1, cache_dir=tmp_path)
     assert [r.cycles_per_iteration for r in first] == [
         r.cycles_per_iteration for r in second
     ]
 
 
 def test_cache_does_not_leak_across_different_points(tmp_path):
-    spec_a = tiny_spec("shared_name")
-    run_sweep(spec_a, jobs=1, cache_dir=tmp_path)
-    spec_b = SweepSpec(
-        name="shared_name",
-        workers=(1,),
-        cache_sizes_kb=(8,),  # different cache size: a different key
-        policies=("wb",),
-        params=JacobiParams(n=6, iterations=2, warmup=0),
+    run_sweep(tiny_space("shared_name"), jobs=1, cache_dir=tmp_path)
+    space_b = tiny_space(
+        "shared_name", workers=(1,), cache_sizes_kb=(8,),
     )
-    results = run_sweep(spec_b, jobs=1, cache_dir=tmp_path)
+    results = run_sweep(space_b, jobs=1, cache_dir=tmp_path)
     assert results[0].cache_kb == 8
 
 
@@ -80,14 +78,23 @@ def test_result_round_trips_through_json(tmp_path):
     assert reloaded.iteration_cycles == [120, 100]
 
 
+def test_raw_layer_round_trips(tmp_path):
+    # Non-Jacobi experiments store plain JSON dicts through the same
+    # versioned store.
+    cache = ResultCache(tmp_path, "raw")
+    cache.put_raw("k", {"cycles_per_op": 42.5, "validated": True})
+    cache.save()
+    reloaded = ResultCache(tmp_path, "raw")
+    assert reloaded.get_raw("k") == {"cycles_per_op": 42.5, "validated": True}
+    assert reloaded.get_raw("missing") is None
+
+
 def test_cache_discards_versionless_seed_layout(tmp_path):
     # The pre-versioning layout (a flat key->result dict) must be treated
     # as stale: hot-path changes that alter cycle counts would otherwise
     # be served from the old cache.
-    from repro.dse.runner import CACHE_VERSION
-
-    spec = tiny_spec("versioned")
-    first = run_sweep(spec, jobs=1, cache_dir=tmp_path)
+    space = tiny_space("versioned")
+    first = run_sweep(space, jobs=1, cache_dir=tmp_path)
     path = tmp_path / "versioned.json"
     payload = json.loads(path.read_text())
     assert payload["__cache_version__"] == CACHE_VERSION
@@ -96,29 +103,76 @@ def test_cache_discards_versionless_seed_layout(tmp_path):
     path.write_text(json.dumps(payload["points"]))
     cache = ResultCache(tmp_path, "versioned")
     assert cache.discarded_stale
-    assert cache.get(spec.points()[0].key()) is None
+    assert cache.get(space.points()[0].key) is None
 
     # A sweep over the discarded cache recomputes and re-versions the file.
-    second = run_sweep(spec, jobs=1, cache_dir=tmp_path)
+    second = run_sweep(space, jobs=1, cache_dir=tmp_path)
     assert [r.total_cycles for r in first] == [r.total_cycles for r in second]
     assert "__cache_version__" in json.loads(path.read_text())
 
 
 def test_cache_discards_mismatched_version(tmp_path):
-    spec = tiny_spec("stale")
-    run_sweep(spec, jobs=1, cache_dir=tmp_path)
+    space = tiny_space("stale")
+    run_sweep(space, jobs=1, cache_dir=tmp_path)
     path = tmp_path / "stale.json"
     payload = json.loads(path.read_text())
     payload["__cache_version__"] = "0:ancient"
     path.write_text(json.dumps(payload))
     cache = ResultCache(tmp_path, "stale")
     assert cache.discarded_stale
-    assert cache.get(spec.points()[0].key()) is None
+    assert cache.get(space.points()[0].key) is None
 
 
 def test_cache_matching_version_is_reused(tmp_path):
-    spec = tiny_spec("fresh")
-    run_sweep(spec, jobs=1, cache_dir=tmp_path)
+    space = tiny_space("fresh")
+    run_sweep(space, jobs=1, cache_dir=tmp_path)
     cache = ResultCache(tmp_path, "fresh")
     assert not cache.discarded_stale
-    assert cache.get(spec.points()[0].key()) is not None
+    assert cache.get(space.points()[0].key) is not None
+
+
+# -- the journal: incremental per-point persistence --------------------------
+
+
+def test_append_persists_each_point_immediately(tmp_path):
+    cache = ResultCache(tmp_path, "journal")
+    cache.append("a", {"x": 1})
+    cache.append("b", {"x": 2})
+    # No save(): a brand-new cache instance must still see both points.
+    reloaded = ResultCache(tmp_path, "journal")
+    assert reloaded.get_raw("a") == {"x": 1}
+    assert reloaded.get_raw("b") == {"x": 2}
+    assert reloaded.journal_points == 2
+    assert cache.journal_path.exists()
+
+
+def test_save_compacts_journal_into_store(tmp_path):
+    cache = ResultCache(tmp_path, "compact")
+    cache.append("a", {"x": 1})
+    cache.save()
+    assert not cache.journal_path.exists()
+    reloaded = ResultCache(tmp_path, "compact")
+    assert reloaded.get_raw("a") == {"x": 1}
+    assert reloaded.journal_points == 0
+
+
+def test_torn_journal_tail_is_ignored(tmp_path):
+    cache = ResultCache(tmp_path, "torn")
+    cache.append("a", {"x": 1})
+    cache.append("b", {"x": 2})
+    # Simulate a crash mid-write: truncate the last line.
+    text = cache.journal_path.read_text()
+    cache.journal_path.write_text(text[: text.rindex("{")])
+    reloaded = ResultCache(tmp_path, "torn")
+    assert reloaded.get_raw("a") == {"x": 1}
+    assert reloaded.get_raw("b") is None
+
+
+def test_stale_journal_lines_are_skipped(tmp_path):
+    cache = ResultCache(tmp_path, "stale_journal")
+    entry = {"v": "0:ancient", "key": "a", "payload": {"x": 1}}
+    cache.journal_path.parent.mkdir(parents=True, exist_ok=True)
+    cache.journal_path.write_text(json.dumps(entry) + "\n")
+    reloaded = ResultCache(tmp_path, "stale_journal")
+    assert reloaded.get_raw("a") is None
+    assert reloaded.journal_points == 0

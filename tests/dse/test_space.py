@@ -1,56 +1,200 @@
-"""Sweep space definitions."""
+"""Declarative sweep spaces: axes, variants, zip groups, schema hashing."""
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
+from repro.apps.collective_bench import CollectiveBenchParams
 from repro.apps.jacobi.driver import JacobiParams
-from repro.dse.space import SweepPoint, SweepSpec
+from repro.apps.synthetic import SyntheticParams
+from repro.dse.space import (
+    Axis,
+    SweepSpace,
+    Variant,
+    jacobi_sweep_space,
+    seed_axis,
+)
 from repro.errors import ConfigError
 from repro.system.config import SystemConfig
 
 
-def test_points_cross_product():
-    spec = SweepSpec(
-        name="t", workers=(2, 3), cache_sizes_kb=(4, 8), policies=("wb",),
+def tiny_space(name: str = "t", **kwargs) -> SweepSpace:
+    defaults = dict(
+        workers=(2, 3), cache_sizes_kb=(4, 8), policies=("wb",),
+        params=JacobiParams(n=6, iterations=2, warmup=0),
     )
-    points = spec.points()
-    assert len(points) == 4 == spec.n_points
+    defaults.update(kwargs)
+    return jacobi_sweep_space(name, **defaults)
+
+
+def test_points_cross_product():
+    space = tiny_space()
+    points = space.points()
+    assert len(points) == 4 == space.n_points
     labels = {p.config.label() for p in points}
     assert labels == {"2P_4k$_WB", "2P_8k$_WB", "3P_4k$_WB", "3P_8k$_WB"}
 
 
+def test_points_follow_axis_declaration_order():
+    coords = [p.coords_dict for p in tiny_space().points()]
+    assert coords[0] == {"workers": 2, "cache_kb": 4, "policy": "wb"}
+    # The last axis spins fastest, like nested for-loops.
+    assert [c["cache_kb"] for c in coords] == [4, 8, 4, 8]
+    assert [c["workers"] for c in coords] == [2, 2, 3, 3]
+
+
 def test_empty_axis_rejected():
     with pytest.raises(ConfigError):
-        SweepSpec(name="t", workers=())
+        Axis("workers", ())
+
+
+def test_bad_axis_target_rejected():
+    with pytest.raises(ConfigError):
+        Axis("workers", (1,), target="nowhere")
+
+
+def test_duplicate_axis_names_rejected():
+    with pytest.raises(ConfigError):
+        SweepSpace(
+            name="dup", app=print,
+            axes=(Axis("a", (1,)), Axis("a", (2,))),
+        )
 
 
 def test_key_stability_and_sensitivity():
-    spec = SweepSpec(name="t", workers=(2,), cache_sizes_kb=(4,),
-                     policies=("wb",))
-    point = spec.points()[0]
-    assert point.key() == spec.points()[0].key()
-    other = SweepPoint(point.config.with_changes(cache_size_kb=8),
-                       point.params)
-    assert other.key() != point.key()
+    space = tiny_space()
+    assert space.points()[0].key == space.points()[0].key
+    keys = {p.key for p in space.points()}
+    assert len(keys) == 4  # every point distinct
 
 
 def test_key_sensitive_to_workload():
-    config = SystemConfig(n_workers=2)
-    small = SweepPoint(config, JacobiParams(n=8))
-    large = SweepPoint(config, JacobiParams(n=16))
-    assert small.key() != large.key()
+    small = tiny_space(params=JacobiParams(n=8)).points()[0]
+    large = tiny_space(params=JacobiParams(n=16)).points()[0]
+    assert small.key != large.key
 
 
 def test_key_sensitive_to_model():
-    config = SystemConfig(n_workers=2)
-    full = SweepPoint(config, JacobiParams(n=8, model="hybrid_full"))
-    pure = SweepPoint(config, JacobiParams(n=8, model="pure_sm"))
-    assert full.key() != pure.key()
+    full = tiny_space(params=JacobiParams(n=8, model="hybrid_full"))
+    pure = tiny_space(params=JacobiParams(n=8, model="pure_sm"))
+    assert full.points()[0].key != pure.points()[0].key
 
 
 def test_base_config_propagates():
     base = SystemConfig(ddr_read_latency=99)
-    spec = SweepSpec(name="t", workers=(2,), cache_sizes_kb=(4,),
-                     policies=("wb",), base_config=base)
-    assert spec.points()[0].config.ddr_read_latency == 99
+    space = tiny_space(base_config=base)
+    assert space.points()[0].config.ddr_read_latency == 99
+
+
+def test_schema_hash_ignores_value_lists():
+    # Same shape, different values: shared keys let a subset sweep reuse
+    # a superset's warm cache (fig7 quick reuses fig6 quick's points).
+    wide = tiny_space(policies=("wb", "wt"))
+    narrow = tiny_space(policies=("wb",))
+    assert wide.schema_hash() == narrow.schema_hash()
+    wide_keys = {p.key for p in wide.points()}
+    assert {p.key for p in narrow.points()} <= wide_keys
+
+
+def test_schema_hash_sensitive_to_axis_shape():
+    base = tiny_space()
+    renamed = SweepSpace(
+        name=base.name, app=base.app, app_id=base.app_id,
+        axes=(Axis("cores", (2, 3), field="n_workers"),) + base.axes[1:],
+        base_config=base.base_config, base_params=base.base_params,
+    )
+    assert renamed.schema_hash() != base.schema_hash()
+
+
+def test_schema_hash_sensitive_to_app():
+    base = tiny_space()
+    other = dataclasses.replace(base, app_id="other_app")
+    assert other.schema_hash() != base.schema_hash()
+
+
+def test_variant_axis_applies_bundled_overrides():
+    space = SweepSpace(
+        name="v", app=print, app_id="x",
+        axes=(
+            Axis("variant", (
+                Variant("sw", params={"model": "pure_sm"}),
+                Variant("hw(q4)", config={"dma_tx_queue_depth": 4},
+                        params={"model": "hybrid_full"}),
+            )),
+        ),
+        base_params=JacobiParams(n=6),
+    )
+    points = space.points()
+    assert [p.coords_dict["variant"] for p in points] == ["sw", "hw(q4)"]
+    assert points[1].config.dma_tx_queue_depth == 4
+    assert str(points[1].params.model) != str(points[0].params.model)
+    assert points[0].key != points[1].key
+
+
+def test_prune_drops_combinations():
+    space = SweepSpace(
+        name="p", app=print, app_id="x",
+        axes=(
+            Axis("collective", ("scatter", "bcast"), target="params"),
+            Axis("algorithm", ("linear", "tree"), target="params"),
+        ),
+        base_params=CollectiveBenchParams(),
+        prune=lambda c: c["collective"] == "scatter"
+        and c["algorithm"] == "tree",
+    )
+    coords = [p.coords_dict for p in space.points()]
+    assert {"collective": "scatter", "algorithm": "tree"} not in coords
+    assert len(coords) == 3
+
+
+def test_zip_groups_advance_together():
+    space = SweepSpace(
+        name="z", app=print, app_id="x",
+        axes=(
+            Axis("workers", (2, 4), field="n_workers"),
+            Axis("cache_kb", (4, 8), field="cache_size_kb"),
+        ),
+        zip_groups=(("workers", "cache_kb"),),
+    )
+    coords = [p.coords_dict for p in space.points()]
+    assert coords == [
+        {"workers": 2, "cache_kb": 4},
+        {"workers": 4, "cache_kb": 8},
+    ]
+
+
+def test_zip_groups_unequal_lengths_rejected():
+    space = SweepSpace(
+        name="z", app=print, app_id="x",
+        axes=(
+            Axis("workers", (2, 4, 8), field="n_workers"),
+            Axis("cache_kb", (4, 8), field="cache_size_kb"),
+        ),
+        zip_groups=(("workers", "cache_kb"),),
+    )
+    with pytest.raises(ConfigError):
+        space.points()
+
+
+def test_zip_group_unknown_axis_rejected():
+    with pytest.raises(ConfigError):
+        SweepSpace(
+            name="z", app=print, app_id="x",
+            axes=(Axis("workers", (2,), field="n_workers"),),
+            zip_groups=(("workers", "ghost"),),
+        )
+
+
+def test_seed_axis_from_count_and_tuple():
+    assert seed_axis(3).values == (0, 1, 2)
+    assert seed_axis((7, 11)).values == (7, 11)
+    space = SweepSpace(
+        name="s", app=print, app_id="x",
+        axes=(Axis("rate", (0.1,), target="params"), seed_axis(2)),
+        base_params=SyntheticParams(),
+    )
+    seeds = [p.params.seed for p in space.points()]
+    assert seeds == [0, 1]
+    assert len({p.key for p in space.points()}) == 2

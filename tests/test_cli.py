@@ -21,6 +21,39 @@ def test_parser_rejects_unknown_experiment():
         parser.parse_args(["fig42"])
 
 
+def test_parser_accepts_executor_flags():
+    args = build_parser().parse_args(
+        ["fig6", "--backend", "inline", "--fresh", "--retry", "2"]
+    )
+    assert args.backend == "inline"
+    assert args.resume is False
+    assert args.retry == 2
+
+
+def test_parser_defaults_resume_on():
+    args = build_parser().parse_args(["fig6"])
+    assert args.resume is True
+    assert args.backend is None
+    assert args.retry == 0
+
+
+def test_parser_rejects_unknown_backend():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig6", "--backend", "quantum"])
+
+
+def test_list_prints_registry_help_lines(capsys):
+    exit_code = main(["list"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "available experiments" in out
+    from repro.dse.experiments import ALL_EXPERIMENTS
+
+    for name, experiment in ALL_EXPERIMENTS.items():
+        assert name in out
+        assert experiment.help in out
+
+
 def test_main_runs_noc_quick(tmp_path, capsys):
     exit_code = main(["noc", "--out", str(tmp_path)])
     assert exit_code == 0
