@@ -36,6 +36,7 @@ from repro.apps.collective_bench import (
 from repro.apps.jacobi.driver import JacobiParams, run_jacobi
 from repro.faults import FaultPlan
 from repro.system.config import SystemConfig
+from repro.telemetry.config import TelemetryConfig
 
 BENCH_FILE = Path(__file__).parent.parent / "BENCH_simspeed.json"
 
@@ -129,6 +130,23 @@ SMOKE_WORKLOADS = {
         ),
         10.0,
     ),
+    # The full observability stack armed: metric sampler, event tracer and
+    # NoC spatial counters all recording.  Guards the *recording* cost
+    # with the usual wall ceiling, and — because telemetry is bookkeeping
+    # only — its cycle golden is identical to the untelemetered
+    # collective_allreduce_8w_tree entry above.
+    "telemetry_allreduce_8w_tree": (
+        partial(
+            run_collective_bench,
+            SystemConfig(n_workers=8, cache_size_kb=16,
+                         telemetry=TelemetryConfig(sample_interval=1024)),
+            CollectiveBenchParams(
+                collective="allreduce", model="empi", algorithm="tree",
+                n_values=16, repeats=4,
+            ),
+        ),
+        10.0,
+    ),
 }
 
 
@@ -147,6 +165,28 @@ def test_fault_layer_off_is_zero_overhead():
     assert result.validated
     assert result.total_cycles == reference["total_cycles"]
     assert result.op_cycles == reference["op_cycles"]
+
+
+def test_telemetry_layer_is_timing_neutral():
+    """Telemetry must observe without perturbing: the fully instrumented
+    workload (sampler + tracer + spatial counters) reproduces the
+    *untelemetered* golden bit for bit, and with ``telemetry=None`` (the
+    default) the layer's hot-path cost is a single attribute check."""
+    result = run_collective_bench(
+        SystemConfig(n_workers=8, cache_size_kb=16,
+                     telemetry=TelemetryConfig(sample_interval=1024)),
+        CollectiveBenchParams(
+            collective="allreduce", model="empi", algorithm="tree",
+            n_values=16, repeats=4,
+        ),
+    )
+    reference = golden()["collective_allreduce_8w_tree"]
+    assert result.validated
+    assert result.total_cycles == reference["total_cycles"]
+    assert result.op_cycles == reference["op_cycles"]
+    summary = result.stats["telemetry"]
+    assert summary["samples"] > 0
+    assert summary["trace_events"] > 0
 
 
 def golden() -> dict:

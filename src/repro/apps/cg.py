@@ -361,8 +361,14 @@ def _make_program(params: CgParams, chunks, rank: int,
 
 
 def run_cg(config: SystemConfig, params: CgParams,
-           max_cycles: int | None = None) -> CgResult:
-    """Run one CG experiment on one architecture point."""
+           max_cycles: int | None = None,
+           observer=None) -> CgResult:
+    """Run one CG experiment on one architecture point.
+
+    ``observer``, when given, is called with the built
+    :class:`MedeaSystem` before the run starts — the hook trace/telemetry
+    tooling uses to reach the notes, tracer and registry afterwards.
+    """
     params = CgParams(
         params.n, params.iterations, params.model, params.algorithm,
         params.overlap, params.poll_interval, params.validate,
@@ -380,6 +386,8 @@ def run_cg(config: SystemConfig, params: CgParams,
         _make_program(params, chunks, rank, results, rr_out)
         for rank in range(config.n_workers)
     ])
+    if observer is not None:
+        observer(system)
     total_cycles = system.run(max_cycles=max_cycles)
     marks = {label: cycle for cycle, rank, label in system.notes if rank == 0}
     x = [value for rank in range(config.n_workers) for value in results[rank]]

@@ -42,6 +42,9 @@ class TrafficStats:
     injection_stalls: int
     throughput: float  # ejected flits per node per cycle
     per_source_sent: list[int] = field(repr=False, default_factory=list)
+    #: Per-link/per-switch matrices (``NocFabric.spatial_dict`` shape);
+    #: None unless the run was asked to keep the spatial view.
+    spatial: dict | None = field(repr=False, default=None)
 
     @property
     def all_delivered(self) -> bool:
@@ -120,8 +123,14 @@ def run_synthetic_traffic(
     topology_kind: str = "folded_torus",
     drain_cycles: int = 2000,
     seed: int = 1,
+    spatial: bool = False,
 ) -> TrafficStats:
-    """Inject Bernoulli traffic for ``cycles``, then drain; return stats."""
+    """Inject Bernoulli traffic for ``cycles``, then drain; return stats.
+
+    ``spatial=True`` keeps the fabric's per-link/per-switch telemetry
+    matrices and attaches them to the result — the data behind the DSE
+    report heatmaps.  (Bookkeeping only; cycle counts are unaffected.)
+    """
     if pattern not in PATTERNS:
         raise ConfigError(f"pattern must be one of {PATTERNS}, got {pattern!r}")
     if not (0.0 <= rate <= 1.0):
@@ -133,6 +142,8 @@ def run_synthetic_traffic(
         topology = FoldedTorusTopology(width, height)
     sim = Simulator()
     fabric = NocFabric(topology)
+    if spatial:
+        fabric.enable_spatial()
     sim.register(fabric)
     sources = []
     for node in range(topology.n_nodes):
@@ -162,6 +173,7 @@ def run_synthetic_traffic(
         injection_stalls=fabric.stats.get("injection_stalls"),
         throughput=ejected / (cycles * topology.n_nodes) if cycles else 0.0,
         per_source_sent=[source.sent for source in sources],
+        spatial=fabric.spatial_dict(),
     )
 
 
@@ -191,6 +203,7 @@ class SyntheticParams:
     topology_kind: str = "folded_torus"
     drain_cycles: int = 2000
     seed: int = 1
+    spatial: bool = False
 
 
 def run_synthetic_point(params: SyntheticParams) -> TrafficStats:
@@ -204,4 +217,5 @@ def run_synthetic_point(params: SyntheticParams) -> TrafficStats:
         topology_kind=params.topology_kind,
         drain_cycles=params.drain_cycles,
         seed=params.seed,
+        spatial=params.spatial,
     )

@@ -9,6 +9,7 @@ Usage::
     python -m repro fig6 --backend inline --jobs 1   # deterministic baseline
     python -m repro fig6 --fresh    # ignore cached points, recompute all
     python -m repro fig6 --retry 2  # retry failed points twice before giving up
+    python -m repro trace cg --out trace.json        # Perfetto-openable timeline
 
 Reports are printed and saved under ``--out`` (default ``./results``);
 sweep points are cached there too — incrementally, so an interrupted
@@ -108,33 +109,97 @@ def run_profiled(names: list[str], full: bool | None, jobs: int | None,
                  resume: bool = True, retries: int = 0) -> None:
     """Run the experiments under cProfile and print the hot spots.
 
-    Sweeps are forced to ``--backend inline --jobs 1``: cProfile only
-    sees this process, so a multiprocessing pool would leave the profile
-    full of IPC waits instead of the simulator functions the flag exists
-    to surface.
+    Each sweep point is profiled on its own and the per-point ``pstats``
+    merged into one cumulative table, so the attribution reflects the
+    simulated workloads rather than one undifferentiated blob.  Sweeps
+    are forced to ``--backend inline --jobs 1`` (cProfile only sees this
+    process; a pool would leave the profile full of IPC waits) and
+    ``--fresh`` (a cached point never runs, so it would profile
+    nothing).
     """
-    import cProfile
     import io
     import pstats
+
+    from repro.dse import executor as executor_module
 
     if jobs is not None and jobs != 1:
         print(f"--profile forces --jobs 1 (was {jobs}): child processes "
               f"are invisible to cProfile", file=sys.stderr)
-    profile = cProfile.Profile()
-    profile.enable()
+    if resume:
+        print("--profile forces --fresh: cached points never run, so "
+              "resuming would profile nothing", file=sys.stderr)
+    sink: list = []
+    executor_module.PROFILE_SINK = sink
     try:
         run_experiments(names, full, 1, out, backend="inline",
-                        resume=resume, retries=retries)
+                        resume=False, retries=retries)
     finally:
-        profile.disable()
-        stream = io.StringIO()
-        stats = pstats.Stats(profile, stream=stream)
-        stats.sort_stats("cumulative").print_stats(20)
-        print("=== profile (top 20 by cumulative time) ===")
-        print(stream.getvalue())
+        executor_module.PROFILE_SINK = None
+        if sink:
+            stream = io.StringIO()
+            stats = pstats.Stats(sink[0], stream=stream)
+            for profile in sink[1:]:
+                stats.add(profile)
+            stats.sort_stats("cumulative").print_stats(20)
+            print(f"=== profile ({len(sink)} points merged, top 20 by "
+                  f"cumulative time) ===")
+            print(stream.getvalue())
+        else:
+            print("=== profile: no sweep points ran ===")
+
+
+def run_trace(argv: list[str]) -> int:
+    """``medea trace <workload> [--out trace.json] [--heatmap]``.
+
+    Runs a telemetry-enabled workload and writes its Chrome trace-event
+    JSON — request spans, collective phases, overlap regions, DMA
+    descriptor lifecycles, NoC ejections, injected faults, and the
+    sampled metric timeline — openable in ``ui.perfetto.dev``.
+    """
+    from repro.telemetry.chrome_trace import write_chrome_trace
+    from repro.telemetry.heatmap import render_noc_report
+    from repro.telemetry.workloads import TRACE_WORKLOADS
+
+    parser = argparse.ArgumentParser(
+        prog="medea trace",
+        description="record a workload and export a Perfetto timeline",
+    )
+    parser.add_argument(
+        "workload", choices=sorted(TRACE_WORKLOADS),
+        help="which traced workload to run",
+    )
+    parser.add_argument(
+        "--out", default="trace.json",
+        help="trace-event JSON output path (default: trace.json)",
+    )
+    parser.add_argument(
+        "--heatmap", action="store_true",
+        help="also print the NoC spatial heatmaps",
+    )
+    args = parser.parse_args(argv)
+    workload = TRACE_WORKLOADS[args.workload]
+    system, result = workload.run()
+    count = write_chrome_trace(system, args.out)
+    summary = result.stats["telemetry"]
+    print(
+        f"traced {args.workload}: {result.total_cycles} cycles, "
+        f"{summary['samples']} metric samples "
+        f"(interval {summary['sample_interval']}), "
+        f"overlap efficiency {summary['sampled_overlap_efficiency']:.4f}"
+    )
+    print(f"wrote {count} trace events to {args.out} "
+          f"(open in ui.perfetto.dev)")
+    if args.heatmap:
+        print(render_noc_report(system.fabric.spatial_dict()))
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "trace":
+        # The trace subcommand has its own argument set; intercept it
+        # before the positional-choice experiment parser.
+        return run_trace(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         print(list_experiments(), end="")

@@ -89,12 +89,15 @@ def mask_members(mask: int) -> Iterator[int]:
 class TxDescriptor:
     """One queued transmit descriptor (unicast or multicast)."""
 
-    __slots__ = ("dst", "mask", "words")
+    __slots__ = ("dst", "mask", "words", "uid")
 
-    def __init__(self, dst: int, mask: int, words: list[int]) -> None:
+    def __init__(
+        self, dst: int, mask: int, words: list[int], uid: int = 0
+    ) -> None:
         self.dst = dst      # destination node, or MULTICAST_DST
         self.mask = mask    # destination bitmask (multicast only)
         self.words = words
+        self.uid = uid      # telemetry lifecycle id (0 when off)
 
     @property
     def is_multicast(self) -> bool:
@@ -135,12 +138,13 @@ class _ActiveMulticast:
     (member, word) with the member's own credit gate.
     """
 
-    __slots__ = ("entries", "members", "index")
+    __slots__ = ("entries", "members", "index", "uid")
 
     def __init__(self, entries: list, members: tuple[int, ...]) -> None:
         self.entries = entries
         self.members = members
         self.index = 0
+        self.uid = 0  # telemetry lifecycle id (0 when off)
 
     @property
     def done(self) -> bool:
@@ -191,6 +195,12 @@ class DmaTxEngine:
         self._n_flits_sent = 0
         self._n_credit_stalls = 0
         self._n_reduced = 0
+        #: Optional :class:`~repro.telemetry.hub.TelemetryHub` — when set
+        #: descriptor lifecycles become trace spans; None keeps the hot
+        #: path at a single attribute check (same pattern as faults).
+        self.telemetry = None
+        self._desc_uid = 0
+        self._rx_uid = 0
 
     # -- core-facing (descriptor posting) ------------------------------------
 
@@ -222,7 +232,10 @@ class DmaTxEngine:
         if len(self.queue) >= self.depth:
             self.stats.inc("queue_full_rejects")
             return False
-        self.queue.append(TxDescriptor(dst_node, 0, list(words)))
+        desc = TxDescriptor(dst_node, 0, list(words))
+        if self.telemetry is not None:
+            self._post_span(desc, f"unicast->{dst_node} {len(words)}w")
+        self.queue.append(desc)
         self.stats.inc("unicast_descriptors")
         return True
 
@@ -252,9 +265,21 @@ class DmaTxEngine:
                 return False
         else:
             self.group_mask = mask
-        self.queue.append(TxDescriptor(MULTICAST_DST, mask, list(words)))
+        desc = TxDescriptor(MULTICAST_DST, mask, list(words))
+        if self.telemetry is not None:
+            self._post_span(desc, f"mcast {mask:#x} {len(words)}w")
+        self.queue.append(desc)
         self.stats.inc("multicast_descriptors")
         return True
+
+    def _post_span(self, desc: TxDescriptor, name: str) -> None:
+        """Open a telemetry lifecycle span for a queued descriptor."""
+        self._desc_uid += 1
+        desc.uid = self._desc_uid
+        self.telemetry.emit(
+            f"dma{self.node_id}", "dma_post",
+            uid=desc.uid, node=self.node_id, desc=name,
+        )
 
     def _reregister_group(self, mask: int) -> bool:
         """Switch the group register to ``mask`` if quiescent; else False.
@@ -323,6 +348,14 @@ class DmaTxEngine:
             return False
         self._rx = _RxReduce(src_node, list(values), op)
         self._rx_done = False
+        if self.telemetry is not None:
+            self._desc_uid += 1
+            self._rx_uid = self._desc_uid
+            self.telemetry.emit(
+                f"dma{self.node_id}", "dma_post",
+                uid=self._rx_uid, node=self.node_id,
+                desc=f"qreduce<-{src_node} {len(values)}v",
+            )
         self.stats.inc("reduce_descriptors")
         return True
 
@@ -370,6 +403,12 @@ class DmaTxEngine:
         result = self._rx.acc
         self._rx = None
         self._rx_done = False
+        if self.telemetry is not None and self._rx_uid:
+            self.telemetry.emit(
+                f"dma{self.node_id}", "dma_retire",
+                uid=self._rx_uid, node=self.node_id,
+            )
+            self._rx_uid = 0
         return result
 
     # -- node-facing (per-cycle drain) ---------------------------------------
@@ -389,6 +428,13 @@ class DmaTxEngine:
             if self.tie.tx is None:
                 self.queue.popleft()
                 self.tie.begin_send(head.dst, head.words)
+                if self.telemetry is not None and head.uid:
+                    # Unicast rides the TIE stream from here on: the
+                    # descriptor's engine lifecycle ends at activation.
+                    self.telemetry.emit(
+                        f"dma{self.node_id}", "dma_retire",
+                        uid=head.uid, node=self.node_id,
+                    )
             return
         if self._sync_pending:
             # A re-registered group streams only after every new member
@@ -399,6 +445,12 @@ class DmaTxEngine:
             self._sync_pending = frozenset()
         self.queue.popleft()
         self._active = self._activate_multicast(head)
+        if self.telemetry is not None and head.uid:
+            self._active.uid = head.uid
+            self.telemetry.emit(
+                f"dma{self.node_id}", "dma_activate",
+                uid=head.uid, node=self.node_id,
+            )
 
     def _prune_retx(self) -> None:
         """Retire everything the slowest member has credited past."""
@@ -522,6 +574,11 @@ class DmaTxEngine:
         self._n_flits_sent += 1
         if active.done:
             self._active = None
+            if self.telemetry is not None and active.uid:
+                self.telemetry.emit(
+                    f"dma{self.node_id}", "dma_retire",
+                    uid=active.uid, node=self.node_id,
+                )
 
     def flush_stats(self) -> None:
         """Fold the batched per-flit counters into the CounterSet."""

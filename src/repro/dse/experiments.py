@@ -48,6 +48,7 @@ from repro.dse.runner import SweepResult, jacobi_app
 from repro.dse.space import Axis, SweepSpace, Variant, jacobi_sweep_space
 from repro.faults import FaultPlan
 from repro.system.config import SystemConfig
+from repro.telemetry.heatmap import render_noc_report
 
 #: Default location of the sweep cache and rendered reports.  The CLI
 #: points every experiment at one ``--out`` directory, so the whole
@@ -134,6 +135,8 @@ def synthetic_app(config: SystemConfig, params: SyntheticParams) -> dict:
         "deflections_per_flit": stats.deflections_per_flit,
         "throughput": stats.throughput,
         "all_delivered": stats.all_delivered,
+        # Plain lists/dicts: rides the JSON result cache unmodified.
+        "spatial": stats.spatial,
     }
 
 
@@ -1050,7 +1053,7 @@ def _build_noc(full: bool) -> SweepSpace:
             Axis("pattern", ("uniform", "hotspot"), target="params"),
             Axis("rate", rates, target="params"),
         ),
-        base_params=SyntheticParams(cycles=cycles),
+        base_params=SyntheticParams(cycles=cycles, spatial=True),
     )
 
 
@@ -1088,6 +1091,16 @@ def _summarize_noc(run: ExperimentRun) -> ExperimentReport:
                      y_label="mean latency (cycles)",
                      title="noc: load-latency curve")
     )
+    # Spatial heatmaps at the heaviest load: *where* the deflections and
+    # stalls concentrate, per pattern (the ROADMAP item-2 attribution).
+    heaviest = rates[-1]
+    for pattern in ("uniform", "hotspot"):
+        spatial = results.get(pattern=pattern, rate=heaviest).get("spatial")
+        if spatial is not None:
+            text += (
+                f"\n--- spatial view: {pattern} @ rate {heaviest:.2f} ---\n"
+                + render_noc_report(spatial) + "\n"
+            )
     return ExperimentReport(
         experiment="noc", full_scale=run.full, text=text, series=series,
         rows=rows,

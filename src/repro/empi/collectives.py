@@ -26,6 +26,7 @@ from __future__ import annotations
 import enum
 import typing
 
+from repro.empi.requests import NOTE_PHASE_ENTER, NOTE_PHASE_EXIT
 from repro.errors import ConfigError
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -292,8 +293,20 @@ class EmpiCollectives:
         self.empi = ctx.empi
         self.algorithm = CollectiveAlgorithm.parse(algorithm)
 
+    def _phased(self, label: str, frag: "Program") -> "Program":
+        """Bracket a blocking collective with zero-cycle phase notes.
+
+        The notes cost nothing in simulated time (``note`` ops are
+        zero-cycle) and let the trace exporter render each collective as
+        a span on the rank's timeline.
+        """
+        yield ("note", f"{NOTE_PHASE_ENTER} {label}")
+        result = yield from frag
+        yield ("note", f"{NOTE_PHASE_EXIT} {label}")
+        return result
+
     def barrier(self) -> "Program":
-        yield from self.empi.barrier()
+        yield from self._phased("barrier", self.empi.barrier())
 
     def send(self, dst_rank: int, values: list[float]) -> "Program":
         """Blocking point-to-point send of doubles (MPI_send)."""
@@ -306,32 +319,46 @@ class EmpiCollectives:
 
     def bcast(self, root: int, values: list[float] | None,
               n_values: int) -> "Program":
-        result = yield from self.empi.bcast_doubles(
-            root, values, n_values, algorithm=self.algorithm
+        result = yield from self._phased(
+            f"bcast[{self.algorithm.value}]",
+            self.empi.bcast_doubles(
+                root, values, n_values, algorithm=self.algorithm
+            ),
         )
         return result
 
     def reduce(self, root: int, values: list[float],
                op: ReduceOp | str = ReduceOp.SUM) -> "Program":
-        result = yield from self.empi.reduce_doubles(
-            root, values, op=op, algorithm=self.algorithm
+        result = yield from self._phased(
+            f"reduce[{self.algorithm.value}]",
+            self.empi.reduce_doubles(
+                root, values, op=op, algorithm=self.algorithm
+            ),
         )
         return result
 
     def allreduce(self, values: list[float],
                   op: ReduceOp | str = ReduceOp.SUM) -> "Program":
-        result = yield from self.empi.allreduce_doubles(
-            values, op=op, algorithm=self.algorithm
+        result = yield from self._phased(
+            f"allreduce[{self.algorithm.value}]",
+            self.empi.allreduce_doubles(
+                values, op=op, algorithm=self.algorithm
+            ),
         )
         return result
 
     def scatter(self, root: int, chunks: list[list[float]] | None,
                 n_values: int) -> "Program":
-        result = yield from self.empi.scatter_doubles(root, chunks, n_values)
+        result = yield from self._phased(
+            "scatter",
+            self.empi.scatter_doubles(root, chunks, n_values),
+        )
         return result
 
     def gather(self, root: int, values: list[float]) -> "Program":
-        result = yield from self.empi.gather_doubles(root, values)
+        result = yield from self._phased(
+            "gather", self.empi.gather_doubles(root, values)
+        )
         return result
 
     # -- non-blocking interface (mirrored by SharedMemoryCollectives) -------

@@ -68,10 +68,22 @@ class _Reschedule:
 RESCHEDULE = _Reschedule()
 
 #: Note labels bracketing request in-flight windows and overlap regions.
+#: A note may carry a payload after the marker (``"ireq+ isend->3"``):
+#: the marker alone drives the overlap accounting, the payload names the
+#: span in trace exports.
 NOTE_REQUEST_POST = "ireq+"
 NOTE_REQUEST_DONE = "ireq-"
 NOTE_OVERLAP_ENTER = "ov+"
 NOTE_OVERLAP_EXIT = "ov-"
+#: Collective phase brackets (emitted by the collective facades).
+NOTE_PHASE_ENTER = "coll+"
+NOTE_PHASE_EXIT = "coll-"
+
+
+def note_key(label: str) -> str:
+    """The marker part of a note label (everything before the payload)."""
+    index = label.find(" ")
+    return label if index < 0 else label[:index]
 
 
 class Request:
@@ -255,7 +267,7 @@ class ProgressEngine:
         """
         request = Request(frag, label)
         self._active.append(request)
-        yield ("note", NOTE_REQUEST_POST)
+        yield ("note", f"{NOTE_REQUEST_POST} {label}")
         yield from self._slice(request)
         return request
 
@@ -270,7 +282,7 @@ class ProgressEngine:
                 request.result = stop.value
                 request.complete = True
                 self._active.remove(request)
-                yield ("note", NOTE_REQUEST_DONE)
+                yield ("note", f"{NOTE_REQUEST_DONE} {request.label}")
                 return
             if item is RESCHEDULE:
                 return
@@ -436,7 +448,7 @@ def overlap_stats(
         rank: (0, 0, 0) for rank in range(n_workers)
     }  # (inflight depth, overlap depth, last event cycle)
     for cycle, rank, label in notes:
-        deltas = _EVENT_DELTAS.get(label)
+        deltas = _EVENT_DELTAS.get(note_key(label))
         if deltas is None or rank not in stats:
             continue
         inflight, in_overlap, last_cycle = depth[rank]

@@ -28,21 +28,40 @@ class TraceEvent:
 
 
 class Tracer:
-    """Collects :class:`TraceEvent` records when enabled."""
+    """Collects :class:`TraceEvent` records when enabled.
+
+    With a ``limit``, the tracer is a ring buffer over the *last* N
+    events: the newest record evicts the oldest once full, and
+    ``dropped`` counts the evictions.  (Keeping the tail rather than the
+    head means watchdog/timeout reports show the hang, not startup
+    noise.)
+    """
 
     def __init__(self, enabled: bool = False, limit: int | None = None) -> None:
         self.enabled = enabled
         self.limit = limit
-        self.events: list[TraceEvent] = []
+        self._events: list[TraceEvent] = []
+        #: Ring slot the next event overwrites once the buffer is full.
+        self._next = 0
         self.dropped = 0
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """Recorded events in chronological order."""
+        if self.limit is None or len(self._events) < self.limit:
+            return self._events
+        return self._events[self._next:] + self._events[:self._next]
 
     def emit(self, cycle: int, source: str, kind: str, **fields: Any) -> None:
         if not self.enabled:
             return
-        if self.limit is not None and len(self.events) >= self.limit:
+        event = TraceEvent(cycle, source, kind, fields)
+        if self.limit is not None and len(self._events) >= self.limit:
+            self._events[self._next] = event
+            self._next = (self._next + 1) % self.limit
             self.dropped += 1
             return
-        self.events.append(TraceEvent(cycle, source, kind, fields))
+        self._events.append(event)
 
     def of_kind(self, kind: str) -> list[TraceEvent]:
         return [event for event in self.events if event.kind == kind]
@@ -54,11 +73,12 @@ class Tracer:
         return {event.kind for event in self.events}
 
     def clear(self) -> None:
-        self.events.clear()
+        self._events.clear()
+        self._next = 0
         self.dropped = 0
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self._events)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "on" if self.enabled else "off"

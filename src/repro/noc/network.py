@@ -106,6 +106,23 @@ class NodePorts:
         self.eject = eject
 
 
+class SpatialCounters:
+    """Per-link / per-switch matrices for the telemetry heatmap view.
+
+    Opt-in (:meth:`NocFabric.enable_spatial`): when absent the fabric's
+    hot path pays only an is-it-None check, preserving bit-identical
+    goldens and PR-1's allocation-free step.
+    """
+
+    __slots__ = ("link_transits", "switch_deflections", "node_ejects")
+
+    def __init__(self, n_nodes: int) -> None:
+        #: ``[receiver][in_dir]`` -> flits latched off that input link.
+        self.link_transits = [[0] * 4 for _ in range(n_nodes)]
+        self.switch_deflections = [0] * n_nodes
+        self.node_ejects = [0] * n_nodes
+
+
 class NocFabric(Component):
     """All switches and links of the network, stepped as one component."""
 
@@ -157,6 +174,8 @@ class NocFabric(Component):
             for node in range(n)
         ]
         self.latency = LatencyStat("noc_latency")
+        #: Optional per-link/per-switch matrices (telemetry spatial view).
+        self._spatial: SpatialCounters | None = None
 
     # -- node-facing API -----------------------------------------------------
 
@@ -219,6 +238,7 @@ class NocFabric(Component):
         eject_capacity = self.eject_capacity
         scratch = self._scratch
         faults = self.faults
+        spatial = self._spatial
         masks_active = False
         if faults is not None:
             faults.advance(cycle)
@@ -283,6 +303,8 @@ class NocFabric(Component):
                     injection_stalls += 1
                     work.add(node)  # the slot retries next cycle
             deflections += outcome.deflections
+            if spatial is not None and outcome.deflections:
+                spatial.switch_deflections[node] += outcome.deflections
             eject_overflows += outcome.eject_overflow
             outputs = outcome.outputs
             for direction in range(4):
@@ -308,6 +330,10 @@ class NocFabric(Component):
                 )
             regs[neighbor][in_dir] = flit
             work.add(neighbor)
+        if spatial is not None and moves:
+            transits = spatial.link_transits
+            for neighbor, in_dir, __ in moves:
+                transits[neighbor][in_dir] += 1
         inc = self.stats.inc
         if flits_injected:
             inc("flits_injected", flits_injected)
@@ -336,6 +362,8 @@ class NocFabric(Component):
         latency = 0 if zero_hop else cycle - flit.injected_at + 1
         self.latency.record(latency)
         self._flit_count -= 1
+        if self._spatial is not None:
+            self._spatial.node_ejects[port.node] += 1
         if self.tracer.enabled:
             self.tracer.emit(
                 cycle, "noc", "eject",
@@ -343,6 +371,98 @@ class NocFabric(Component):
                 latency=latency,
             )
         port.eject.deliver(flit)
+
+    # -- telemetry spatial view ----------------------------------------------
+
+    def enable_spatial(self) -> SpatialCounters:
+        """Start keeping per-link/per-switch matrices (telemetry only)."""
+        if self._spatial is None:
+            self._spatial = SpatialCounters(self.topology.n_nodes)
+        return self._spatial
+
+    def spatial_values(self) -> dict[str, int]:
+        """Flat hierarchical counters for the metric registry.
+
+        Keys name physical elements by mesh coordinates:
+        ``link.(1,1)->(1,2).transits``, ``switch.(1,1).deflections``,
+        ``switch.(1,1).ejects``.  Only elements that have moved appear,
+        keeping sample rows sparse.
+        """
+        spatial = self._spatial
+        if spatial is None:
+            return {}
+        topo = self.topology
+        coords_of = topo.coords_of
+        neighbor_table = topo.neighbor_table
+        values: dict[str, int] = {}
+        for receiver in range(topo.n_nodes):
+            rx, ry = coords_of(receiver)
+            transits = spatial.link_transits[receiver]
+            for in_dir in range(4):
+                src = neighbor_table[receiver][in_dir]
+                if transits[in_dir] and src >= 0:
+                    sx, sy = coords_of(src)
+                    values[
+                        f"link.({sx},{sy})->({rx},{ry}).transits"
+                    ] = transits[in_dir]
+            if spatial.switch_deflections[receiver]:
+                values[f"switch.({rx},{ry}).deflections"] = (
+                    spatial.switch_deflections[receiver]
+                )
+            if spatial.node_ejects[receiver]:
+                values[f"switch.({rx},{ry}).ejects"] = (
+                    spatial.node_ejects[receiver]
+                )
+            stalled = self.ports[receiver].inject.stalled_cycles
+            if stalled:
+                values[f"switch.({rx},{ry}).inject_stalls"] = stalled
+        return values
+
+    def spatial_dict(self) -> dict | None:
+        """Matrix-shaped JSON dump of the spatial view (None when off).
+
+        Matrices are row-major ``[y][x]``; links are listed with explicit
+        src/dst coordinates so torus wrap links need no special casing.
+        """
+        spatial = self._spatial
+        if spatial is None:
+            return None
+        topo = self.topology
+        coords_of = topo.coords_of
+        neighbor_table = topo.neighbor_table
+        width, height = topo.width, topo.height
+
+        def matrix(per_node: list[int]) -> list[list[int]]:
+            rows = [[0] * width for __ in range(height)]
+            for node, value in enumerate(per_node):
+                x, y = coords_of(node)
+                rows[y][x] = value
+            return rows
+
+        links = []
+        for receiver in range(topo.n_nodes):
+            for in_dir in range(4):
+                count = spatial.link_transits[receiver][in_dir]
+                src = neighbor_table[receiver][in_dir]
+                if count and src >= 0:
+                    links.append({
+                        "src": list(coords_of(src)),
+                        "dst": list(coords_of(receiver)),
+                        "transits": count,
+                    })
+        return {
+            "width": width,
+            "height": height,
+            "links": links,
+            "deflections": matrix(spatial.switch_deflections),
+            "ejects": matrix(spatial.node_ejects),
+            "inject_stalls": matrix(
+                [port.inject.stalled_cycles for port in self.ports]
+            ),
+            "injected": matrix(
+                [port.inject.injected for port in self.ports]
+            ),
+        }
 
     # -- introspection -------------------------------------------------------------
 

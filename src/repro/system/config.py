@@ -10,6 +10,7 @@ from repro.empi.runtime import BarrierAlgorithm
 from repro.errors import ConfigError
 from repro.faults import FaultPlan
 from repro.pe.costmodel import FpCostModel
+from repro.telemetry.config import TelemetryConfig
 
 #: The paper sweeps caches from 2 kB to 64 kB in powers of two.
 VALID_CACHE_SIZES_KB = (2, 4, 8, 16, 32, 64)
@@ -106,6 +107,13 @@ class SystemConfig:
     #: :class:`~repro.errors.EmpiTimeoutError`.
     empi_timeout_retries: int = 3
 
+    # -- telemetry (opt-in; default off) -----------------------------------------------
+    #: Observability layer (:class:`repro.telemetry.TelemetryConfig`):
+    #: sampled metric timelines, lifecycle trace events, NoC spatial
+    #: matrices.  None keeps every committed golden bit-identical; the
+    #: only hot-path cost anywhere is an is-it-None attribute check.
+    telemetry: TelemetryConfig | None = None
+
     # -- derived -------------------------------------------------------------------------
 
     @property
@@ -165,6 +173,8 @@ class SystemConfig:
                      "empi_timeout_retries"):
             if getattr(self, name) < 0:
                 raise ConfigError(f"{name} must be >= 0")
+        if self.telemetry is not None:
+            self.telemetry.validate()
 
     def with_changes(self, **changes: object) -> "SystemConfig":
         """A copy with the given fields replaced (sweep convenience)."""

@@ -27,6 +27,12 @@ from repro.pe.program import ProgramContext
 from repro.pe.reliability import ReliabilityAgent
 from repro.pe.tie import TieInterface
 from repro.system.config import SystemConfig
+from repro.telemetry.hub import TelemetryHub
+from repro.telemetry.registry import (
+    OverlapNoteCounters,
+    TelemetrySampler,
+    sampled_overlap_efficiency,
+)
 
 #: A program factory takes the rank's context and returns its generator.
 ProgramFactory = Callable[[ProgramContext], Generator]
@@ -47,7 +53,13 @@ class MedeaSystem:
         else:
             self.topology = FoldedTorusTopology(width, height)
         self.sim = Simulator()
-        self.tracer = Tracer(enabled=config.trace)
+        telemetry_cfg = config.telemetry
+        if telemetry_cfg is not None and telemetry_cfg.events:
+            # Telemetry events ride the system tracer, ring-buffered so
+            # long runs keep the *tail* (the interesting part of a hang).
+            self.tracer = Tracer(enabled=True, limit=telemetry_cfg.event_limit)
+        else:
+            self.tracer = Tracer(enabled=config.trace)
         #: Fault-injection runtime (None when config.faults is None — the
         #: fault-free build carries no hook anywhere on the hot path).
         self.injector = (
@@ -100,6 +112,13 @@ class MedeaSystem:
         for rank in range(config.n_workers):
             self.nodes.append(self._build_worker(rank))
         self.contexts: list[ProgramContext] = []
+
+        #: Telemetry hub (None when config.telemetry is None — the
+        #: default build carries only is-it-None checks, like faults).
+        self.telemetry = None
+        if telemetry_cfg is not None:
+            self.telemetry = self._build_telemetry(telemetry_cfg)
+
         # The watchdog registers last so its checks see each cycle's
         # final state.  Default on whenever faults are injected: a failed
         # recovery must report, not spin silently to max_cycles.
@@ -175,6 +194,46 @@ class MedeaSystem:
         self.sim.register(node)
         return node
 
+    def _build_telemetry(self, telemetry_cfg) -> TelemetryHub:
+        """Assemble the metric registry and arm the periodic sampler.
+
+        Registration order matters twice: the tile's *core* source
+        carries the ``flush_op_stats`` hook (which also folds the TIE and
+        DMA batched counters, so the later tile sources read exact
+        values), and the sampler component registers after every worker
+        so its snapshots see each cycle's final state.
+        """
+        hub = TelemetryHub(telemetry_cfg, self.sim, self.tracer)
+        registry = hub.registry
+        if telemetry_cfg.spatial:
+            self.fabric.enable_spatial()
+            registry.add_source("noc", self.fabric.spatial_values)
+        registry.add_counters("noc", self.fabric.stats)
+        registry.add_latency("noc.latency", self.fabric.latency)
+        registry.add_counters(
+            "mpmmu", self.mpmmu.stats, flush=self.mpmmu.flush_stats
+        )
+        for node in self.nodes:
+            node_id = self.rank_to_node[node.rank]
+            registry.add_counters(
+                f"tile{node_id}.core", node.stats,
+                flush=node.flush_op_stats,
+            )
+            registry.add_counters(f"tile{node_id}.cache", node.cache.stats)
+            registry.add_counters(f"tile{node_id}.tie", node.tie.stats)
+            if node.dma is not None:
+                registry.add_counters(f"tile{node_id}.dma", node.dma.stats)
+                node.dma.telemetry = hub
+        if self.injector is not None:
+            registry.add_counters("faults", self.injector.counts)
+        registry.add_source(
+            "empi.overlap",
+            OverlapNoteCounters(self.notes, self.config.n_workers).values,
+        )
+        self.sampler = self.sim.register(TelemetrySampler(registry))
+        self.sampler.wake()
+        return hub
+
     # -- watchdog plumbing -------------------------------------------------------
 
     def _progress_snapshot(self) -> tuple:
@@ -209,6 +268,8 @@ class MedeaSystem:
                     )
         if self.injector is not None:
             lines.append(f"  {self.injector.describe()}")
+        if self.telemetry is not None:
+            lines.append(f"  {self.telemetry.describe()}")
         return "\n".join(lines)
 
     def context_for(self, rank: int) -> ProgramContext:
@@ -228,9 +289,21 @@ class MedeaSystem:
             empi_timeout_cycles=config.empi_timeout_cycles,
             empi_timeout_retries=config.empi_timeout_retries,
         )
-        ctx.fault_context = (
-            self.injector.describe if self.injector is not None else None
-        )
+        # Timeout/watchdog reports carry every diagnostic describer we
+        # have: fault state and the last telemetry snapshot.
+        describers = [
+            source.describe
+            for source in (self.injector, self.telemetry)
+            if source is not None
+        ]
+        if not describers:
+            ctx.fault_context = None
+        elif len(describers) == 1:
+            ctx.fault_context = describers[0]
+        else:
+            ctx.fault_context = lambda: "\n".join(
+                describe() for describe in describers
+            )
         ctx.empi = Empi(ctx, barrier_algorithm=config.empi_barrier)
         return ctx
 
@@ -342,4 +415,23 @@ class MedeaSystem:
                 {"faults": self.injector.as_dict()}
                 if self.injector is not None else {}
             ),
+            **(
+                {"telemetry": self._telemetry_summary()}
+                if self.telemetry is not None else {}
+            ),
+        }
+
+    def _telemetry_summary(self) -> dict:
+        """Close the timeline at the current cycle and summarize it."""
+        self.telemetry.finalize(self.sim.cycle)
+        registry = self.telemetry.registry
+        return {
+            "sample_interval": registry.sample_interval,
+            "samples": len(registry.samples),
+            "sampled_overlap_efficiency": sampled_overlap_efficiency(
+                registry
+            ),
+            "trace_events": len(self.tracer),
+            "trace_dropped": self.tracer.dropped,
+            "noc_spatial": self.fabric.spatial_dict(),
         }

@@ -1,0 +1,42 @@
+"""The observability layer: sampled metrics, trace export, heatmaps.
+
+Opt-in via ``SystemConfig.telemetry`` (a :class:`TelemetryConfig`); with
+it unset no telemetry code runs and every committed golden cycle count
+is bit-identical.  See ``examples/telemetry.py`` for the full tour.
+
+(Trace workloads live in :mod:`repro.telemetry.workloads`, imported
+lazily — they pull in the application layer, which this package root
+must not.)
+"""
+
+from repro.telemetry.chrome_trace import (
+    chrome_trace_events,
+    write_chrome_trace,
+)
+from repro.telemetry.config import TelemetryConfig
+from repro.telemetry.heatmap import (
+    render_heatmap,
+    render_link_map,
+    render_noc_report,
+)
+from repro.telemetry.hub import TelemetryHub
+from repro.telemetry.registry import (
+    MetricRegistry,
+    OverlapNoteCounters,
+    TelemetrySampler,
+    sampled_overlap_efficiency,
+)
+
+__all__ = [
+    "MetricRegistry",
+    "OverlapNoteCounters",
+    "TelemetryConfig",
+    "TelemetryHub",
+    "TelemetrySampler",
+    "chrome_trace_events",
+    "render_heatmap",
+    "render_link_map",
+    "render_noc_report",
+    "sampled_overlap_efficiency",
+    "write_chrome_trace",
+]

@@ -1,0 +1,257 @@
+"""Chrome trace-event export: the run as a Perfetto-openable timeline.
+
+Renders everything a :class:`~repro.system.medea.MedeaSystem` records —
+eMPI request lifecycles and overlap regions (the zero-cycle notes),
+collective phases, DMA descriptor lifecycles and NoC ejections (tracer
+events), injected faults, and the sampled metric timeline — as standard
+trace-event JSON (the ``{"traceEvents": [...]}`` format), one process
+per tile, openable in ``ui.perfetto.dev`` or ``chrome://tracing``.
+
+Conventions: 1 simulated cycle = 1 trace microsecond; workers map to
+``pid = node id``; NoC/fault/metric tracks get reserved pids above any
+real node.  Span pairing happens here at export time: same-label
+requests complete in posting order (MPI ordered matching), so a
+per-``(rank, label)`` FIFO recovers every span from the flat note
+stream; collective phases and overlap regions nest properly, so a stack
+suffices.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+
+from repro.empi.requests import (
+    NOTE_OVERLAP_ENTER,
+    NOTE_OVERLAP_EXIT,
+    NOTE_PHASE_ENTER,
+    NOTE_PHASE_EXIT,
+    NOTE_REQUEST_DONE,
+    NOTE_REQUEST_POST,
+    note_key,
+)
+
+#: Reserved pids for non-tile tracks (real node ids stay small).
+PID_NOC = 9000
+PID_FAULTS = 9001
+PID_METRICS = 9002
+
+#: Per-tile thread (track) ids.
+TID_REQUESTS = 0
+TID_COLLECTIVES = 1
+TID_OVERLAP = 2
+TID_MARKS = 3
+TID_DMA = 4
+
+_TID_NAMES = {
+    TID_REQUESTS: "requests",
+    TID_COLLECTIVES: "collectives",
+    TID_OVERLAP: "overlap",
+    TID_MARKS: "marks",
+    TID_DMA: "dma",
+}
+
+
+def _payload(label: str, key: str) -> str:
+    return label[len(key) + 1:] if len(label) > len(key) else ""
+
+
+def _note_events(system, end_cycle: int) -> list[dict]:
+    """Spans and instants recovered from the zero-cycle note stream."""
+    rank_pid = dict(system.rank_to_node)
+    events: list[dict] = []
+    #: (rank, label) -> posted-at cycles, FIFO (ordered matching).
+    open_requests: dict[tuple[int, str], deque] = {}
+    #: (rank, tid) -> stack of (name, start cycle) for nesting brackets.
+    stacks: dict[tuple[int, int], list[tuple[str, int]]] = {}
+
+    def open_span(rank: int, tid: int, name: str, cycle: int) -> None:
+        stacks.setdefault((rank, tid), []).append((name, cycle))
+
+    def close_span(rank: int, tid: int, cycle: int) -> None:
+        stack = stacks.get((rank, tid))
+        if stack:
+            name, start = stack.pop()
+            events.append({
+                "ph": "X", "pid": rank_pid[rank], "tid": tid,
+                "ts": start, "dur": cycle - start, "name": name,
+            })
+
+    for cycle, rank, label in system.notes:
+        if rank not in rank_pid:
+            continue
+        key = note_key(label)
+        if key == NOTE_REQUEST_POST:
+            open_requests.setdefault(
+                (rank, label), deque()
+            ).append(cycle)
+        elif key == NOTE_REQUEST_DONE:
+            posts = open_requests.get(
+                (rank, f"{NOTE_REQUEST_POST} {_payload(label, key)}")
+            )
+            if posts:
+                start = posts.popleft()
+                events.append({
+                    "ph": "X", "pid": rank_pid[rank],
+                    "tid": TID_REQUESTS, "ts": start,
+                    "dur": cycle - start,
+                    "name": _payload(label, key) or "request",
+                })
+        elif key == NOTE_PHASE_ENTER:
+            open_span(
+                rank, TID_COLLECTIVES,
+                _payload(label, key) or "collective", cycle,
+            )
+        elif key == NOTE_PHASE_EXIT:
+            close_span(rank, TID_COLLECTIVES, cycle)
+        elif key == NOTE_OVERLAP_ENTER:
+            open_span(rank, TID_OVERLAP, "overlap", cycle)
+        elif key == NOTE_OVERLAP_EXIT:
+            close_span(rank, TID_OVERLAP, cycle)
+        else:
+            events.append({
+                "ph": "i", "pid": rank_pid[rank], "tid": TID_MARKS,
+                "ts": cycle, "name": label, "s": "t",
+            })
+    # Anything still open at the end of the run renders to the last
+    # cycle, so a hang is visible as a span running off the edge.
+    for (rank, label), posts in open_requests.items():
+        for start in posts:
+            events.append({
+                "ph": "X", "pid": rank_pid[rank], "tid": TID_REQUESTS,
+                "ts": start, "dur": end_cycle - start,
+                "name": (_payload(label, NOTE_REQUEST_POST) or "request")
+                + " (unfinished)",
+            })
+    for (rank, tid), stack in stacks.items():
+        for name, start in stack:
+            events.append({
+                "ph": "X", "pid": rank_pid[rank], "tid": tid,
+                "ts": start, "dur": end_cycle - start,
+                "name": f"{name} (unfinished)",
+            })
+    return events
+
+
+def _tracer_events(system, end_cycle: int) -> list[dict]:
+    """DMA descriptor spans and NoC ejection instants."""
+    events: list[dict] = []
+    #: (source, uid) -> (name, node, post cycle) for descriptor pairing.
+    open_dma: dict[tuple[str, int], tuple[str, int, int]] = {}
+    for event in system.tracer.events:
+        kind = event.kind
+        if kind == "dma_post":
+            fields = event.fields
+            open_dma[(event.source, fields.get("uid", 0))] = (
+                fields.get("desc", "descriptor"),
+                fields.get("node", 0),
+                event.cycle,
+            )
+        elif kind in ("dma_retire", "dma_done"):
+            fields = event.fields
+            entry = open_dma.pop(
+                (event.source, fields.get("uid", 0)), None
+            )
+            if entry is not None:
+                name, node, start = entry
+                events.append({
+                    "ph": "X", "pid": node,
+                    "tid": TID_DMA, "ts": start,
+                    "dur": event.cycle - start, "name": name,
+                })
+        elif kind == "dma_activate":
+            events.append({
+                "ph": "i", "pid": event.fields.get("node", 0),
+                "tid": TID_DMA, "ts": event.cycle,
+                "name": "activate", "s": "t",
+            })
+        elif kind == "eject":
+            events.append({
+                "ph": "i", "pid": PID_NOC,
+                "tid": event.fields.get("node", 0),
+                "ts": event.cycle,
+                "name": f"eject {event.fields.get('ptype', '?')}",
+                "s": "t",
+            })
+    for (source, uid), (name, node, start) in open_dma.items():
+        events.append({
+            "ph": "X", "pid": node, "tid": TID_DMA, "ts": start,
+            "dur": end_cycle - start, "name": f"{name} (unfinished)",
+        })
+    return events
+
+
+def _fault_events(system) -> list[dict]:
+    injector = getattr(system, "injector", None)
+    if injector is None:
+        return []
+    events = []
+    for entry in injector.trace:
+        cycle, kind = entry[0], entry[1]
+        events.append({
+            "ph": "i", "pid": PID_FAULTS, "tid": 0, "ts": cycle,
+            "name": kind, "s": "p",
+            "args": {"details": [str(item) for item in entry[2:]]},
+        })
+    return events
+
+
+def _metric_events(system) -> list[dict]:
+    telemetry = getattr(system, "telemetry", None)
+    if telemetry is None:
+        return []
+    events = []
+    for cycle, row in telemetry.registry.samples:
+        for name, delta in row.items():
+            events.append({
+                "ph": "C", "pid": PID_METRICS, "tid": 0, "ts": cycle,
+                "name": name, "args": {"delta": delta},
+            })
+    return events
+
+
+def _metadata(system) -> list[dict]:
+    events = []
+
+    def process(pid: int, name: str) -> None:
+        events.append({
+            "ph": "M", "pid": pid, "tid": 0, "ts": 0,
+            "name": "process_name", "args": {"name": name},
+        })
+
+    for rank, node in sorted(system.rank_to_node.items()):
+        process(node, f"tile{node} rank{rank}")
+        for tid, tname in _TID_NAMES.items():
+            events.append({
+                "ph": "M", "pid": node, "tid": tid, "ts": 0,
+                "name": "thread_name", "args": {"name": tname},
+            })
+    process(PID_NOC, "noc")
+    process(PID_FAULTS, "faults")
+    process(PID_METRICS, "metrics")
+    return events
+
+
+def chrome_trace_events(system) -> list[dict]:
+    """Every track of a finished run, sorted by (pid, tid, ts)."""
+    end_cycle = system.sim.cycle
+    events = _metadata(system)
+    body = (
+        _note_events(system, end_cycle)
+        + _tracer_events(system, end_cycle)
+        + _fault_events(system)
+        + _metric_events(system)
+    )
+    body.sort(key=lambda e: (e["pid"], e["tid"], e["ts"]))
+    return events + body
+
+
+def write_chrome_trace(system, path: str) -> int:
+    """Write the trace-event JSON file; returns the event count."""
+    events = chrome_trace_events(system)
+    with open(path, "w") as handle:
+        json.dump(
+            {"traceEvents": events, "displayTimeUnit": "ms"},
+            handle,
+        )
+    return len(events)

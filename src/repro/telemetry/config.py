@@ -1,0 +1,48 @@
+"""Telemetry configuration: the opt-in switch for the observability layer.
+
+Kept free of imports from the system layer so
+:class:`~repro.system.config.SystemConfig` can embed it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """What the telemetry subsystem records when enabled.
+
+    Attached to :class:`~repro.system.config.SystemConfig` as
+    ``telemetry`` (default ``None`` — with it unset, no telemetry code
+    runs and every committed golden cycle count is bit-identical; the
+    only hot-path cost anywhere is the existing is-it-None attribute
+    check).  With it set, a timing-neutral sampler snapshots every
+    registered counter at ``sample_interval``-cycle cadence, span events
+    land in a ring-buffered tracer, and the NoC keeps per-link /
+    per-switch spatial matrices.
+    """
+
+    #: Cycles between metric snapshots (the timeline resolution).
+    sample_interval: int = 4096
+    #: Record span/lifecycle events (DMA descriptors, NoC ejects) into
+    #: the system tracer for Chrome-trace export.
+    events: bool = True
+    #: Ring-buffer size for recorded events (the *last* N are kept);
+    #: None = unbounded.
+    event_limit: int | None = 262_144
+    #: Keep per-link transit and per-switch deflection/eject matrices in
+    #: the NoC fabric (the spatial heatmap view).
+    spatial: bool = True
+
+    def validate(self) -> None:
+        if self.sample_interval < 1:
+            raise ConfigError(
+                f"sample_interval must be >= 1, got {self.sample_interval}"
+            )
+        if self.event_limit is not None and self.event_limit < 1:
+            raise ConfigError(
+                f"event_limit must be >= 1 or None, got {self.event_limit}"
+            )

@@ -1,0 +1,102 @@
+"""ASCII heatmaps for the NoC spatial telemetry view.
+
+Renders the matrices from :meth:`~repro.noc.network.NocFabric.spatial_dict`
+— per-link transit counts and per-switch deflection/stall/eject totals —
+as terminal-friendly shade grids, for DSE reports and quick triage
+without leaving the shell.  The same dict dumps to JSON for external
+tooling.
+"""
+
+from __future__ import annotations
+
+#: Shade ramp, blank (zero) to full.
+SHADES = " .:-=+*#%@"
+
+
+def _shade(value: float, peak: float) -> str:
+    """The ramp character for ``value`` against ``peak``.
+
+    Zero is blank; any activity gets at least the faintest mark so a
+    single transit is distinguishable from silence.
+    """
+    if value <= 0:
+        return SHADES[0]
+    if peak <= 0:
+        return SHADES[-1]
+    index = round(value / peak * (len(SHADES) - 1))
+    return SHADES[max(1, min(index, len(SHADES) - 1))]
+
+
+def render_heatmap(
+    rows: list[list[float]], title: str | None = None
+) -> str:
+    """One shade grid for a row-major ``[y][x]`` matrix, with a legend."""
+    peak = max((value for row in rows for value in row), default=0)
+    lines = []
+    if title is not None:
+        lines.append(f"{title} (peak={peak:g})")
+    for row in rows:
+        lines.append(" ".join(_shade(value, peak) for value in row))
+    lines.append(f"legend: ' '=0 .. '{SHADES[-1]}'={peak:g}")
+    return "\n".join(lines)
+
+
+def render_link_map(
+    spatial: dict, node_metric: str = "deflections"
+) -> str:
+    """Combined node + link view on an expanded ``(2h-1) x (2w-1)`` grid.
+
+    Mesh nodes sit at even positions (shaded by ``node_metric``); the
+    character between two adjacent nodes shades the *sum* of transits
+    over both directions of that link.  Wrap-around (torus) links have no
+    "between" cell and are listed below the grid instead.
+    """
+    width, height = spatial["width"], spatial["height"]
+    nodes = spatial[node_metric]
+    flows: dict[tuple[int, int], float] = {}
+    wraps: list[str] = []
+    for link in spatial["links"]:
+        (sx, sy), (dx, dy) = link["src"], link["dst"]
+        if abs(sx - dx) + abs(sy - dy) == 1:
+            # The between-cell of the expanded grid: midpoint of the
+            # doubled node coordinates.
+            key = (sx + dx, sy + dy)
+            flows[key] = flows.get(key, 0) + link["transits"]
+        else:
+            wraps.append(
+                f"  ({sx},{sy})->({dx},{dy}): {link['transits']}"
+            )
+    node_peak = max((v for row in nodes for v in row), default=0)
+    link_peak = max(flows.values(), default=0)
+    lines = [
+        f"noc spatial map: nodes={node_metric} (peak={node_peak:g}), "
+        f"links=transits (peak={link_peak:g})"
+    ]
+    for gy in range(2 * height - 1):
+        chars = []
+        for gx in range(2 * width - 1):
+            if gx % 2 == 0 and gy % 2 == 0:
+                chars.append(_shade(nodes[gy // 2][gx // 2], node_peak))
+            elif (gx + gy) % 2 == 1:
+                chars.append(_shade(flows.get((gx, gy), 0), link_peak))
+            else:
+                chars.append(" ")
+        lines.append("".join(chars))
+    if wraps:
+        lines.append("wrap links (transits):")
+        lines.extend(wraps)
+    return "\n".join(lines)
+
+
+def render_noc_report(spatial: dict | None) -> str:
+    """The full spatial triage text: link map plus per-switch matrices."""
+    if spatial is None:
+        return "noc spatial telemetry: off"
+    sections = [render_link_map(spatial)]
+    for metric, title in (
+        ("deflections", "switch deflections"),
+        ("inject_stalls", "injection stalls"),
+        ("ejects", "ejections"),
+    ):
+        sections.append(render_heatmap(spatial[metric], title))
+    return "\n\n".join(sections)

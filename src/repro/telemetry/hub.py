@@ -1,0 +1,55 @@
+"""TelemetryHub: the one object components see when telemetry is on.
+
+Systems build a hub when ``SystemConfig.telemetry`` is set and hand it
+to instrumented components as a single gated attribute (``dma.telemetry
+= hub``) — the same opt-in pattern as the fault injector, so the
+telemetry-off hot path pays only the existing is-it-None check.  The hub
+bundles the metric registry with the simulator clock (components like
+the DMA engine have no ``cycle`` argument in their API methods) and the
+system tracer for span events.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.simulator import Simulator
+from repro.kernel.trace import Tracer
+from repro.telemetry.config import TelemetryConfig
+from repro.telemetry.registry import MetricRegistry
+
+
+class TelemetryHub:
+    """Registry + clock + tracer behind one gated attribute."""
+
+    def __init__(
+        self, config: TelemetryConfig, sim: Simulator, tracer: Tracer
+    ) -> None:
+        self.config = config
+        self.sim = sim
+        self.tracer = tracer
+        self.registry = MetricRegistry(config.sample_interval)
+        self._finalized_at: int | None = None
+
+    @property
+    def cycle(self) -> int:
+        """The current simulated cycle (valid while stepping)."""
+        return self.sim.cycle
+
+    def emit(self, source: str, kind: str, **fields) -> None:
+        """Record a lifecycle event at the current cycle (if events on)."""
+        if self.config.events:
+            self.tracer.emit(self.sim.cycle, source, kind, **fields)
+
+    def finalize(self, cycle: int) -> None:
+        """Take the end-of-run sample (idempotent per cycle).
+
+        The periodic sampler lands on interval boundaries; this closes
+        the timeline at the actual last cycle so totals match the
+        end-of-run counters exactly.
+        """
+        if self._finalized_at != cycle:
+            self.registry.sample(cycle)
+            self._finalized_at = cycle
+
+    def describe(self) -> str:
+        """Last-snapshot summary line for watchdog/timeout reports."""
+        return self.registry.describe()

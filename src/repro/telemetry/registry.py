@@ -1,0 +1,234 @@
+"""MetricRegistry: hierarchical metric names + a delta-sampling timeline.
+
+The simulator already counts everything (every component owns a
+:class:`~repro.kernel.stats.CounterSet`; latency-critical paths keep
+:class:`~repro.kernel.stats.LatencyStat` histograms) — but only as one
+end-of-run number.  The registry unifies those per-component bags under
+hierarchical names (``tile3.tie.data_flits_sent``,
+``noc.link.(1,1)->(1,2).transits``) and a configurable-cadence sampler
+snapshots the *deltas* between visits, so utilization, deflection rate,
+credit stalls and retransmits become per-interval curves.
+
+Sources are ``(prefix, provider, flush)`` triples: ``provider`` returns
+the source's current absolute values as a flat dict, ``flush`` (optional)
+folds any batched hot-path counters in first.  The registry computes the
+deltas itself, so providers stay the plain ``as_dict`` accessors the
+components already have.
+
+Timing neutrality: sampling only *reads* simulator state (flushes move
+already-earned counts between Python dicts), and the sampler component's
+periodic wakeups merely add cycles to the kernel's visit schedule — the
+same argument as the no-progress watchdog — so simulated cycle counts
+are bit-identical with telemetry on or off.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.empi.requests import _EVENT_DELTAS, note_key
+from repro.kernel.component import Component
+from repro.kernel.stats import CounterSet, LatencyStat
+
+#: A provider returns the source's current absolute counter values.
+Provider = Callable[[], dict]
+
+
+class MetricRegistry:
+    """Named metric sources plus the sampled delta timeline."""
+
+    def __init__(self, sample_interval: int = 4096) -> None:
+        self.sample_interval = sample_interval
+        self._sources: list[tuple[str, Provider, Callable[[], None] | None]] = []
+        #: Absolute value at the last sample, per hierarchical name.
+        self._prev: dict[str, float] = {}
+        #: One row per sample: (cycle, {name: delta for changed names}).
+        self.samples: list[tuple[int, dict[str, float]]] = []
+
+    # -- source registration -------------------------------------------------
+
+    def add_source(
+        self,
+        prefix: str,
+        provider: Provider,
+        flush: Callable[[], None] | None = None,
+    ) -> None:
+        """Register a metric source under ``prefix``.
+
+        Keys of the provider's dict become ``{prefix}.{key}`` metric
+        names.  Sources are sampled in registration order, so a flush
+        hook registered early (e.g. a node's op-stats flush) also
+        freshens later sources that share its batching.
+        """
+        self._sources.append((prefix, provider, flush))
+
+    def add_counters(
+        self,
+        prefix: str,
+        counters: CounterSet,
+        flush: Callable[[], None] | None = None,
+    ) -> None:
+        self.add_source(prefix, counters.as_dict, flush)
+
+    def add_latency(self, prefix: str, stat: LatencyStat) -> None:
+        """Register a latency histogram as count/total counters.
+
+        Sampled deltas of ``count``/``total`` give the per-interval mean
+        latency without storing per-sample histograms.
+        """
+        self.add_source(
+            prefix, lambda: {"count": stat.count, "total": stat.total}
+        )
+
+    # -- sampling ------------------------------------------------------------
+
+    def sample(self, cycle: int) -> dict[str, float]:
+        """Snapshot every source; record and return the delta row."""
+        prev = self._prev
+        row: dict[str, float] = {}
+        for prefix, provider, flush in self._sources:
+            if flush is not None:
+                flush()
+            for key, value in provider().items():
+                name = f"{prefix}.{key}"
+                before = prev.get(name, 0)
+                if value != before:
+                    row[name] = value - before
+                    prev[name] = value
+        self.samples.append((cycle, row))
+        return row
+
+    # -- timeline access -----------------------------------------------------
+
+    def timeline(self, name: str) -> list[tuple[int, float]]:
+        """The (cycle, delta) curve of one metric across all samples."""
+        return [
+            (cycle, row.get(name, 0)) for cycle, row in self.samples
+        ]
+
+    def series(self) -> dict[str, list[tuple[int, float]]]:
+        """Every metric that ever moved, as (cycle, delta) curves."""
+        names = sorted({name for __, row in self.samples for name in row})
+        return {name: self.timeline(name) for name in names}
+
+    def totals(self) -> dict[str, float]:
+        """Absolute value of every metric as of the last sample."""
+        return dict(self._prev)
+
+    def total(self, name: str, default: float = 0) -> float:
+        return self._prev.get(name, default)
+
+    def describe(self, top: int = 6) -> str:
+        """One-line snapshot summary for watchdog/timeout reports."""
+        if not self.samples:
+            return "telemetry: no samples yet"
+        cycle, row = self.samples[-1]
+        movers = sorted(row.items(), key=lambda kv: -abs(kv[1]))[:top]
+        inner = ", ".join(f"{name}+{delta:g}" for name, delta in movers)
+        return (
+            f"telemetry: last sample at cycle {cycle} "
+            f"({len(self.samples)} samples): {inner or 'no movement'}"
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready dump: the full timeline plus the running totals."""
+        return {
+            "sample_interval": self.sample_interval,
+            "samples": [
+                {"cycle": cycle, "deltas": row}
+                for cycle, row in self.samples
+            ],
+            "totals": self.totals(),
+        }
+
+
+class OverlapNoteCounters:
+    """Cumulative overlap counters folded incrementally from the notes.
+
+    The request layer brackets in-flight windows and overlap regions
+    with zero-cycle notes; :func:`~repro.empi.requests.overlap_stats`
+    reduces a *finished* run's notes in one sweep.  This tracker does the
+    same fold incrementally at each sample, exposing the running totals
+    as plain counters (``rank0.inflight_cycles`` …, plus the aggregate
+    ``inflight_cycles``/``coexist_cycles``), so the sampled timeline
+    carries overlap efficiency per interval — and its end-to-end sum
+    reproduces :func:`~repro.empi.requests.mean_overlap_efficiency`
+    exactly, from counters alone.
+    """
+
+    def __init__(self, notes: list[tuple[int, int, str]], n_workers: int):
+        self.notes = notes
+        self._index = 0
+        #: rank -> (inflight depth, overlap depth, last event cycle).
+        self._depth = {rank: (0, 0, 0) for rank in range(n_workers)}
+        self._counts: dict[str, int] = {
+            "inflight_cycles": 0,
+            "overlap_region_cycles": 0,
+            "coexist_cycles": 0,
+        }
+
+    def values(self) -> dict[str, int]:
+        """Fold any new notes, then return the cumulative counters."""
+        notes = self.notes
+        depth = self._depth
+        counts = self._counts
+        index = self._index
+        while index < len(notes):
+            cycle, rank, label = notes[index]
+            index += 1
+            deltas = _EVENT_DELTAS.get(note_key(label))
+            if deltas is None or rank not in depth:
+                continue
+            inflight, in_overlap, last_cycle = depth[rank]
+            elapsed = cycle - last_cycle
+            if inflight > 0:
+                counts["inflight_cycles"] += elapsed
+                counts[f"rank{rank}.inflight_cycles"] = (
+                    counts.get(f"rank{rank}.inflight_cycles", 0) + elapsed
+                )
+            if in_overlap > 0:
+                counts["overlap_region_cycles"] += elapsed
+            if inflight > 0 and in_overlap > 0:
+                counts["coexist_cycles"] += elapsed
+                counts[f"rank{rank}.coexist_cycles"] = (
+                    counts.get(f"rank{rank}.coexist_cycles", 0) + elapsed
+                )
+            depth[rank] = (inflight + deltas[0], in_overlap + deltas[1], cycle)
+        self._index = index
+        return counts
+
+
+def sampled_overlap_efficiency(registry: MetricRegistry) -> float:
+    """Overlap efficiency recomputed from the sampled timeline alone.
+
+    Sums the per-interval ``empi.overlap.*`` deltas across every sample
+    row — no access to the notes or to
+    :class:`~repro.empi.requests.OverlapStats` — so it proves the
+    sampled counters carry the paper's overlap-efficiency number.
+    """
+    coexist = sum(
+        row.get("empi.overlap.coexist_cycles", 0)
+        for __, row in registry.samples
+    )
+    inflight = sum(
+        row.get("empi.overlap.inflight_cycles", 0)
+        for __, row in registry.samples
+    )
+    return coexist / inflight if inflight else 0.0
+
+
+class TelemetrySampler(Component):
+    """Periodic registry sampler (the watchdog's timing-neutral pattern).
+
+    Registered last so its snapshots see each cycle's final state; its
+    step only reads (and flushes batched counters), so cycle counts stay
+    bit-identical with the sampler present.
+    """
+
+    def __init__(self, registry: MetricRegistry) -> None:
+        super().__init__("telemetry")
+        self.registry = registry
+
+    def step(self, cycle: int) -> None:
+        self.registry.sample(cycle)
+        self.sleep(until=cycle + self.registry.sample_interval)

@@ -1,0 +1,130 @@
+"""Canonical traced workloads for ``medea trace`` and the CI smoke job.
+
+Each workload builds a telemetry-enabled system, runs it, and hands back
+the (system, result) pair the exporters need.  The flagship ``cg``
+workload exercises every track type at once: request spans and overlap
+regions (non-blocking halos + iallreduce), collective phases, DMA
+descriptor lifecycles (ring allreduce on the engine), and injected
+faults recovered by the reliability layer.
+
+Lives outside the package root on purpose: it imports the application
+layer, which ``repro.telemetry`` itself must stay independent of.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.apps.cg import CgParams, CgResult, run_cg
+from repro.faults import FaultPlan
+from repro.system.config import SystemConfig
+from repro.system.presets import cg_reference_config
+from repro.telemetry.config import TelemetryConfig
+
+
+@dataclass(frozen=True)
+class TraceWorkload:
+    """One named traced run: a config/params pair plus its runner."""
+
+    name: str
+    description: str
+    build: Callable[[], tuple[SystemConfig, CgParams]]
+
+    def run(self):
+        """Execute the workload; returns ``(system, result)``."""
+        config, params = self.build()
+        captured = {}
+        result = run_cg(
+            config, params,
+            observer=lambda system: captured.setdefault("system", system),
+        )
+        return captured["system"], result
+
+
+def _cg_full_stack() -> tuple[SystemConfig, CgParams]:
+    """8w CG with everything on: DMA ring allreduce, faults, telemetry."""
+    config = cg_reference_config(
+        dma_tx_queue_depth=4,
+        faults=FaultPlan(seed=7, drop_rate=0.002),
+        telemetry=TelemetryConfig(sample_interval=2048),
+    )
+    params = CgParams(
+        n=64, iterations=10, model="empi", algorithm="ring", overlap=True,
+    )
+    return config, params
+
+
+def _cg_reference() -> tuple[SystemConfig, CgParams]:
+    """The PR-3 acceptance point (8w, tree, overlap) with telemetry on.
+
+    No faults or DMA: this is the run whose ~0.96 overlap efficiency the
+    sampled timeline must reproduce from counters alone.
+    """
+    config = cg_reference_config(
+        telemetry=TelemetryConfig(sample_interval=2048)
+    )
+    params = CgParams(
+        n=64, iterations=10, model="empi", algorithm="tree", overlap=True,
+    )
+    return config, params
+
+
+def _cg_tiny() -> tuple[SystemConfig, CgParams]:
+    """2w miniature of the full stack, for fast unit tests."""
+    config = SystemConfig(
+        n_workers=2, cache_size_kb=8,
+        dma_tx_queue_depth=4,
+        # A scheduled switch stall guarantees at least one fault event in
+        # the trace regardless of how the seeded drop dice land.
+        faults=FaultPlan(
+            seed=3, drop_rate=0.002, stalls=((1, 2000, 32),),
+        ),
+        telemetry=TelemetryConfig(sample_interval=512),
+    )
+    params = CgParams(
+        n=12, iterations=3, model="empi", algorithm="ring", overlap=True,
+    )
+    return config, params
+
+
+TRACE_WORKLOADS: dict[str, TraceWorkload] = {
+    workload.name: workload
+    for workload in (
+        TraceWorkload(
+            "cg",
+            "8w CG, ring allreduce on the DMA engine, overlap, faults",
+            _cg_full_stack,
+        ),
+        TraceWorkload(
+            "cg-reference",
+            "8w CG overlap acceptance point (tree, fault-free)",
+            _cg_reference,
+        ),
+        TraceWorkload(
+            "cg-tiny",
+            "2w miniature full-stack run (fast; unit tests)",
+            _cg_tiny,
+        ),
+    )
+}
+
+
+def run_trace_workload(name: str):
+    """Run a named workload; returns ``(system, CgResult)``."""
+    try:
+        workload = TRACE_WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(TRACE_WORKLOADS))
+        raise KeyError(
+            f"unknown trace workload {name!r} (known: {known})"
+        ) from None
+    return workload.run()
+
+
+__all__ = [
+    "CgResult",
+    "TRACE_WORKLOADS",
+    "TraceWorkload",
+    "run_trace_workload",
+]

@@ -73,9 +73,11 @@ def test_post_gives_an_eager_first_slice():
     ops, request = drive(engine.post(frag(), "f"))
     # The fragment ran to completion inside post: note, op, note.
     assert request.complete and request.result == "done"
+    # Notes carry the request label as payload, so trace exporters can
+    # pair post/done spans; the overlap accounting keys on the marker.
     assert ops == [
-        ("note", NOTE_REQUEST_POST), ("compute", 1),
-        ("note", NOTE_REQUEST_DONE),
+        ("note", f"{NOTE_REQUEST_POST} f"), ("compute", 1),
+        ("note", f"{NOTE_REQUEST_DONE} f"),
     ]
     assert engine.idle
 

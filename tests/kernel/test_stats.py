@@ -72,6 +72,68 @@ def test_latency_percentile_bound_brackets_tail():
     assert stat.percentile_bound(1.0) >= 1000 or stat.max == 1000
 
 
+def test_counter_merge_is_additive_per_key_and_repeatable():
+    left = CounterSet("l")
+    right = CounterSet("r")
+    left.inc("a", 2)
+    right.inc("a", 3)
+    left.merge(right)
+    left.merge(right)
+    assert left["a"] == 8
+    # Merging never mutates the source set.
+    assert right["a"] == 3
+
+
+def test_counter_merge_empty_is_identity():
+    left = CounterSet("l")
+    left.inc("a", 2)
+    left.merge(CounterSet("empty"))
+    assert left.as_dict() == {"a": 2}
+
+
+def test_counter_set_max_accepts_zero_only_as_first_value():
+    counters = CounterSet("c")
+    counters.set_max("depth", 0)
+    assert "depth" not in counters  # 0 is the implicit default already
+    counters.set_max("depth", 2)
+    counters.set_max("depth", 0)
+    assert counters["depth"] == 2
+
+
+def test_latency_percentile_bound_single_sample():
+    stat = LatencyStat()
+    stat.record(5)
+    # One sample: every fraction brackets it (5 lands in the (4, 8] bucket).
+    assert stat.percentile_bound(0.01) == 8
+    assert stat.percentile_bound(1.0) == 8
+
+
+def test_latency_percentile_bound_exact_bucket_boundaries():
+    stat = LatencyStat()
+    stat.record(1)  # first closed bucket
+    stat.record(2)  # second closed bucket
+    assert stat.percentile_bound(0.5) == 1
+    assert stat.percentile_bound(1.0) == 2
+
+
+def test_latency_percentile_bound_open_bucket_returns_max():
+    stat = LatencyStat()
+    for __ in range(9):
+        stat.record(1)
+    stat.record(123_456)  # far past the last bound: open-ended bucket
+    assert stat.percentile_bound(1.0) == 123_456
+    assert stat.percentile_bound(0.9) == 1
+
+
+def test_latency_percentile_bound_zero_fraction():
+    stat = LatencyStat()
+    stat.record(7)
+    stat.record(700)
+    # fraction 0: the threshold is 0 samples, so the very first bucket
+    # (bound 1) satisfies it even though it is empty.
+    assert stat.percentile_bound(0.0) == 1
+
+
 def test_latency_bucket_overflow_goes_to_open_bucket():
     stat = LatencyStat()
     stat.record(10_000_000)

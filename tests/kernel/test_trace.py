@@ -29,6 +29,38 @@ def test_limit_drops_excess_events():
     assert tracer.dropped == 3
 
 
+def test_ring_buffer_keeps_the_last_events_in_order():
+    # The limit is a ring over the *tail* of the stream: after wrapping,
+    # `events` is the last N records in chronological order — what a
+    # timeout report wants to show (the hang, not startup noise).
+    tracer = Tracer(enabled=True, limit=3)
+    for cycle in range(7):
+        tracer.emit(cycle, "s", "k", n=cycle)
+    assert len(tracer) == 3
+    assert tracer.dropped == 4
+    assert [e.cycle for e in tracer.events] == [4, 5, 6]
+
+
+def test_ring_buffer_wraps_repeatedly():
+    tracer = Tracer(enabled=True, limit=2)
+    for cycle in range(10):
+        tracer.emit(cycle, "s", "k")
+        assert [e.cycle for e in tracer.events] == (
+            list(range(cycle + 1)) if cycle < 2 else [cycle - 1, cycle]
+        )
+    assert tracer.dropped == 8
+
+
+def test_ring_buffer_clear_resets_the_wrap_pointer():
+    tracer = Tracer(enabled=True, limit=2)
+    for cycle in range(5):
+        tracer.emit(cycle, "s", "k")
+    tracer.clear()
+    tracer.emit(9, "s", "k")
+    assert [e.cycle for e in tracer.events] == [9]
+    assert tracer.dropped == 0
+
+
 def test_of_kind_filter():
     tracer = Tracer(enabled=True)
     tracer.emit(1, "a", "x")

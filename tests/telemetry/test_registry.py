@@ -1,0 +1,175 @@
+"""MetricRegistry: delta sampling, timelines, overlap folding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.empi.requests import (
+    NOTE_OVERLAP_ENTER,
+    NOTE_OVERLAP_EXIT,
+    NOTE_REQUEST_DONE,
+    NOTE_REQUEST_POST,
+    mean_overlap_efficiency,
+    overlap_stats,
+)
+from repro.kernel.stats import CounterSet, LatencyStat
+from repro.telemetry.registry import (
+    MetricRegistry,
+    OverlapNoteCounters,
+    TelemetrySampler,
+    sampled_overlap_efficiency,
+)
+
+
+def test_sample_records_deltas_not_absolutes():
+    registry = MetricRegistry()
+    counters = CounterSet("c")
+    registry.add_counters("tile0", counters)
+    counters.inc("hits", 5)
+    assert registry.sample(100) == {"tile0.hits": 5}
+    counters.inc("hits", 2)
+    assert registry.sample(200) == {"tile0.hits": 2}
+    assert registry.total("tile0.hits") == 7
+
+
+def test_sample_row_only_holds_changed_names():
+    registry = MetricRegistry()
+    counters = CounterSet("c")
+    registry.add_counters("x", counters)
+    counters.inc("moving")
+    counters.inc("frozen")
+    registry.sample(10)
+    counters.inc("moving")
+    row = registry.sample(20)
+    assert row == {"x.moving": 1}  # sparse: frozen didn't move
+
+
+def test_flush_hook_runs_before_the_provider_is_read():
+    registry = MetricRegistry()
+    counters = CounterSet("c")
+    batched = {"pending": 3}
+
+    def flush():
+        counters.inc("ops", batched.pop("pending", 0))
+
+    registry.add_counters("core", counters, flush=flush)
+    assert registry.sample(50) == {"core.ops": 3}
+
+
+def test_timeline_and_series_report_per_sample_curves():
+    registry = MetricRegistry()
+    counters = CounterSet("c")
+    registry.add_counters("n", counters)
+    counters.inc("a", 1)
+    registry.sample(10)
+    registry.sample(20)  # nothing moved
+    counters.inc("a", 4)
+    registry.sample(30)
+    assert registry.timeline("n.a") == [(10, 1), (20, 0), (30, 4)]
+    assert registry.series() == {"n.a": [(10, 1), (20, 0), (30, 4)]}
+
+
+def test_add_latency_samples_count_and_total():
+    registry = MetricRegistry()
+    stat = LatencyStat()
+    registry.add_latency("noc.latency", stat)
+    stat.record(10)
+    stat.record(20)
+    row = registry.sample(5)
+    assert row == {"noc.latency.count": 2, "noc.latency.total": 30}
+    stat.record(4)
+    row = registry.sample(6)
+    # Per-interval mean latency falls straight out of the two deltas.
+    assert row["noc.latency.total"] / row["noc.latency.count"] == 4
+
+
+def test_describe_names_the_biggest_movers():
+    registry = MetricRegistry()
+    counters = CounterSet("c")
+    registry.add_counters("t", counters)
+    assert "no samples" in registry.describe()
+    counters.inc("big", 100)
+    counters.inc("small", 1)
+    registry.sample(42)
+    summary = registry.describe(top=1)
+    assert "cycle 42" in summary
+    assert "t.big" in summary and "t.small" not in summary
+
+
+def test_as_dict_round_trips_through_json_shapes():
+    registry = MetricRegistry(sample_interval=64)
+    counters = CounterSet("c")
+    registry.add_counters("t", counters)
+    counters.inc("k", 2)
+    registry.sample(64)
+    data = registry.as_dict()
+    assert data["sample_interval"] == 64
+    assert data["samples"] == [{"cycle": 64, "deltas": {"t.k": 2}}]
+    assert data["totals"] == {"t.k": 2}
+
+
+NOTES = [
+    (10, 0, f"{NOTE_REQUEST_POST} halo"),
+    (20, 0, NOTE_OVERLAP_ENTER),
+    (50, 0, NOTE_OVERLAP_EXIT),
+    (60, 0, f"{NOTE_REQUEST_DONE} halo"),
+    (15, 1, "solve_start"),  # foreign labels are ignored
+]
+
+
+def test_overlap_note_counters_match_the_batch_reduction():
+    """The incremental fold must agree with ``overlap_stats`` exactly."""
+    tracker = OverlapNoteCounters(list(NOTES), 2)
+    counts = tracker.values()
+    batch = overlap_stats(NOTES, 2)
+    assert counts["inflight_cycles"] == batch[0].inflight_cycles == 50
+    assert counts["overlap_region_cycles"] == 30
+    assert counts["coexist_cycles"] == batch[0].coexist_cycles == 30
+    assert counts["rank0.inflight_cycles"] == 50
+    assert "rank1.inflight_cycles" not in counts
+
+
+def test_overlap_note_counters_fold_incrementally():
+    notes: list = []
+    tracker = OverlapNoteCounters(notes, 1)
+    assert tracker.values()["inflight_cycles"] == 0
+    notes.extend(NOTES[:2])  # post + overlap enter arrive
+    assert tracker.values()["inflight_cycles"] == 10
+    notes.extend(NOTES[2:4])  # exit + done arrive later
+    counts = tracker.values()
+    assert counts["inflight_cycles"] == 50
+    assert counts["coexist_cycles"] == 30
+    # Re-reading without new notes is a no-op.
+    assert tracker.values() == counts
+
+
+def test_sampled_overlap_efficiency_sums_the_delta_series():
+    registry = MetricRegistry()
+    tracker = OverlapNoteCounters(list(NOTES), 2)
+    registry.add_source("empi.overlap", tracker.values)
+    registry.sample(100)
+    # One rank active out of two: the aggregate cycle ratio equals the
+    # batch reduction's mean (idle ranks contribute to neither).
+    assert sampled_overlap_efficiency(registry) == pytest.approx(30 / 50)
+    assert mean_overlap_efficiency(overlap_stats(NOTES, 2)) == pytest.approx(
+        30 / 50
+    )
+
+
+def test_sampled_overlap_efficiency_empty_registry_is_zero():
+    assert sampled_overlap_efficiency(MetricRegistry()) == 0.0
+
+
+def test_sampler_component_snapshots_on_its_cadence():
+    from repro.kernel.simulator import Simulator
+
+    registry = MetricRegistry(sample_interval=10)
+    counters = CounterSet("c")
+    registry.add_counters("t", counters)
+    counters.inc("k")
+    sim = Simulator()
+    sampler = TelemetrySampler(registry)
+    sim.register(sampler)
+    sampler.wake()
+    sim.run(max_cycles=35)
+    assert [cycle for cycle, __ in registry.samples] == [0, 10, 20, 30]

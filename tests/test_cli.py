@@ -77,6 +77,42 @@ def test_main_profile_prints_hot_spots(tmp_path, capsys):
     exit_code = main(["simspeed", "--out", str(tmp_path), "--profile"])
     assert exit_code == 0
     out = capsys.readouterr().out
-    assert "profile (top 20 by cumulative time)" in out
+    # Per-point profiles are merged into one table; the banner counts them.
+    assert "points merged, top 20 by cumulative time" in out
     assert "cumtime" in out  # the pstats table actually rendered
     assert "cycles/sec" in out  # the experiment itself still ran
+
+
+def test_main_profile_merges_every_sweep_point(tmp_path, capsys):
+    from repro.dse.experiments import _build_simspeed
+
+    n_points = len(_build_simspeed(False).points())
+    main(["simspeed", "--out", str(tmp_path), "--profile"])
+    out = capsys.readouterr().out
+    assert f"profile ({n_points} points merged" in out
+
+
+def test_trace_command_writes_a_valid_timeline(tmp_path, capsys):
+    out_file = tmp_path / "trace.json"
+    exit_code = main(["trace", "cg-tiny", "--out", str(out_file)])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "traced cg-tiny" in out
+    assert "overlap efficiency" in out
+    import json
+
+    events = json.loads(out_file.read_text())["traceEvents"]
+    assert events and all("ph" in event for event in events)
+
+
+def test_trace_command_heatmap_flag(tmp_path, capsys):
+    exit_code = main([
+        "trace", "cg-tiny", "--out", str(tmp_path / "t.json"), "--heatmap",
+    ])
+    assert exit_code == 0
+    assert "noc spatial map" in capsys.readouterr().out
+
+
+def test_trace_command_rejects_unknown_workload(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["trace", "nope", "--out", str(tmp_path / "t.json")])
