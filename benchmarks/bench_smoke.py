@@ -189,6 +189,34 @@ def test_telemetry_layer_is_timing_neutral():
     assert summary["trace_events"] > 0
 
 
+def test_attribution_is_timing_neutral():
+    """Arming cycle attribution must not move a single cycle: the
+    ``cp+``/``cph``/``cp-`` notes it adds are zero-cycle ops, so the
+    instrumented workload reproduces the untelemetered golden bit for
+    bit — while actually recording critical-path spans."""
+    from repro.telemetry.attribution import critical_paths
+
+    captured = {}
+    result = run_collective_bench(
+        SystemConfig(n_workers=8, cache_size_kb=16,
+                     telemetry=TelemetryConfig(sample_interval=1024,
+                                               attribution=True)),
+        CollectiveBenchParams(
+            collective="allreduce", model="empi", algorithm="tree",
+            n_values=16, repeats=4,
+        ),
+        observer=lambda system: captured.setdefault("system", system),
+    )
+    reference = golden()["collective_allreduce_8w_tree"]
+    assert result.validated
+    assert result.total_cycles == reference["total_cycles"]
+    assert result.op_cycles == reference["op_cycles"]
+    paths = critical_paths(captured["system"].notes)
+    assert len(paths) == 4  # one per repeat
+    for path in paths:
+        assert sum(edge["cycles"] for edge in path["edges"]) == path["latency"]
+
+
 def golden() -> dict:
     return json.loads(BENCH_FILE.read_text())["workloads"]
 

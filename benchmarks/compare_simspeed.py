@@ -1,0 +1,132 @@
+"""Diff two ``BENCH_simspeed.json`` snapshots: is the simulator faster?
+
+``record_simspeed.py`` rolls measured throughput into the committed
+snapshot; this tool makes the trajectory *checkable* instead of
+eyeballed.  It compares the ``after_cycles_per_sec`` of each workload
+present in both files, prints the per-workload speedup (new/old) and the
+geometric mean, and exits nonzero when any workload regressed past the
+threshold — so a perf PR can assert its claim in CI and a refactor PR
+can prove it didn't pay for cleanliness with throughput.
+
+Usage::
+
+    python benchmarks/compare_simspeed.py OLD.json NEW.json
+    python benchmarks/compare_simspeed.py OLD.json NEW.json --threshold 0.9
+
+Cycle counts are compared too: a *golden drift* (different
+``total_cycles`` for a shared workload) is reported and fails the
+comparison regardless of throughput, because it means the two snapshots
+measured different architectures and the speedups are not comparable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_workloads(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)["workloads"]
+
+
+def compare(
+    old: dict, new: dict, threshold: float = 0.95
+) -> tuple[list[dict], list[str]]:
+    """Per-workload speedup rows plus the failure reasons (empty = pass).
+
+    ``threshold`` is the minimum acceptable new/old throughput ratio:
+    0.95 tolerates 5% host noise; 1.0 demands strict improvement.
+    """
+    rows = []
+    failures = []
+    shared = sorted(set(old) & set(new))
+    if not shared:
+        failures.append("no workloads in common between the two snapshots")
+    for name in shared:
+        old_entry, new_entry = old[name], new[name]
+        if old_entry.get("total_cycles") != new_entry.get("total_cycles"):
+            failures.append(
+                f"{name}: golden cycle drift "
+                f"({old_entry.get('total_cycles')} -> "
+                f"{new_entry.get('total_cycles')}) — snapshots measured "
+                f"different architectures, speedups not comparable"
+            )
+        old_rate = old_entry.get("after_cycles_per_sec", 0)
+        new_rate = new_entry.get("after_cycles_per_sec", 0)
+        if not old_rate or not new_rate:
+            failures.append(f"{name}: missing after_cycles_per_sec")
+            continue
+        ratio = new_rate / old_rate
+        rows.append({
+            "workload": name,
+            "old": old_rate,
+            "new": new_rate,
+            "speedup": ratio,
+        })
+        if ratio < threshold:
+            failures.append(
+                f"{name}: regressed to {ratio:.2f}x "
+                f"({old_rate:,} -> {new_rate:,} cycles/sec; "
+                f"threshold {threshold:.2f}x)"
+            )
+    return rows, failures
+
+
+def geomean(ratios: list[float]) -> float:
+    if not ratios:
+        return 0.0
+    product = 1.0
+    for ratio in ratios:
+        product *= ratio
+    return product ** (1.0 / len(ratios))
+
+
+def render(rows: list[dict]) -> str:
+    width = max((len(row["workload"]) for row in rows), default=8)
+    lines = [
+        f"  {'workload':<{width}}  {'old c/s':>12}  {'new c/s':>12}  speedup"
+    ]
+    for row in rows:
+        lines.append(
+            f"  {row['workload']:<{width}}  {row['old']:>12,}"
+            f"  {row['new']:>12,}  {row['speedup']:>6.2f}x"
+        )
+    lines.append(
+        f"  geometric mean speedup: "
+        f"{geomean([row['speedup'] for row in rows]):.2f}x"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two BENCH_simspeed.json snapshots; nonzero exit "
+                    "on regression",
+    )
+    parser.add_argument("old", help="baseline BENCH_simspeed.json")
+    parser.add_argument("new", help="candidate BENCH_simspeed.json")
+    parser.add_argument(
+        "--threshold", type=float, default=0.95,
+        help="minimum acceptable new/old throughput ratio "
+             "(default 0.95: 5%% host-noise tolerance)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        old = load_workloads(args.old)
+        new = load_workloads(args.new)
+    except (OSError, json.JSONDecodeError, KeyError) as error:
+        print(f"cannot load snapshot: {error}", file=sys.stderr)
+        return 2
+    rows, failures = compare(old, new, threshold=args.threshold)
+    if rows:
+        print(f"simspeed comparison ({args.old} -> {args.new}):")
+        print(render(rows))
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -138,8 +138,15 @@ def run_collective_bench(
     config: SystemConfig,
     params: CollectiveBenchParams,
     max_cycles: int | None = None,
+    observer=None,
 ) -> CollectiveBenchResult:
-    """Run one microbenchmark point and validate every delivered vector."""
+    """Run one microbenchmark point and validate every delivered vector.
+
+    ``observer`` (if given) is called with the built
+    :class:`~repro.system.medea.MedeaSystem` before the run — the same
+    capture hook :func:`~repro.apps.cg.run_cg` offers, so trace/analyze
+    workloads can hold onto the system for post-run inspection.
+    """
     params = CollectiveBenchParams(
         params.collective, params.model, params.algorithm,
         params.n_values, params.repeats, params.validate,
@@ -147,6 +154,8 @@ def run_collective_bench(
     n_workers = config.n_workers
     results: dict[int, list] = {}
     system = MedeaSystem(config)
+    if observer is not None:
+        observer(system)
     system.load_programs([
         _make_program(params, rank, n_workers, results)
         for rank in range(n_workers)

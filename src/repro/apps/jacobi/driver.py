@@ -102,8 +102,15 @@ def run_jacobi(
     params: JacobiParams,
     max_cycles: int | None = None,
     keep_system: bool = False,
+    observer=None,
 ) -> JacobiResult:
-    """Run one Jacobi experiment on one architecture point."""
+    """Run one Jacobi experiment on one architecture point.
+
+    ``observer``, when given, is called with the built
+    :class:`MedeaSystem` before the run, so telemetry and attribution
+    tooling can inspect it afterwards (the same hook ``run_cg`` and
+    ``run_collective_bench`` expose).
+    """
     model = JacobiModel.parse(params.model)
     required_memory_ok(config, params)
     strips = partition_interior(params.n, config.n_workers)
@@ -122,6 +129,8 @@ def run_jacobi(
         for rank in range(config.n_workers)
     ]
     system = MedeaSystem(config)
+    if observer is not None:
+        observer(system)
     system.load_programs(factories)
     total = system.run(max_cycles=max_cycles)
 

@@ -10,6 +10,7 @@ Usage::
     python -m repro fig6 --fresh    # ignore cached points, recompute all
     python -m repro fig6 --retry 2  # retry failed points twice before giving up
     python -m repro trace cg --out trace.json        # Perfetto-openable timeline
+    python -m repro analyze cg --out report.json     # where-did-cycles-go report
 
 Reports are printed and saved under ``--out`` (default ``./results``);
 sweep points are cached there too — incrementally, so an interrupted
@@ -190,16 +191,72 @@ def run_trace(argv: list[str]) -> int:
     print(f"wrote {count} trace events to {args.out} "
           f"(open in ui.perfetto.dev)")
     if args.heatmap:
-        print(render_noc_report(system.fabric.spatial_dict()))
+        from repro.telemetry.attribution import windowed_link_utilization
+        windows = windowed_link_utilization(system.telemetry.registry)
+        print(render_noc_report(
+            system.fabric.spatial_dict(), windows["windows"]
+        ))
+    return 0
+
+
+def run_analyze(argv: list[str]) -> int:
+    """``medea analyze <workload> [--out report.json] [--heatmap]``.
+
+    Runs a workload and prints the cycle-attribution report: the
+    where-did-cycles-go ledger table (per tile and aggregated, checked
+    to sum to the elapsed cycles bit-exactly), top stall sources with
+    fault/credit context, the ``_execute`` dispatch histogram, windowed
+    link utilization, and the critical path of every attributed
+    collective op.  ``--out`` also writes the full report as JSON
+    (schema checked by ``benchmarks/validate_report.py``).
+    """
+    import json
+
+    from repro.telemetry.attribution import build_report, render_report
+    from repro.telemetry.heatmap import render_noc_report
+    from repro.telemetry.workloads import TRACE_WORKLOADS
+
+    parser = argparse.ArgumentParser(
+        prog="medea analyze",
+        description="run a workload and print its cycle-attribution report",
+    )
+    parser.add_argument(
+        "workload", choices=sorted(TRACE_WORKLOADS),
+        help="which workload to analyze",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="REPORT.json",
+        help="also write the full report as JSON",
+    )
+    parser.add_argument(
+        "--heatmap", action="store_true",
+        help="also print the NoC spatial heatmaps with the windowed "
+             "utilization view",
+    )
+    args = parser.parse_args(argv)
+    workload = TRACE_WORKLOADS[args.workload]
+    system, __ = workload.run()
+    report = build_report(system, workload=args.workload)
+    print(render_report(report))
+    if args.heatmap:
+        windows = report["links"]["windows"] if report["links"] else None
+        print()
+        print(render_noc_report(system.fabric.spatial_dict(), windows))
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=1)
+        print(f"\nwrote report to {args.out}")
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "trace":
-        # The trace subcommand has its own argument set; intercept it
-        # before the positional-choice experiment parser.
+        # The trace/analyze subcommands have their own argument sets;
+        # intercept them before the positional-choice experiment parser.
         return run_trace(argv[1:])
+    if argv and argv[0] == "analyze":
+        return run_analyze(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         print(list_experiments(), end="")

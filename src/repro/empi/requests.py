@@ -78,6 +78,14 @@ NOTE_OVERLAP_EXIT = "ov-"
 #: Collective phase brackets (emitted by the collective facades).
 NOTE_PHASE_ENTER = "coll+"
 NOTE_PHASE_EXIT = "coll-"
+#: Critical-path instrumentation (attribution only, off by default):
+#: ``cp+ <op#k>`` / ``cp- <op#k>`` bracket one rank's participation in
+#: collective occurrence ``op#k``; ``cph <op#k> snd|rcv <peer>`` marks a
+#: completed hop inside it.  All zero-cycle notes, so arming them is
+#: timing-neutral by construction.
+NOTE_CP_ENTER = "cp+"
+NOTE_CP_EXIT = "cp-"
+NOTE_CP_HOP = "cph"
 
 
 def note_key(label: str) -> str:

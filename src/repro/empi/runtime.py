@@ -29,7 +29,14 @@ from repro.empi.collectives import (
     combine_values,
     ring_segments,
 )
-from repro.empi.requests import RESCHEDULE, ProgressEngine, Request
+from repro.empi.requests import (
+    NOTE_CP_ENTER,
+    NOTE_CP_EXIT,
+    NOTE_CP_HOP,
+    RESCHEDULE,
+    ProgressEngine,
+    Request,
+)
 from repro.errors import ProgramError
 from repro.mem.values import pack_doubles, unpack_doubles
 
@@ -85,6 +92,45 @@ class Empi:
             getattr(ctx, "empi_timeout_retries", 3),
             fault_context=getattr(ctx, "fault_context", None),
         )
+        #: Critical-path attribution (TelemetryConfig.attribution): when
+        #: armed, every collective is bracketed with zero-cycle cp+/cp-
+        #: notes and its completed sends/receives emit cph hop notes, so
+        #: the extractor can thread causal edges through the op.  Off by
+        #: default: _cp_key stays None and no note is ever built.
+        self._cp = bool(getattr(ctx, "attribution", False))
+        self._cp_depth = 0
+        self._cp_counts: dict[str, int] = {}
+        self._cp_key: str | None = None
+
+    def _cp_span(self, label: str, body: "Program") -> "Program":
+        """Bracket one collective occurrence with cp+/cp- notes.
+
+        The occurrence key is ``label#k`` (k = how many times this rank
+        ran the label), which aligns across ranks by the SPMD same-order
+        rule.  Nested public collectives (allreduce = reduce + bcast) run
+        bare under the depth guard, so their hops attribute to the outer
+        op.
+        """
+        if not self._cp or self._cp_depth:
+            result = yield from body
+            return result
+        count = self._cp_counts.get(label, 0)
+        self._cp_counts[label] = count + 1
+        key = f"{label}#{count}"
+        self._cp_depth += 1
+        self._cp_key = key
+        yield ("note", f"{NOTE_CP_ENTER} {key}")
+        try:
+            result = yield from body
+        finally:
+            self._cp_depth -= 1
+            self._cp_key = None
+        yield ("note", f"{NOTE_CP_EXIT} {key}")
+        return result
+
+    def _cp_hop(self, kind: str, peer: object) -> tuple:
+        """A hop note op: ``kind`` is 'snd'/'rcv', ``peer`` a rank or '*'."""
+        return ("note", f"{NOTE_CP_HOP} {self._cp_key} {kind} {peer}")
 
     def _check_engine_idle(
         self, what: str,
@@ -121,10 +167,17 @@ class Empi:
     def send_doubles(self, dst_rank: int, values: list[float]) -> "Program":
         self._check_engine_idle("send")
         yield from self.ctx.send_doubles(dst_rank, values)
+        # Inside a blocking collective (and only there — user point-to-
+        # point cannot run mid-collective) a completed send is a hop of
+        # the current op's dependency graph.
+        if self._cp_key is not None:
+            yield self._cp_hop("snd", dst_rank)
 
     def recv_doubles(self, src_rank: int, n_values: int) -> "Program":
         self._check_engine_idle("recv")
         values = yield from self.ctx.recv_doubles(src_rank, n_values)
+        if self._cp_key is not None:
+            yield self._cp_hop("rcv", src_rank)
         return values
 
     # -- token plumbing -------------------------------------------------------------
@@ -244,6 +297,19 @@ class Empi:
         single injection whatever P is.
         """
         algorithm = CollectiveAlgorithm.parse(algorithm)
+        result = yield from self._cp_span(
+            f"bcast[{algorithm.value}]",
+            self._bcast_impl(root, values, n_values, algorithm),
+        )
+        return result
+
+    def _bcast_impl(
+        self,
+        root: int,
+        values: list[float] | None,
+        n_values: int,
+        algorithm: CollectiveAlgorithm,
+    ) -> "Program":
         ctx = self.ctx
         n = ctx.n_workers
         if ctx.rank == root:
@@ -311,8 +377,12 @@ class Empi:
                 # queue full: each retry is a 2-cycle descriptor write
                 if guard is not None:
                     guard.tick()
+            if self._cp_key is not None:
+                yield self._cp_hop("snd", "*")
             return list(values)  # type: ignore[arg-type]
         words = yield ("mrecv", ctx.node_of(root), 2 * n_values)
+        if self._cp_key is not None:
+            yield self._cp_hop("rcv", root)
         return unpack_doubles(words)
 
     def reduce_doubles(
@@ -338,6 +408,19 @@ class Empi:
         """
         op = ReduceOp.parse(op)
         requested = CollectiveAlgorithm.parse(algorithm)
+        result = yield from self._cp_span(
+            f"reduce[{requested.value}]",
+            self._reduce_impl(root, values, op, requested),
+        )
+        return result
+
+    def _reduce_impl(
+        self,
+        root: int,
+        values: list[float],
+        op: ReduceOp,
+        requested: CollectiveAlgorithm,
+    ) -> "Program":
         ctx = self.ctx
         n = ctx.n_workers
         n_values = len(values)
@@ -409,10 +492,13 @@ class Empi:
                     # queue full / regrouping: 2-cycle retry
                     if guard is not None:
                         guard.tick()
+                if self._cp_key is not None:
+                    yield self._cp_hop("snd", parent)
                 return None
             peer = relative | mask
             if peer != relative and peer < n:
-                peer_node = ctx.node_of((peer + root) % n)
+                peer_rank = (peer + root) % n
+                peer_node = ctx.node_of(peer_rank)
                 guard = self.engine.guard("reduce[hw] qreduce post")
                 while not (yield ("qreduce", peer_node, acc, op.value)):
                     # previous descriptor still combining
@@ -426,6 +512,8 @@ class Empi:
                     if guard is not None:
                         guard.tick()
                 acc = combined
+                if self._cp_key is not None:
+                    yield self._cp_hop("rcv", peer_rank)
             mask <<= 1
         return acc
 
@@ -445,6 +533,18 @@ class Empi:
         fixed by :func:`~repro.empi.collectives.reference_allreduce`.
         """
         algorithm = CollectiveAlgorithm.parse(algorithm)
+        result = yield from self._cp_span(
+            f"allreduce[{algorithm.value}]",
+            self._allreduce_impl(values, op, algorithm),
+        )
+        return result
+
+    def _allreduce_impl(
+        self,
+        values: list[float],
+        op: ReduceOp | str,
+        algorithm: CollectiveAlgorithm,
+    ) -> "Program":
         if algorithm is CollectiveAlgorithm.RING:
             result = yield from self._allreduce_ring(values, ReduceOp.parse(op))
             return result
@@ -499,6 +599,8 @@ class Empi:
                     while not (yield ("qmcast", 1 << nxt_node, words)):
                         if guard is not None:
                             guard.tick()
+                    if self._cp_key is not None:
+                        yield self._cp_hop("snd", nxt)
                 if n_recv:
                     guard = self.engine.guard("allreduce[ring] combine")
                     while True:
@@ -508,6 +610,8 @@ class Empi:
                         if guard is not None:
                             guard.tick()
                     acc[r0:r1] = combined
+                    if self._cp_key is not None:
+                        yield self._cp_hop("rcv", prv)
             else:
                 if s1 > s0:
                     yield from self.send_doubles(nxt, acc[s0:s1])
@@ -526,9 +630,13 @@ class Empi:
                     while not (yield ("qmcast", 1 << nxt_node, words)):
                         if guard is not None:
                             guard.tick()
+                    if self._cp_key is not None:
+                        yield self._cp_hop("snd", nxt)
                 if n_recv:
                     words = yield ("mrecv", prv_node, 2 * n_recv)
                     acc[r0:r1] = unpack_doubles(words)
+                    if self._cp_key is not None:
+                        yield self._cp_hop("rcv", prv)
             else:
                 if s1 > s0:
                     yield from self.send_doubles(nxt, acc[s0:s1])
@@ -613,7 +721,8 @@ class Empi:
         algorithm = CollectiveAlgorithm.parse(algorithm)
         request = yield from self.engine.post(
             self._frag_collective(
-                self._frag_bcast_body(root, values, n_values, algorithm)
+                self._frag_bcast_body(root, values, n_values, algorithm),
+                f"ibcast[{algorithm.value}]",
             ),
             f"ibcast[{algorithm.value}]",
         )
@@ -631,7 +740,8 @@ class Empi:
         algorithm = CollectiveAlgorithm.parse(algorithm)
         request = yield from self.engine.post(
             self._frag_collective(
-                self._frag_reduce_body(root, values, op, algorithm)
+                self._frag_reduce_body(root, values, op, algorithm),
+                f"ireduce[{algorithm.value}]",
             ),
             f"ireduce[{algorithm.value}]",
         )
@@ -649,7 +759,8 @@ class Empi:
         algorithm = CollectiveAlgorithm.parse(algorithm)
         request = yield from self.engine.post(
             self._frag_collective(
-                self._frag_allreduce_body(values, op, algorithm)
+                self._frag_allreduce_body(values, op, algorithm),
+                f"iallreduce[{algorithm.value}]",
             ),
             f"iallreduce[{algorithm.value}]",
         )
@@ -742,20 +853,24 @@ class Empi:
         )
         return unpack_doubles(words)
 
-    def _frag_collective(self, body: "Program") -> "Program":
+    def _frag_collective(self, body: "Program", label: str) -> "Program":
         """Serialize non-blocking collectives through the collective turn.
 
         All ranks must post their non-blocking collectives in the same
         order (the MPI-3 rule); the turn makes a later collective queue
         behind an unfinished earlier one instead of interleaving its
-        messages into the same streams.
+        messages into the same streams.  The turn also makes the
+        critical-path span unambiguous: at most one collective body
+        executes at a time, so ``_cp_key`` names exactly this op while
+        interleaved point-to-point fragments (which never emit hops)
+        progress underneath it.
         """
         turn = self.engine.turn("collective")
         token = object()
         turn.enter(token)
         while not turn.holds(token):
             yield RESCHEDULE
-        result = yield from body
+        result = yield from self._cp_span(label, body)
         turn.leave(token)
         return result
 
@@ -785,8 +900,12 @@ class Empi:
                 for rank in range(n):
                     if rank != root:
                         yield from self._frag_send_doubles(rank, values)
+                        if self._cp_key is not None:
+                            yield self._cp_hop("snd", rank)
                 return list(values)
             received = yield from self._frag_recv_doubles(root, n_values)
+            if self._cp_key is not None:
+                yield self._cp_hop("rcv", root)
             return received
         relative = (ctx.rank - root) % n
         if relative == 0:
@@ -800,11 +919,15 @@ class Empi:
                 mask <<= 1
             parent = ((relative - mask) + root) % n
             data = yield from self._frag_recv_doubles(parent, n_values)
+            if self._cp_key is not None:
+                yield self._cp_hop("rcv", parent)
         mask >>= 1
         while mask:
             child = relative + mask
             if child < n:
                 yield from self._frag_send_doubles((child + root) % n, data)
+                if self._cp_key is not None:
+                    yield self._cp_hop("snd", (child + root) % n)
             mask >>= 1
         return data
 
@@ -821,6 +944,8 @@ class Empi:
             group = self._hw_group_mask(root)
             while not (yield ("qmcast", group, words)):
                 yield RESCHEDULE
+            if self._cp_key is not None:
+                yield self._cp_hop("snd", "*")
             return list(values)  # type: ignore[arg-type]
         src_node = ctx.node_of(root)
         turn = self.engine.turn(("mrx", src_node))
@@ -834,6 +959,8 @@ class Empi:
                 break
             yield RESCHEDULE
         turn.leave(token)
+        if self._cp_key is not None:
+            yield self._cp_hop("rcv", root)
         return unpack_doubles(words)
 
     def _frag_reduce_body(
@@ -861,6 +988,8 @@ class Empi:
         if algorithm is CollectiveAlgorithm.LINEAR:
             if ctx.rank != root:
                 yield from self._frag_send_doubles(root, values)
+                if self._cp_key is not None:
+                    yield self._cp_hop("snd", root)
                 return None
             acc: list[float] | None = None
             for rank in range(n):
@@ -868,6 +997,8 @@ class Empi:
                     contrib = list(values)
                 else:
                     contrib = yield from self._frag_recv_doubles(rank, n_values)
+                    if self._cp_key is not None:
+                        yield self._cp_hop("rcv", rank)
                 if acc is None:
                     acc = contrib
                 else:
@@ -881,14 +1012,17 @@ class Empi:
             if relative & mask:
                 parent = ((relative - mask) + root) % n
                 yield from self._frag_send_doubles(parent, acc)
+                if self._cp_key is not None:
+                    yield self._cp_hop("snd", parent)
                 return None
             peer = relative | mask
             if peer != relative and peer < n:
-                other = yield from self._frag_recv_doubles(
-                    (peer + root) % n, n_values
-                )
+                peer_rank = (peer + root) % n
+                other = yield from self._frag_recv_doubles(peer_rank, n_values)
                 acc = combine_values(acc, other, op)
                 yield ("compute", self._combine_cost(n_values, op))
+                if self._cp_key is not None:
+                    yield self._cp_hop("rcv", peer_rank)
             mask <<= 1
         return acc
 
@@ -909,10 +1043,13 @@ class Empi:
                 words = pack_doubles(acc)
                 while not (yield ("qmcast", 1 << ctx.node_of(parent), words)):
                     yield RESCHEDULE
+                if self._cp_key is not None:
+                    yield self._cp_hop("snd", parent)
                 return None
             peer = relative | mask
             if peer != relative and peer < n:
-                peer_node = ctx.node_of((peer + root) % n)
+                peer_rank = (peer + root) % n
+                peer_node = ctx.node_of(peer_rank)
                 while not (yield ("qreduce", peer_node, acc, op.value)):
                     yield RESCHEDULE
                 while True:
@@ -921,6 +1058,8 @@ class Empi:
                         break
                     yield RESCHEDULE
                 acc = combined
+                if self._cp_key is not None:
+                    yield self._cp_hop("rcv", peer_rank)
             mask <<= 1
         return acc
 
@@ -965,6 +1104,8 @@ class Empi:
                     words = pack_doubles(acc[s0:s1])
                     while not (yield ("qmcast", 1 << nxt_node, words)):
                         yield RESCHEDULE
+                    if self._cp_key is not None:
+                        yield self._cp_hop("snd", nxt)
                 if n_recv:
                     while True:
                         combined = yield ("qrpoll",)
@@ -972,13 +1113,19 @@ class Empi:
                             break
                         yield RESCHEDULE
                     acc[r0:r1] = combined
+                    if self._cp_key is not None:
+                        yield self._cp_hop("rcv", prv)
             else:
                 if s1 > s0:
                     yield from self._frag_send_doubles(nxt, acc[s0:s1])
+                    if self._cp_key is not None:
+                        yield self._cp_hop("snd", nxt)
                 if n_recv:
                     other = yield from self._frag_recv_doubles(prv, n_recv)
                     acc[r0:r1] = combine_values(acc[r0:r1], other, op)
                     yield ("compute", self._combine_cost(n_recv, op))
+                    if self._cp_key is not None:
+                        yield self._cp_hop("rcv", prv)
         for step in range(n - 1):  # allgather
             s0, s1 = segments[(rank + 1 - step) % n]
             r0, r1 = segments[(rank - step) % n]
@@ -988,6 +1135,8 @@ class Empi:
                     words = pack_doubles(acc[s0:s1])
                     while not (yield ("qmcast", 1 << nxt_node, words)):
                         yield RESCHEDULE
+                    if self._cp_key is not None:
+                        yield self._cp_hop("snd", nxt)
                 if n_recv:
                     while True:
                         words = yield ("tmrecv", prv_node, 2 * n_recv)
@@ -995,11 +1144,17 @@ class Empi:
                             break
                         yield RESCHEDULE
                     acc[r0:r1] = unpack_doubles(words)
+                    if self._cp_key is not None:
+                        yield self._cp_hop("rcv", prv)
             else:
                 if s1 > s0:
                     yield from self._frag_send_doubles(nxt, acc[s0:s1])
+                    if self._cp_key is not None:
+                        yield self._cp_hop("snd", nxt)
                 if n_recv:
                     acc[r0:r1] = yield from self._frag_recv_doubles(prv, n_recv)
+                    if self._cp_key is not None:
+                        yield self._cp_hop("rcv", prv)
         return acc
 
     # -- legacy scalar collectives ---------------------------------------------------------

@@ -150,6 +150,10 @@ class ProcessorNode(Component):
         self._n_store_hit = 0
         self._n_store_miss = 0
         self._n_lmem = 0
+        # WAIT_TX cycles where the TIE data stream was credit-gated (the
+        # peer's window exhausted), splitting cycles_wait_tx into
+        # credit_stall vs plain streaming for the cycle ledger.
+        self._n_credit_wait = 0
 
     # -- program control -------------------------------------------------------
 
@@ -285,7 +289,13 @@ class ProcessorNode(Component):
                     dma.tx_advance()
                 return
         flit = self.tie.tx_current()
-        if flit is not None and self.arbiter.offer_message(flit):
+        if flit is None:
+            # tx_current() is None with a live tx exactly when the credit
+            # gate refused it; a blocked core is credit-stalled this cycle.
+            if self.tie.tx is not None and self.state is CoreState.WAIT_TX:
+                self._n_credit_wait += 1
+            return
+        if self.arbiter.offer_message(flit):
             finished = self.tie.tx_advance()
             if finished and self.state is CoreState.WAIT_TX:
                 self._resume(cycle, cost=1)
@@ -806,8 +816,46 @@ class ProcessorNode(Component):
         if self._n_lmem:
             inc("ops_lmem", self._n_lmem)
             self._n_lmem = 0
+        if self._n_credit_wait:
+            inc("credit_wait_cycles", self._n_credit_wait)
+            self._n_credit_wait = 0
 
     # -- diagnostics --------------------------------------------------------------------------------
+
+    def cycle_ledger(self, end_cycle: int) -> dict[str, int]:
+        """Exact per-state cycle partition of ``[0, end_cycle)``.
+
+        Every ``_change_state`` adds ``cycle - _state_since`` to the old
+        state's counter and moves ``_state_since``; folding the residual
+        ``end_cycle - _state_since`` into the *current* state therefore
+        makes the partition sum to ``end_cycle`` bit-exactly, by
+        construction.  WAIT_TX is split into ``credit_stall`` (cycles the
+        TIE data stream was credit-gated while the core blocked) and
+        ``tx_stream`` (the rest: streaming / arbiter / port time) using
+        the always-on ``credit_wait_cycles`` counter.  Read-only: flushes
+        batched counters but never changes timing.
+        """
+        self.flush_op_stats()
+        raw = {
+            state: self.stats.get(_CYCLES_KEY[state]) for state in CoreState
+        }
+        raw[self.state] += end_cycle - self._state_since
+        credit = min(self.stats.get("credit_wait_cycles"),
+                     raw[CoreState.WAIT_TX])
+        return {
+            "compute": raw[CoreState.RUNNING],
+            "mem_stall": (
+                raw[CoreState.WAIT_MEM]
+                + raw[CoreState.WAIT_WB]
+                + raw[CoreState.WAIT_FENCE]
+            ),
+            "credit_stall": credit,
+            "tx_stream": raw[CoreState.WAIT_TX] - credit,
+            "wait_msg": raw[CoreState.WAIT_MSG],
+            "barrier_spin": raw[CoreState.WAIT_REQ],
+            "lock_spin": raw[CoreState.WAIT_LOCK],
+            "idle": raw[CoreState.DONE],
+        }
 
     def describe_state(self) -> str:
         return (

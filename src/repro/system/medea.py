@@ -254,8 +254,32 @@ class MedeaSystem:
             node.state is CoreState.RUNNING for node in self.nodes
         )
 
+    def _ledger_summary(self) -> str:
+        """Top cycle-ledger stall class per unfinished rank, one line.
+
+        Rides the always-on state counters, so it is available in every
+        hang/timeout report even with telemetry off.
+        """
+        from repro.pe.processor import CoreState
+        cycle = self.sim.cycle
+        parts = []
+        for node in self.nodes:
+            if node.state is CoreState.DONE:
+                continue
+            ledger = node.cycle_ledger(cycle)
+            stall, cycles = max(
+                (item for item in ledger.items()
+                 if item[0] not in ("compute", "idle")),
+                key=lambda item: item[1],
+            )
+            share = (100 * cycles) // cycle if cycle else 0
+            parts.append(f"rank {node.rank} {stall} {cycles}cyc ({share}%)")
+        if not parts:
+            return "cycle ledger: all ranks done"
+        return "cycle ledger: " + ", ".join(parts)
+
     def _progress_report(self) -> str:
-        lines = []
+        lines = [f"  {self._ledger_summary()}"]
         for comp in self.sim.components:
             lines.append(f"  {comp.name}: {comp.describe_state()}")
         for ctx in self.contexts:
@@ -290,20 +314,24 @@ class MedeaSystem:
             empi_timeout_retries=config.empi_timeout_retries,
         )
         # Timeout/watchdog reports carry every diagnostic describer we
-        # have: fault state and the last telemetry snapshot.
+        # have: fault state, the last telemetry snapshot, and the cycle
+        # ledger's top stall class per stuck rank.
         describers = [
             source.describe
             for source in (self.injector, self.telemetry)
             if source is not None
         ]
-        if not describers:
-            ctx.fault_context = None
-        elif len(describers) == 1:
+        describers.append(self._ledger_summary)
+        if len(describers) == 1:
             ctx.fault_context = describers[0]
         else:
             ctx.fault_context = lambda: "\n".join(
                 describe() for describe in describers
             )
+        telemetry_cfg = config.telemetry
+        ctx.attribution = (
+            telemetry_cfg is not None and telemetry_cfg.attribution
+        )
         ctx.empi = Empi(ctx, barrier_algorithm=config.empi_barrier)
         return ctx
 
@@ -423,9 +451,11 @@ class MedeaSystem:
 
     def _telemetry_summary(self) -> dict:
         """Close the timeline at the current cycle and summarize it."""
+        from repro.telemetry.attribution import attribution_summary
         self.telemetry.finalize(self.sim.cycle)
         registry = self.telemetry.registry
         return {
+            "attribution": attribution_summary(self),
             "sample_interval": registry.sample_interval,
             "samples": len(registry.samples),
             "sampled_overlap_efficiency": sampled_overlap_efficiency(

@@ -9,6 +9,15 @@ lazily — they pull in the application layer, which this package root
 must not.)
 """
 
+from repro.telemetry.attribution import (
+    AttributionError,
+    attribution_summary,
+    build_report,
+    check_conservation,
+    critical_paths,
+    render_report,
+    windowed_link_utilization,
+)
 from repro.telemetry.chrome_trace import (
     chrome_trace_events,
     write_chrome_trace,
@@ -18,6 +27,7 @@ from repro.telemetry.heatmap import (
     render_heatmap,
     render_link_map,
     render_noc_report,
+    render_windowed_utilization,
 )
 from repro.telemetry.hub import TelemetryHub
 from repro.telemetry.registry import (
@@ -28,15 +38,23 @@ from repro.telemetry.registry import (
 )
 
 __all__ = [
+    "AttributionError",
     "MetricRegistry",
     "OverlapNoteCounters",
     "TelemetryConfig",
     "TelemetryHub",
     "TelemetrySampler",
+    "attribution_summary",
+    "build_report",
+    "check_conservation",
     "chrome_trace_events",
+    "critical_paths",
     "render_heatmap",
     "render_link_map",
     "render_noc_report",
+    "render_report",
+    "render_windowed_utilization",
     "sampled_overlap_efficiency",
+    "windowed_link_utilization",
     "write_chrome_trace",
 ]

@@ -36,6 +36,12 @@ class TelemetryConfig:
     #: Keep per-link transit and per-switch deflection/eject matrices in
     #: the NoC fabric (the spatial heatmap view).
     spatial: bool = True
+    #: Arm cycle attribution: the eMPI runtime brackets every blocking
+    #: collective with zero-cycle ``cp+``/``cph``/``cp-`` notes so the
+    #: critical-path extractor (:mod:`repro.telemetry.attribution`) can
+    #: thread causal edges through each op.  The per-tile cycle ledgers
+    #: themselves ride the always-on state counters and need no flag.
+    attribution: bool = False
 
     def validate(self) -> None:
         if self.sample_interval < 1:

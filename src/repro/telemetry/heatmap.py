@@ -4,7 +4,10 @@ Renders the matrices from :meth:`~repro.noc.network.NocFabric.spatial_dict`
 — per-link transit counts and per-switch deflection/stall/eject totals —
 as terminal-friendly shade grids, for DSE reports and quick triage
 without leaving the shell.  The same dict dumps to JSON for external
-tooling.
+tooling.  ``medea trace --heatmap``, ``medea analyze`` and the ``noc``
+DSE report all render through :func:`render_noc_report`, the one shared
+path; :func:`render_windowed_utilization` adds the time axis (per
+sample window) that the spatial grids integrate away.
 """
 
 from __future__ import annotations
@@ -27,17 +30,27 @@ def _shade(value: float, peak: float) -> str:
     return SHADES[max(1, min(index, len(SHADES) - 1))]
 
 
+def _peak(rows: list[list[float]]) -> float:
+    """The largest cell of a row-major matrix (0 for an empty one)."""
+    return max((value for row in rows for value in row), default=0)
+
+
+def _legend(peak: float) -> str:
+    """The shared ramp legend line every grid view ends with."""
+    return f"legend: ' '=0 .. '{SHADES[-1]}'={peak:g}"
+
+
 def render_heatmap(
     rows: list[list[float]], title: str | None = None
 ) -> str:
     """One shade grid for a row-major ``[y][x]`` matrix, with a legend."""
-    peak = max((value for row in rows for value in row), default=0)
+    peak = _peak(rows)
     lines = []
     if title is not None:
         lines.append(f"{title} (peak={peak:g})")
     for row in rows:
         lines.append(" ".join(_shade(value, peak) for value in row))
-    lines.append(f"legend: ' '=0 .. '{SHADES[-1]}'={peak:g}")
+    lines.append(_legend(peak))
     return "\n".join(lines)
 
 
@@ -66,7 +79,7 @@ def render_link_map(
             wraps.append(
                 f"  ({sx},{sy})->({dx},{dy}): {link['transits']}"
             )
-    node_peak = max((v for row in nodes for v in row), default=0)
+    node_peak = _peak(nodes)
     link_peak = max(flows.values(), default=0)
     lines = [
         f"noc spatial map: nodes={node_metric} (peak={node_peak:g}), "
@@ -82,14 +95,55 @@ def render_link_map(
             else:
                 chars.append(" ")
         lines.append("".join(chars))
+    lines.append(_legend(max(node_peak, link_peak)))
     if wraps:
         lines.append("wrap links (transits):")
         lines.extend(wraps)
     return "\n".join(lines)
 
 
-def render_noc_report(spatial: dict | None) -> str:
-    """The full spatial triage text: link map plus per-switch matrices."""
+def render_windowed_utilization(
+    windows: list[dict], per_line: int = 60
+) -> str:
+    """Shade the busiest link's utilization per sample window over time.
+
+    ``windows`` rows come from
+    :func:`~repro.telemetry.attribution.windowed_link_utilization`; each
+    contributes one ramp character (its busiest link's flits/cycle
+    against the run's peak window), so congestion bursts read as dark
+    runs on a time axis the spatial grids integrate away.
+    """
+    if not windows:
+        return "windowed link utilization: no sampled windows"
+    peak = max(window["busiest_util"] for window in windows)
+    lines = [
+        f"windowed link utilization: busiest link per window "
+        f"(peak={peak:.3f} flits/cyc over {len(windows)} windows)"
+    ]
+    for start in range(0, len(windows), per_line):
+        chunk = windows[start:start + per_line]
+        ramp = "".join(
+            _shade(window["busiest_util"], peak) for window in chunk
+        )
+        lines.append(f"  cycle {chunk[0]['cycle']:>9} |{ramp}|")
+    hottest = max(windows, key=lambda window: window["busiest_util"])
+    lines.append(
+        f"  hottest window: cycle {hottest['cycle']} on "
+        f"{hottest['busiest']} ({hottest['busiest_transits']} transits, "
+        f"{hottest['busiest_util']:.3f} flits/cyc)"
+    )
+    lines.append(_legend(peak))
+    return "\n".join(lines)
+
+
+def render_noc_report(
+    spatial: dict | None, windows: list[dict] | None = None
+) -> str:
+    """The full spatial triage text: link map plus per-switch matrices.
+
+    Pass the windowed-utilization rows to append the time axis (the
+    trace/analyze CLIs do; callers without a sampled registry omit it).
+    """
     if spatial is None:
         return "noc spatial telemetry: off"
     sections = [render_link_map(spatial)]
@@ -99,4 +153,6 @@ def render_noc_report(spatial: dict | None) -> str:
         ("ejects", "ejections"),
     ):
         sections.append(render_heatmap(spatial[metric], title))
+    if windows is not None:
+        sections.append(render_windowed_utilization(windows))
     return "\n\n".join(sections)

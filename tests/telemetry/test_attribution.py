@@ -1,0 +1,229 @@
+"""Cycle attribution: conservation, determinism, critical paths, schema.
+
+The conservation tests run every bench_smoke golden workload — both
+traffic shapes (Jacobi shared-memory kernels and eMPI collectives),
+faults on and off — and assert each tile's cycle partition sums to the
+elapsed cycles **bit-exactly**.  The rest covers the extractor on the
+isolated 8w allreduce workloads (tree / ring / hw must each name a
+bounding hop whose path telescopes to the measured latency), double-run
+determinism of the full report, and the schema validator the CI
+analyze-smoke job runs.
+"""
+
+from __future__ import annotations
+
+import copy
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.telemetry.attribution import (
+    LEDGER_CLASSES,
+    AttributionError,
+    aggregate_ledger,
+    attribution_summary,
+    build_report,
+    check_conservation,
+    critical_path,
+    critical_paths,
+    extract_ops,
+    render_report,
+)
+from repro.telemetry.workloads import run_trace_workload
+
+BENCHMARKS = Path(__file__).resolve().parents[2] / "benchmarks"
+sys.path.insert(0, str(BENCHMARKS))
+from bench_smoke import SMOKE_WORKLOADS  # noqa: E402
+from validate_report import validate_report  # noqa: E402
+
+
+def _run_captured(runner):
+    captured = {}
+    result = runner(
+        observer=lambda system: captured.setdefault("system", system)
+    )
+    return captured["system"], result
+
+
+# -- conservation on every golden workload ---------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(SMOKE_WORKLOADS))
+def test_ledger_conservation_on_golden_workloads(name):
+    """On every bench_smoke golden workload — both models, faults on and
+    off — per-tile state sums equal total cycles exactly."""
+    runner, __ = SMOKE_WORKLOADS[name]
+    system, result = _run_captured(runner)
+    assert result.validated
+    cycles = system.sim.cycle
+    tiles = check_conservation(system)  # raises AttributionError if inexact
+    assert len(tiles) == len(system.nodes)
+    for tile in tiles:
+        assert sum(tile[cls] for cls in LEDGER_CLASSES) == cycles
+        assert tile["total"] == cycles
+    aggregate = aggregate_ledger(tiles)
+    assert aggregate["total"] == cycles * len(tiles)
+
+
+def test_conservation_check_rejects_a_cooked_ledger():
+    """The check is real: a ledger that does not sum to the elapsed
+    cycles raises instead of silently misattributing."""
+    system, __ = run_trace_workload("allreduce-8w-tree")
+    node = system.nodes[0]
+    original = node.cycle_ledger
+
+    def cooked(end_cycle):
+        ledger = original(end_cycle)
+        ledger["compute"] += 1
+        return ledger
+
+    node.cycle_ledger = cooked
+    try:
+        with pytest.raises(AttributionError, match="rank 0 ledger sums"):
+            check_conservation(system)
+    finally:
+        node.cycle_ledger = original
+
+
+# -- critical paths on the isolated 8w allreduces --------------------------------
+
+
+@pytest.mark.parametrize(
+    "workload", ["allreduce-8w-tree", "allreduce-8w-ring", "allreduce-8w-hw"]
+)
+def test_allreduce_critical_paths_telescope_and_name_a_hop(workload):
+    """The ISSUE acceptance point: for tree, ring and hw allreduce at 8w
+    the analyzer names the bounding hop and the per-edge cycles sum to
+    the measured op latency exactly."""
+    system, result = run_trace_workload(workload)
+    assert result.validated
+    paths = critical_paths(system.notes)
+    assert len(paths) == 4  # one per benchmark repeat
+    for path in paths:
+        assert path["ranks"] == 8
+        assert path["latency"] == path["end"] - path["start"]
+        assert sum(edge["cycles"] for edge in path["edges"]) == path["latency"]
+        bound = path["bound_hop"]
+        assert bound is not None and bound["kind"] == "xfer"
+        assert any(
+            edge["from_rank"] == bound["from_rank"]
+            and edge["to_rank"] == bound["to_rank"]
+            and edge["cycles"] == bound["cycles"]
+            for edge in path["edges"]
+        )
+        for edge in path["edges"]:
+            assert edge["to_cycle"] - edge["from_cycle"] == edge["cycles"]
+            assert edge["cycles"] >= 0 and edge["slack"] >= 0
+
+
+def test_extractor_on_a_synthetic_op():
+    """Hand-built notes: rank 1 starts late, receives from rank 0, ends
+    last — the binding walk reaches rank 0's start (the global start, so
+    no skew edge) through the snd->rcv transfer, telescoping to 60."""
+    notes = [
+        (100, 0, "cp+ op#1"),
+        (110, 1, "cp+ op#1"),
+        (120, 0, "cph op#1 snd 1"),
+        (150, 1, "cph op#1 rcv 0"),
+        (125, 0, "cp- op#1"),
+        (160, 1, "cp- op#1"),
+    ]
+    ops = extract_ops(notes)
+    assert set(ops) == {"op#1"}
+    path = critical_path("op#1", ops["op#1"])
+    assert path["latency"] == 60
+    assert path["bound_hop"]["from_rank"] == 0
+    assert path["bound_hop"]["to_rank"] == 1
+    kinds = [edge["kind"] for edge in path["edges"]]
+    assert kinds == ["local", "xfer", "local"]
+    assert sum(edge["cycles"] for edge in path["edges"]) == 60
+
+
+def test_extractor_ignores_incomplete_ops():
+    notes = [(10, 0, "cp+ op#1")]  # never exits
+    assert critical_paths(notes) == []
+    assert critical_path("op#1", extract_ops(notes)["op#1"]) is None
+
+
+# -- double-run determinism ------------------------------------------------------
+
+
+def test_attribution_report_is_deterministic():
+    """Two runs of the same workload produce byte-identical reports."""
+    first_system, __ = run_trace_workload("cg-tiny")
+    second_system, __ = run_trace_workload("cg-tiny")
+    first = build_report(first_system, workload="cg-tiny")
+    second = build_report(second_system, workload="cg-tiny")
+    assert first == second
+    assert render_report(first) == render_report(second)
+
+
+# -- the report and its validator ------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tree_report():
+    system, result = run_trace_workload("allreduce-8w-tree")
+    return build_report(system, workload="allreduce-8w-tree"), system
+
+
+def test_report_passes_the_schema_validator(tree_report):
+    report, __ = tree_report
+    summary = validate_report(report)
+    assert summary["cycles"] == report["cycles"]
+    assert summary["tiles"] == 8
+    assert summary["critical_paths"] == 4
+
+
+def test_report_survives_json_round_trip(tree_report):
+    import json
+
+    report, __ = tree_report
+    round_tripped = json.loads(json.dumps(report))
+    validate_report(round_tripped)
+
+
+def test_validator_rejects_broken_reports(tree_report):
+    report, __ = tree_report
+
+    broken = copy.deepcopy(report)
+    broken["ledger"]["tiles"][0]["compute"] += 1
+    with pytest.raises(ValueError, match="conservation violated"):
+        validate_report(broken)
+
+    broken = copy.deepcopy(report)
+    broken["critical_paths"][0]["latency"] += 1
+    with pytest.raises(ValueError, match="does not telescope"):
+        validate_report(broken)
+
+    broken = copy.deepcopy(report)
+    broken["schema"] = "medea.attribution/0"
+    with pytest.raises(ValueError, match="schema mismatch"):
+        validate_report(broken)
+
+    broken = copy.deepcopy(report)
+    broken["stalls"].append(
+        {"rank": 99, "class": "wait_msg", "cycles": 1, "share": 0.0,
+         "context": ""}
+    )
+    with pytest.raises(ValueError, match="unknown rank"):
+        validate_report(broken)
+
+
+def test_render_report_names_the_ledger_and_paths(tree_report):
+    report, __ = tree_report
+    text = render_report(report)
+    assert "where the cycles went" in text
+    assert "critical paths:" in text
+    assert "allreduce[tree]#1" in text
+    assert "bound by rank" in text
+
+
+def test_attribution_summary_matches_the_full_report(tree_report):
+    report, system = tree_report
+    summary = attribution_summary(system)
+    assert summary["cycles"] == report["cycles"]
+    assert summary["aggregate"] == report["ledger"]["aggregate"]
+    assert summary["top_stall"] is not None
+    assert summary["top_stall"]["class"] in LEDGER_CLASSES

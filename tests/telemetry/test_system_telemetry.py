@@ -51,7 +51,10 @@ def test_telemetry_config_validation():
 
 
 def test_workload_registry_names_are_stable():
-    assert set(TRACE_WORKLOADS) == {"cg", "cg-reference", "cg-tiny"}
+    assert set(TRACE_WORKLOADS) == {
+        "cg", "cg-reference", "cg-tiny",
+        "allreduce-8w-tree", "allreduce-8w-ring", "allreduce-8w-hw",
+    }
     with pytest.raises(KeyError, match="unknown trace workload"):
         run_trace_workload("nope")
 
