@@ -130,6 +130,26 @@ SMOKE_WORKLOADS = {
         ),
         10.0,
     ),
+    # The hierarchical package: 4 compute chiplets of 2x2 around the IO
+    # hub, serialized inter-chiplet links, and the hierarchical allreduce
+    # schedule (intra-chiplet ring + gateway tree).  Pins the chiplet
+    # topology's routing tables, the serializing-link fabric path and the
+    # hierarchical collective's timing the way the grid goldens pin the
+    # flat ones.
+    "chiplet_allreduce_16w_hier": (
+        partial(
+            run_collective_bench,
+            SystemConfig(n_workers=16, cache_size_kb=16,
+                         topology_kind="chiplet", chiplets=4,
+                         chiplet_grid=(2, 2), chiplet_link_latency=4,
+                         chiplet_link_width=2),
+            CollectiveBenchParams(
+                collective="allreduce", model="empi", algorithm="hier",
+                n_values=16, repeats=2,
+            ),
+        ),
+        10.0,
+    ),
     # The full observability stack armed: metric sampler, event tracer and
     # NoC spatial counters all recording.  Guards the *recording* cost
     # with the usual wall ceiling, and — because telemetry is bookkeeping

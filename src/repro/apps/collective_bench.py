@@ -69,8 +69,12 @@ class CollectiveBenchResult:
 
 
 def _expected(params: CollectiveBenchParams, n_workers: int, repeat: int,
-              rank: int):
-    """What ``rank`` must hold after one repetition of the collective."""
+              rank: int, groups: list[list[int]] | None = None):
+    """What ``rank`` must hold after one repetition of the collective.
+
+    ``groups`` are the system's chiplet rank groups (None on flat
+    topologies) — the ``hier`` allreduce's combine order depends on them.
+    """
     contribs = [
         [bench_value(r, repeat, i) for i in range(params.n_values)]
         for r in range(n_workers)
@@ -84,7 +88,9 @@ def _expected(params: CollectiveBenchParams, n_workers: int, repeat: int,
             if rank == 0 else None
         )
     if collective == "allreduce":
-        return reference_allreduce(contribs, "sum", params.algorithm)
+        return reference_allreduce(
+            contribs, "sum", params.algorithm, groups=groups
+        )
     if collective == "scatter":
         return contribs[rank]
     if rank == 0:  # gather
@@ -166,9 +172,10 @@ def run_collective_bench(
 
     validated = True
     if params.validate:
+        groups = system.rank_groups
         for rank in range(n_workers):
             for repeat in range(params.repeats):
-                expected = _expected(params, n_workers, repeat, rank)
+                expected = _expected(params, n_workers, repeat, rank, groups)
                 if results[rank][repeat] != expected:
                     validated = False
     return CollectiveBenchResult(

@@ -547,12 +547,15 @@ class DmaTxEngine:
         slot, member, flit = active.entries[active.index]
         credited = self.tie.mcast_credited
         if member is None:
-            # Gate on the slowest group member (ack aggregation).
+            # Gate on the slowest group member (ack aggregation), each
+            # against its topology-aware credit budget — a member across
+            # a slow inter-chiplet link gets the wider window the system
+            # builder planned for its round trip.
             for m in active.members:
-                if slot >= credited.get(m, 0) + CREDIT_LIMIT:
+                if slot >= credited.get(m, 0) + self.tie.initial_credit(m):
                     self._n_credit_stalls += 1
                     return None
-        elif slot >= credited.get(member, 0) + CREDIT_LIMIT:
+        elif slot >= credited.get(member, 0) + self.tie.initial_credit(member):
             self._n_credit_stalls += 1
             return None
         return flit

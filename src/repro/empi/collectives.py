@@ -59,6 +59,18 @@ class CollectiveAlgorithm(enum.Enum):
       descriptors + ``qreduce``) when one is fitted, the TIE
       send/recv path otherwise, and the slot arena on ``pure_sm`` —
       all three deliver bit-identical vectors.
+    * ``hier`` — the topology-aware hierarchical allreduce for chiplet
+      systems: a ring allreduce *within* each chiplet's rank group
+      (cheap on-die neighbour links), then a binomial tree across the
+      chiplet *leaders* (the gateway-adjacent first rank of each group,
+      so only log2(C) whole-vector transfers cross the expensive
+      inter-chiplet links), then a binomial broadcast back down each
+      group.  Its combine order is fixed by :func:`reference_allreduce`
+      with ``groups``; on a flat topology (no rank groups) there is one
+      group and ``hier`` delivers the ``ring`` bits exactly.  Rooted
+      collectives under ``hier`` run the binomial tree.  Requires the
+      ``empi`` model — on ``pure_sm`` every word serializes through the
+      MPMMU whatever the schedule, so hierarchy has nothing to exploit.
 
     Scatter and gather are root-centric by definition (every payload
     word starts or ends at the root), so they always run linear.
@@ -68,6 +80,7 @@ class CollectiveAlgorithm(enum.Enum):
     TREE = "tree"
     HW = "hw"
     RING = "ring"
+    HIER = "hier"
 
     @classmethod
     def parse(cls, value: "CollectiveAlgorithm | str") -> "CollectiveAlgorithm":
@@ -78,7 +91,7 @@ class CollectiveAlgorithm(enum.Enum):
         except ValueError:
             raise ConfigError(
                 f"unknown collective algorithm {value!r}; "
-                f"use 'linear', 'tree', 'hw' or 'ring'"
+                f"use 'linear', 'tree', 'hw', 'ring' or 'hier'"
             ) from None
 
     def combine_order(self) -> "CollectiveAlgorithm":
@@ -87,8 +100,9 @@ class CollectiveAlgorithm(enum.Enum):
         ``hw`` offloads data distribution and (with the assist) the
         combine *timing*, never the combine *order*: it reduces in the
         binomial-tree order, so the ``tree`` references validate it.
-        ``ring`` keeps its own order for allreduce; a *rooted* reduce
-        under ``ring`` runs the tree, which is what this resolves for.
+        ``ring`` and ``hier`` keep their own orders for allreduce; a
+        *rooted* reduce under either runs the tree, which is what this
+        resolves for.
         """
         if self is CollectiveAlgorithm.HW:
             return CollectiveAlgorithm.TREE
@@ -97,13 +111,13 @@ class CollectiveAlgorithm(enum.Enum):
     def rooted(self) -> "CollectiveAlgorithm":
         """The algorithm a *rooted* collective (bcast/reduce) runs.
 
-        Ring is an allreduce schedule — it has no root — so rooted
-        collectives under it demote to the binomial tree; every other
-        setting is itself.  All the machine paths (blocking, fragments,
-        both backends) and the references resolve through this one
-        place, so the demotion can never drift between them.
+        Ring and hier are allreduce schedules — they have no root — so
+        rooted collectives under them demote to the binomial tree;
+        every other setting is itself.  All the machine paths (blocking,
+        fragments, both backends) and the references resolve through
+        this one place, so the demotion can never drift between them.
         """
-        if self is CollectiveAlgorithm.RING:
+        if self in (CollectiveAlgorithm.RING, CollectiveAlgorithm.HIER):
             return CollectiveAlgorithm.TREE
         return self
 
@@ -240,6 +254,7 @@ def reference_allreduce(
     contributions: list[list[float]],
     op: ReduceOp | str = ReduceOp.SUM,
     algorithm: CollectiveAlgorithm | str = CollectiveAlgorithm.LINEAR,
+    groups: list[list[int]] | None = None,
 ) -> list[float]:
     """The exact allreduce vector, per algorithm.
 
@@ -249,8 +264,28 @@ def reference_allreduce(
     starting at rank ``j``, each hop combining the arriving chain into
     the local contribution accumulator-first:
     ``v_k = combine(contrib[(j+k) % P], v_{k-1})``.
+
+    ``hier`` composes the two: a ``ring`` allreduce within each rank
+    group of ``groups`` (the machine takes them from
+    ``ctx.rank_groups``, one group per chiplet; they must partition the
+    ranks), then the ``tree`` reduce order across the group sums in
+    group order.  The broadcasts back down move bits unchanged, so they
+    do not appear in the combine order.  With ``groups`` None or a
+    single group, ``hier`` is exactly ``ring``.
     """
     algorithm = CollectiveAlgorithm.parse(algorithm)
+    if algorithm is CollectiveAlgorithm.HIER:
+        if not groups:
+            groups = [list(range(len(contributions)))]
+        group_sums = [
+            reference_allreduce(
+                [contributions[rank] for rank in members],
+                op,
+                CollectiveAlgorithm.RING,
+            )
+            for members in groups
+        ]
+        return reference_reduce(group_sums, 0, op, CollectiveAlgorithm.TREE)
     if algorithm is not CollectiveAlgorithm.RING:
         return reference_reduce(contributions, 0, op, algorithm)
     n = len(contributions)
@@ -447,10 +482,18 @@ def make_comm(
     model = CommModel.parse(model)
     if model is CommModel.EMPI:
         return EmpiCollectives(ctx, algorithm)
-    if CollectiveAlgorithm.parse(algorithm) is CollectiveAlgorithm.HW:
+    parsed = CollectiveAlgorithm.parse(algorithm)
+    if parsed is CollectiveAlgorithm.HW:
         raise ConfigError(
             "the 'hw' collective algorithm rides the TIE/DMA hardware; "
             "it is only available on the 'empi' model"
+        )
+    if parsed is CollectiveAlgorithm.HIER:
+        raise ConfigError(
+            "the 'hier' collective algorithm schedules around the NoC "
+            "topology; on 'pure_sm' every word serializes through the "
+            "MPMMU whatever the schedule, so it is only available on "
+            "the 'empi' model"
         )
     from repro.empi.smsync import SharedMemoryCollectives
 

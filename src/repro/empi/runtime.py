@@ -531,6 +531,9 @@ class Empi:
         the whole operation is a reduce-scatter + allgather around the
         rank ring — the long-vector schedule, with its own combine order
         fixed by :func:`~repro.empi.collectives.reference_allreduce`.
+        Under ``hier`` it is the chiplet-aware composition: ring within
+        each chiplet's rank group, binomial tree across the group
+        leaders, broadcast back down (see :meth:`_allreduce_hier`).
         """
         algorithm = CollectiveAlgorithm.parse(algorithm)
         result = yield from self._cp_span(
@@ -547,6 +550,11 @@ class Empi:
     ) -> "Program":
         if algorithm is CollectiveAlgorithm.RING:
             result = yield from self._allreduce_ring(values, ReduceOp.parse(op))
+            return result
+        if algorithm is CollectiveAlgorithm.HIER:
+            result = yield from self._allreduce_hier(
+                values, ReduceOp.parse(op), frag=False
+            )
             return result
         if self.ctx.n_workers > 1:
             self._check_engine_idle("allreduce", algorithm)
@@ -642,6 +650,181 @@ class Empi:
                     yield from self.send_doubles(nxt, acc[s0:s1])
                 if n_recv:
                     acc[r0:r1] = yield from self.recv_doubles(prv, n_recv)
+        return acc
+
+    # -- hierarchical (chiplet-aware) allreduce ---------------------------------
+    #
+    # One code path serves both the blocking and the non-blocking op: the
+    # ``frag`` flag picks the point-to-point flavour (blocking TIE
+    # send/recv vs rescheduling fragments), and everything else — group
+    # shapes, schedules, combine orders — is identical, so the delivered
+    # bits cannot differ between the two.
+
+    def _hier_groups(self) -> list[list[int]]:
+        """The chiplet rank groups, or one all-ranks group when flat."""
+        groups = getattr(self.ctx, "rank_groups", None)
+        if not groups:
+            return [list(range(self.ctx.n_workers))]
+        return groups
+
+    def _hier_send(self, dst_rank: int, values: list[float],
+                   frag: bool) -> "Program":
+        if frag:
+            yield from self._frag_send_doubles(dst_rank, values)
+            if self._cp_key is not None:
+                yield self._cp_hop("snd", dst_rank)
+        else:
+            yield from self.send_doubles(dst_rank, values)
+
+    def _hier_recv(self, src_rank: int, n_values: int,
+                   frag: bool) -> "Program":
+        if frag:
+            values = yield from self._frag_recv_doubles(src_rank, n_values)
+            if self._cp_key is not None:
+                yield self._cp_hop("rcv", src_rank)
+            return values
+        values = yield from self.recv_doubles(src_rank, n_values)
+        return values
+
+    def _ring_allreduce_over(self, ranks: list[int], values: list[float],
+                             op: ReduceOp, frag: bool) -> "Program":
+        """Ring allreduce over an ordered rank list (one chiplet group).
+
+        Exactly the :meth:`_allreduce_ring` schedule with ring positions
+        taken from ``ranks`` instead of raw rank numbers, so the bits
+        match ``reference_allreduce(group contributions, op, ring)``.
+        """
+        k = len(ranks)
+        acc = list(values)
+        if k == 1:
+            return acc
+        idx = ranks.index(self.ctx.rank)
+        nxt, prv = ranks[(idx + 1) % k], ranks[(idx - 1) % k]
+        segments = ring_segments(len(values), k)
+        for step in range(k - 1):  # reduce-scatter
+            s0, s1 = segments[(idx - step) % k]
+            r0, r1 = segments[(idx - step - 1) % k]
+            if s1 > s0:
+                yield from self._hier_send(nxt, acc[s0:s1], frag)
+            n_recv = r1 - r0
+            if n_recv:
+                other = yield from self._hier_recv(prv, n_recv, frag)
+                acc[r0:r1] = combine_values(acc[r0:r1], other, op)
+                yield ("compute", self._combine_cost(n_recv, op))
+        for step in range(k - 1):  # allgather
+            s0, s1 = segments[(idx + 1 - step) % k]
+            r0, r1 = segments[(idx - step) % k]
+            if s1 > s0:
+                yield from self._hier_send(nxt, acc[s0:s1], frag)
+            n_recv = r1 - r0
+            if n_recv:
+                acc[r0:r1] = yield from self._hier_recv(prv, n_recv, frag)
+        return acc
+
+    def _tree_reduce_over(self, ranks: list[int], values: list[float],
+                          op: ReduceOp, frag: bool) -> "Program":
+        """Binomial-tree reduce over ``ranks`` with root ``ranks[0]``.
+
+        Same recursion as the rooted tree reduce over relative list
+        positions, so the result at the root matches
+        ``reference_reduce(contributions in ranks order, 0, op, tree)``.
+        Returns the accumulator at the root, None elsewhere.
+        """
+        k = len(ranks)
+        acc = list(values)
+        if k == 1:
+            return acc
+        rel = ranks.index(self.ctx.rank)
+        n_values = len(values)
+        mask = 1
+        while mask < k:
+            if rel & mask:
+                yield from self._hier_send(ranks[rel - mask], acc, frag)
+                return None
+            peer = rel | mask
+            if peer != rel and peer < k:
+                other = yield from self._hier_recv(ranks[peer], n_values, frag)
+                acc = combine_values(acc, other, op)
+                yield ("compute", self._combine_cost(n_values, op))
+            mask <<= 1
+        return acc
+
+    def _tree_bcast_over(self, ranks: list[int],
+                         values: list[float] | None,
+                         n_values: int, frag: bool) -> "Program":
+        """Binomial-tree broadcast over ``ranks`` from root ``ranks[0]``.
+
+        Only the root's ``values`` are read; the payload moves bit-for-
+        bit, so broadcasts never enter a combine order.
+        """
+        k = len(ranks)
+        if k == 1:
+            return list(values)  # type: ignore[arg-type]
+        rel = ranks.index(self.ctx.rank)
+        if rel == 0:
+            data = list(values)  # type: ignore[arg-type]
+            mask = 1
+            while mask < k:
+                mask <<= 1
+        else:
+            mask = 1
+            while not rel & mask:
+                mask <<= 1
+            data = yield from self._hier_recv(ranks[rel - mask], n_values, frag)
+        mask >>= 1
+        while mask:
+            child = rel + mask
+            if child < k:
+                yield from self._hier_send(ranks[child], data, frag)
+            mask >>= 1
+        return data
+
+    def _allreduce_hier(self, values: list[float], op: ReduceOp,
+                        frag: bool) -> "Program":
+        """Hierarchical allreduce: intra-chiplet ring, inter-chiplet tree.
+
+        Three phases, each over rank lists from ``ctx.rank_groups``:
+
+        1. ring allreduce within each chiplet group — every member ends
+           with the group sum, moving 2(k-1)/k of the vector over cheap
+           on-die links;
+        2. binomial-tree reduce of the group sums across the group
+           *leaders* (each group's first rank — the gateway tile, whose
+           switch owns the uplink), then tree broadcast of the total
+           back across the leaders: only log2(C) whole-vector transfers
+           cross the inter-chiplet links;
+        3. binomial-tree broadcast from each leader down its group.
+
+        On a flat topology (``rank_groups`` None) there is one group:
+        phase 1 is the plain ring and phases 2-3 vanish, so ``hier``
+        delivers the ``ring`` bits.  The combine order is exactly
+        :func:`~repro.empi.collectives.reference_allreduce` with
+        ``groups``.
+        """
+        ctx = self.ctx
+        if ctx.n_workers == 1:
+            return list(values)
+        if not frag:
+            self._check_engine_idle("allreduce", CollectiveAlgorithm.HIER)
+        groups = self._hier_groups()
+        members = next(g for g in groups if ctx.rank in g)
+        acc = yield from self._ring_allreduce_over(members, values, op, frag)
+        leaders = [g[0] for g in groups]
+        if len(leaders) > 1:
+            if ctx.rank == members[0]:
+                reduced = yield from self._tree_reduce_over(
+                    leaders, acc, op, frag
+                )
+                acc = yield from self._tree_bcast_over(
+                    leaders, reduced, len(values), frag
+                )
+            if len(members) > 1:
+                acc = yield from self._tree_bcast_over(
+                    members,
+                    acc if ctx.rank == members[0] else None,
+                    len(values),
+                    frag,
+                )
         return acc
 
     def scatter_doubles(
@@ -1068,6 +1251,9 @@ class Empi:
     ) -> "Program":
         if algorithm is CollectiveAlgorithm.RING:
             result = yield from self._frag_allreduce_ring(values, op)
+            return result
+        if algorithm is CollectiveAlgorithm.HIER:
+            result = yield from self._allreduce_hier(values, op, frag=True)
             return result
         n_values = len(values)
         reduced = yield from self._frag_reduce_body(0, values, op, algorithm)

@@ -83,6 +83,9 @@ class SharedMemoryBarrier:
         self.poll_backoff = poll_backoff
         self._local_sense = 0
         self.waits = 0
+        #: Shared bytes this barrier occupies (uniform with the
+        #: hierarchical flavour, whose footprint depends on group count).
+        self.footprint = self.FOOTPRINT
 
     def wait(self) -> "Program":
         """Enter the barrier; returns when every worker has arrived."""
@@ -140,6 +143,110 @@ class SharedMemoryBarrier:
             yield RESCHEDULE
 
 
+class HierarchicalBarrier:
+    """Topology-aware sense-reversing barrier for chiplet systems.
+
+    The central barrier's single counter word is a contention funnel: at
+    chiplet scale every arrival fights every other core for ONE lock
+    word at the MPMMU, and every NACK/retry round trip crosses the slow
+    inter-chiplet links.  This flavour splits the state per rank group
+    (one group per chiplet, from ``ctx.rank_groups``): members arrive at
+    their *group's* counter — contending only with on-chiplet peers —
+    the group leaders meet at a small central barrier sized to the group
+    count, and each leader then flips its group's release sense.
+
+    All the state still physically lives at the MPMMU (there is one
+    shared memory), so every access is still an uncached round trip —
+    hierarchy shortens the *lock contention* and the *release fan-out*,
+    not the wire.  Layout: one 32-byte counter/lock/sense block per
+    group (same shape as :class:`SharedMemoryBarrier`), then the
+    leaders' central barrier block.
+    """
+
+    def __init__(
+        self,
+        ctx: "ProgramContext",
+        base_addr: int,
+        groups: list[list[int]],
+        poll_backoff: int = 24,
+    ) -> None:
+        if not groups:
+            raise ProgramError("hierarchical barrier needs at least one group")
+        if not ctx.map.is_shared(base_addr):
+            raise ProgramError(
+                f"barrier state {base_addr:#x} must live in the shared segment"
+            )
+        self.ctx = ctx
+        self.groups = groups
+        self.poll_backoff = poll_backoff
+        self._group = next(g for g in groups if ctx.rank in g)
+        self._is_leader = ctx.rank == self._group[0]
+        index = groups.index(self._group)
+        block = SharedMemoryBarrier.FOOTPRINT
+        self.counter_addr = base_addr + index * block
+        self.sense_addr = self.counter_addr + 16
+        self.lock = SharedMemoryLock(ctx, self.counter_addr + 4)
+        self._top = SharedMemoryBarrier(
+            ctx,
+            base_addr + len(groups) * block,
+            n_workers=len(groups),
+            poll_backoff=poll_backoff,
+        )
+        self.footprint = (len(groups) + 1) * block
+        self.n_workers = sum(len(g) for g in groups)
+        self._local_sense = 0
+        self.waits = 0
+
+    def _wait(self, frag: bool) -> "Program":
+        self.waits += 1
+        if self.n_workers == 1:
+            return
+        my_sense = 1 - self._local_sense
+        self._local_sense = my_sense
+        # Arrive at the group counter (on-chiplet contention only).
+        yield from self.lock.acquire()
+        count = yield ("uload", self.counter_addr)
+        yield ("ustore", self.counter_addr, count + 1)
+        yield ("fence",)
+        yield from self.lock.release()
+        if self._is_leader:
+            # Collect the group, meet the other leaders, release.
+            while True:
+                count = yield ("uload", self.counter_addr)
+                if count == len(self._group):
+                    break
+                if frag:
+                    yield RESCHEDULE
+                else:
+                    yield ("compute", self.poll_backoff)
+            if len(self.groups) > 1:
+                if frag:
+                    yield from self._top.wait_frag()
+                else:
+                    yield from self._top.wait()
+            yield ("ustore", self.counter_addr, 0)
+            yield ("ustore", self.sense_addr, my_sense)
+            yield ("fence",)
+            return
+        while True:
+            flag = yield ("uload", self.sense_addr)
+            if flag == my_sense:
+                return
+            if frag:
+                yield RESCHEDULE
+            else:
+                yield ("compute", self.poll_backoff)
+
+    def wait(self) -> "Program":
+        """Enter the barrier; returns when every worker has arrived."""
+        yield from self._wait(frag=False)
+
+    def wait_frag(self) -> "Program":
+        """Split-phase flavour: reschedules between polls (cf.
+        :meth:`SharedMemoryBarrier.wait_frag`)."""
+        yield from self._wait(frag=True)
+
+
 class SharedMemoryCollectives:
     """Collectives over the MPMMU: the pure-SM baseline's answer to eMPI.
 
@@ -179,17 +286,42 @@ class SharedMemoryCollectives:
             )
         self.ctx = ctx
         self.algorithm = CollectiveAlgorithm.parse(algorithm)
+        if self.algorithm is CollectiveAlgorithm.HIER:
+            raise ProgramError(
+                "the 'hier' collective algorithm schedules around the NoC "
+                "topology; on the pure-SM model every word serializes "
+                "through the MPMMU whatever the schedule, so it is only "
+                "available on the 'empi' model"
+            )
         self.n_workers = n_workers if n_workers is not None else ctx.n_workers
         self.max_values = max_values
-        self.barrier_state = SharedMemoryBarrier(
-            ctx, base, n_workers=self.n_workers, poll_backoff=poll_backoff
-        )
+        # Topology awareness: on a chiplet system (ctx.rank_groups set by
+        # the builder) a full-communicator arena gets the hierarchical
+        # barrier — per-chiplet arrival counters, leaders-only central
+        # meet — instead of funnelling every arrival through one lock
+        # word.  Flat topologies and sub-communicators keep the central
+        # barrier, bit-and-cycle identical to before.
+        groups = getattr(ctx, "rank_groups", None)
+        if (
+            groups
+            and len(groups) > 1
+            and self.n_workers == ctx.n_workers
+        ):
+            self.barrier_state: (
+                SharedMemoryBarrier | HierarchicalBarrier
+            ) = HierarchicalBarrier(
+                ctx, base, groups, poll_backoff=poll_backoff
+            )
+        else:
+            self.barrier_state = SharedMemoryBarrier(
+                ctx, base, n_workers=self.n_workers, poll_backoff=poll_backoff
+            )
         self.slot_stride = _lines(max_values * 8)
-        self.slot_base = base + SharedMemoryBarrier.FOOTPRINT
+        self.slot_base = base + self.barrier_state.footprint
         #: Total shared bytes this arena occupies (for callers placing
         #: their own data after it).
         self.footprint = (
-            SharedMemoryBarrier.FOOTPRINT + self.n_workers * self.slot_stride
+            self.barrier_state.footprint + self.n_workers * self.slot_stride
         )
         #: Non-blocking machinery: a progress engine per rank, plus (when
         #: ``p2p_values`` > 0) an n x n mailbox matrix for isend/irecv.

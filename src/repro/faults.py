@@ -39,7 +39,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
 from repro.kernel.stats import CounterSet
-from repro.noc.coords import DIRECTION_NAMES, OPPOSITE
+from repro.noc.coords import DIRECTION_NAMES
 from repro.noc.packet import PacketType, SubType
 
 #: Keep the full event trace up to this many entries (plenty for tests and
@@ -48,8 +48,12 @@ TRACE_LIMIT = 65536
 
 
 def link_name(node: int, direction: int) -> str:
-    """Human label for the output link of ``node`` in ``direction``."""
-    return f"{node}->{DIRECTION_NAMES[direction]}"
+    """Human label for the output link of ``node`` through port
+    ``direction`` (a compass letter on grids; chiplet uplink ports and
+    the IO hub's per-chiplet ports print as ``pN``)."""
+    if 0 <= direction < len(DIRECTION_NAMES):
+        return f"{node}->{DIRECTION_NAMES[direction]}"
+    return f"{node}->p{direction}"
 
 
 @dataclass(frozen=True)
@@ -57,7 +61,9 @@ class FaultPlan:
     """Seeded RNG rates plus a declarative fault schedule.
 
     Links are named ``(node, direction)`` — the *output* wire of ``node``
-    in ``direction`` (0=N, 1=E, 2=S, 3=W).  Killed links die in both
+    through that port (0=N, 1=E, 2=S, 3=W on grids; a chiplet gateway's
+    uplink is port ``GATEWAY_PORT`` and the IO hub's port ``c`` feeds
+    chiplet ``c``).  Killed links die in both
     directions (the deflection router needs symmetric masks).  All
     schedule fields are tuples so the plan is hashable and its
     ``dataclasses.asdict`` form (used in DSE cache keys) is stable.
@@ -224,12 +230,19 @@ class FaultInjector:
         self.productive_override: list[tuple[int, ...]] | None = None
 
     def _check_link(self, node: int, direction: int) -> None:
-        table = self.topology.neighbor_table
-        if not (0 <= node < self.topology.n_nodes) or not (0 <= direction < 4):
-            raise ConfigError(f"bad link ({node}, {direction})")
-        if table[node][direction] < 0:
+        topology = self.topology
+        if not (0 <= node < topology.n_nodes) or not (
+            0 <= direction < topology.max_ports
+        ):
             raise ConfigError(
-                f"link {link_name(node, direction)} does not exist"
+                f"bad link ({node}, {direction}) for {topology.kind} "
+                f"topology with {topology.n_nodes} nodes and "
+                f"{topology.max_ports} ports per switch"
+            )
+        if topology.neighbor_table[node][direction] < 0:
+            raise ConfigError(
+                f"link {link_name(node, direction)} does not exist on "
+                f"{topology.kind} topology"
             )
 
     # -- event tracing ------------------------------------------------------
@@ -260,7 +273,7 @@ class FaultInjector:
 
     def _kill_link(self, cycle: int, node: int, direction: int) -> None:
         neighbor = self.topology.neighbor_table[node][direction]
-        back = OPPOSITE[direction]
+        back = self.topology.reverse_port_table[node][direction]
         for end, out_dir in ((node, direction), (neighbor, back)):
             bit = 1 << out_dir
             self._killed[end] |= bit
@@ -272,49 +285,19 @@ class FaultInjector:
         """Rebuild productive directions on the surviving (unkilled) graph.
 
         A real fault-tolerant NoC reprograms its routing tables when a
-        link dies; the model's equivalent is a BFS hop-distance field per
-        destination over the surviving links, with each node's productive
-        directions being those that strictly reduce distance (closest
-        neighbour first, direction index as the deterministic
-        tie-break).  Stalls are transient and deliberately excluded — the
-        saved masks restore themselves.  An unreachable destination gets
-        an empty tuple: such flits deflect until the watchdog reports the
-        partition.
+        link dies; the model's equivalent is
+        :meth:`~repro.noc.topology.Topology.productive_override` — the
+        same BFS that builds the pristine tables, run over the surviving
+        links, so rerouting is topology-derived on every fabric shape
+        (a dead inter-chiplet uplink reroutes through the IO hub exactly
+        like a dead mesh link reroutes around the hole).  Stalls are
+        transient and deliberately excluded — the saved masks restore
+        themselves.  An unreachable destination gets an empty tuple:
+        such flits deflect until the watchdog reports the partition.
         """
-        topo = self.topology
-        n = topo.n_nodes
-        neighbor = topo.neighbor_table
-        ports = topo.ports_table
-        killed = self._killed
-        override: list[tuple[int, ...]] = [()] * (n * n)
-        for dst in range(n):
-            dist = [-1] * n
-            dist[dst] = 0
-            frontier = [dst]
-            while frontier:
-                nxt = []
-                for u in frontier:
-                    for direction in ports[u]:
-                        if killed[u] >> direction & 1:
-                            continue
-                        v = neighbor[u][direction]
-                        if dist[v] < 0:
-                            dist[v] = dist[u] + 1
-                            nxt.append(v)
-                frontier = nxt
-            for src in range(n):
-                if src == dst or dist[src] < 0:
-                    continue
-                candidates = sorted(
-                    (dist[neighbor[src][direction]], direction)
-                    for direction in ports[src]
-                    if not killed[src] >> direction & 1
-                    and 0 <= dist[neighbor[src][direction]] < dist[src]
-                )
-                override[src * n + dst] = tuple(
-                    direction for _d, direction in candidates
-                )
-        self.productive_override = override
+        self.productive_override = self.topology.productive_override(
+            self._killed
+        )
 
     def _stall_on(self, cycle: int, node: int, n_cycles: int) -> None:
         state = _StallState(node, end=cycle + n_cycles)
@@ -323,7 +306,7 @@ class FaultInjector:
         # the deflection invariant; the switch itself is simply skipped).
         for direction in self.topology.ports_table[node]:
             neighbor = self.topology.neighbor_table[node][direction]
-            back = OPPOSITE[direction]
+            back = self.topology.reverse_port_table[node][direction]
             bit = 1 << back
             if self._masks[neighbor] & bit:
                 self._masks[neighbor] &= ~bit

@@ -19,12 +19,13 @@ Timing contract (one hop = one cycle):
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
+
 from repro.errors import ProtocolError, SimulationError
 from repro.kernel.component import Component
 from repro.kernel.fifo import Fifo
 from repro.kernel.stats import LatencyStat
 from repro.kernel.trace import Tracer
-from repro.noc.coords import OPPOSITE
 from repro.noc.flit import Flit
 from repro.noc.packet import FlitCodec, PacketType
 from repro.noc.switch import RoutingOutcome, route_node
@@ -116,9 +117,9 @@ class SpatialCounters:
 
     __slots__ = ("link_transits", "switch_deflections", "node_ejects")
 
-    def __init__(self, n_nodes: int) -> None:
-        #: ``[receiver][in_dir]`` -> flits latched off that input link.
-        self.link_transits = [[0] * 4 for _ in range(n_nodes)]
+    def __init__(self, n_nodes: int, n_ports: int = 4) -> None:
+        #: ``[receiver][in_port]`` -> flits latched off that input link.
+        self.link_transits = [[0] * n_ports for _ in range(n_nodes)]
         self.switch_deflections = [0] * n_nodes
         self.node_ejects = [0] * n_nodes
 
@@ -155,11 +156,35 @@ class NocFabric(Component):
             min_mask_bits=topology.n_nodes,
             seq_bits=16 if faults is not None else 4,
             crc_bits=8 if faults is not None else 0,
+            # The base format's 4 source bits cover up to 16 tiles; larger
+            # coordinate planes (chiplet systems address hundreds) widen
+            # the field, absorbed by the whole-byte widening rule.
+            src_bits=max(
+                4, (topology.width * topology.height - 1).bit_length()
+            ),
         )
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         n = topology.n_nodes
-        # regs[node][direction] = flit latched on that input link.
-        self.regs: list[list[Flit | None]] = [[None] * 4 for _ in range(n)]
+        n_ports = topology.max_ports
+        self._n_ports = n_ports
+        # regs[node][in_port] = flit latched on that input link.
+        self.regs: list[list[Flit | None]] = [
+            [None] * n_ports for _ in range(n)
+        ]
+        # Non-uniform links (latency > 1 or serialization > 1, the
+        # inter-chiplet case) deliver through a timestamped heap instead
+        # of the commit phase: (due_cycle, seq, node, in_port, flit).
+        # On uniform-link topologies (every legacy grid) the heap stays
+        # empty and the hot path is untouched.
+        self._uniform_links = topology.uniform_links
+        self._delayed: list[tuple[int, int, int, int, Flit]] = []
+        self._delay_seq = 0
+        # Wire occupancy for serializing links, indexed node*n_ports+port:
+        # the cycle the wire frees up (a narrower off-die link holds each
+        # flit for `serialization` cycles; followers queue behind).
+        self._wire_free = (
+            None if self._uniform_links else [0] * (n * n_ports)
+        )
         # Incremental worklist: nodes with a latched flit or pending
         # injection.  Maintained by try_inject and the commit phase so a
         # step never scans the whole fabric.
@@ -168,7 +193,7 @@ class NocFabric(Component):
         # +1 on accepted injection, -1 on ejection.
         self._flit_count = 0
         self._moves: list[tuple[int, int, Flit]] = []
-        self._scratch = RoutingOutcome()
+        self._scratch = RoutingOutcome(n_ports=n_ports)
         self.ports: list[NodePorts] = [
             NodePorts(node, InjectionPort(node, self), EjectionPort(node))
             for node in range(n)
@@ -221,8 +246,29 @@ class NocFabric(Component):
 
     def step(self, cycle: int) -> None:
         work = self._work
+        regs = self.regs
+        spatial = self._spatial
+        delayed = self._delayed
+        if delayed and delayed[0][0] <= cycle:
+            # Slow-link arrivals latch at the start of their due cycle —
+            # the moment the commit phase of cycle-1 would have latched a
+            # single-cycle link.  A held register (stalled receiver)
+            # skids the wire one cycle rather than dropping.
+            while delayed and delayed[0][0] <= cycle:
+                __, seq, node, in_port, flit = heappop(delayed)
+                if regs[node][in_port] is None:
+                    regs[node][in_port] = flit
+                    work.add(node)
+                    if spatial is not None:
+                        spatial.link_transits[node][in_port] += 1
+                else:
+                    # due becomes cycle+1 (> cycle), so this terminates.
+                    heappush(delayed, (cycle + 1, seq, node, in_port, flit))
         if not work:
-            self.sleep()
+            if delayed:
+                self.sleep(until=delayed[0][0])
+            else:
+                self.sleep()
             return
         if len(work) == 1:
             work_nodes = list(work)
@@ -231,14 +277,19 @@ class NocFabric(Component):
         work.clear()  # re-populated below by the commit phase / stalls
         moves = self._moves
         del moves[:]
-        regs = self.regs
         topo = self.topology
         ports = self.ports
         neighbor_table = topo.neighbor_table
+        reverse_table = topo.reverse_port_table
+        uniform_links = self._uniform_links
+        latency_table = topo.link_latency_table
+        ser_table = topo.link_ser_table
+        wire_free = self._wire_free
+        n_ports = self._n_ports
+        port_range = range(n_ports)
         eject_capacity = self.eject_capacity
         scratch = self._scratch
         faults = self.faults
-        spatial = self._spatial
         masks_active = False
         if faults is not None:
             faults.advance(cycle)
@@ -283,7 +334,8 @@ class NocFabric(Component):
                     faults.productive_override if masks_active else None
                 ),
             )
-            row[0] = row[1] = row[2] = row[3] = None
+            for index in port_range:
+                row[index] = None
             for flit in outcome.ejected:
                 flits_ejected += 1
                 flit_hops += flit.hops
@@ -307,7 +359,9 @@ class NocFabric(Component):
                 spatial.switch_deflections[node] += outcome.deflections
             eject_overflows += outcome.eject_overflow
             outputs = outcome.outputs
-            for direction in range(4):
+            neighbor_row = neighbor_table[node]
+            reverse_row = reverse_table[node]
+            for direction in port_range:
                 flit = outputs[direction]
                 if flit is not None:
                     if faults is not None and not faults.on_link(
@@ -317,10 +371,29 @@ class NocFabric(Component):
                         # the in-network population.
                         self._flit_count -= 1
                         continue
-                    neighbor = neighbor_table[node][direction]
+                    neighbor = neighbor_row[direction]
                     assert neighbor >= 0, "routed to a missing link"
                     flit.hops += 1
-                    moves.append((neighbor, OPPOSITE[direction], flit))
+                    if uniform_links or (
+                        latency_table[node][direction] == 1
+                        and ser_table[node][direction] == 1
+                    ):
+                        moves.append((neighbor, reverse_row[direction], flit))
+                    else:
+                        # Slow or narrow wire: the flit is in flight for
+                        # `latency` cycles and occupies the serializing
+                        # link for `ser`; followers queue behind.
+                        wire = node * n_ports + direction
+                        start = wire_free[wire]
+                        if start < cycle:
+                            start = cycle
+                        wire_free[wire] = start + ser_table[node][direction]
+                        self._delay_seq += 1
+                        heappush(delayed, (
+                            start + latency_table[node][direction],
+                            self._delay_seq, neighbor,
+                            reverse_row[direction], flit,
+                        ))
         # Commit phase: latch flits into next cycle's input registers.
         for neighbor, in_dir, flit in moves:
             slot = regs[neighbor][in_dir]
@@ -347,7 +420,10 @@ class NocFabric(Component):
             inc("flits_ejected", flits_ejected)
             inc("flit_hops", flit_hops)
         if not work:
-            self.sleep()
+            if delayed:
+                self.sleep(until=delayed[0][0])
+            else:
+                self.sleep()
 
     def _eject(
         self, port: NodePorts, flit: Flit, cycle: int, zero_hop: bool = False
@@ -377,45 +453,46 @@ class NocFabric(Component):
     def enable_spatial(self) -> SpatialCounters:
         """Start keeping per-link/per-switch matrices (telemetry only)."""
         if self._spatial is None:
-            self._spatial = SpatialCounters(self.topology.n_nodes)
+            self._spatial = SpatialCounters(
+                self.topology.n_nodes, self.topology.max_ports
+            )
         return self._spatial
 
     def spatial_values(self) -> dict[str, int]:
         """Flat hierarchical counters for the metric registry.
 
-        Keys name physical elements by mesh coordinates:
-        ``link.(1,1)->(1,2).transits``, ``switch.(1,1).deflections``,
-        ``switch.(1,1).ejects``.  Only elements that have moved appear,
-        keeping sample rows sparse.
+        Keys name physical elements by topology label —
+        ``link.(1,1)->(1,2).transits`` and ``switch.(1,1).deflections``
+        on a grid, ``link.(io)->(c1:0,0).transits`` on a chiplet system.
+        Only elements that have moved appear, keeping sample rows sparse.
         """
         spatial = self._spatial
         if spatial is None:
             return {}
         topo = self.topology
-        coords_of = topo.coords_of
+        label_of = topo.label_of
         neighbor_table = topo.neighbor_table
         values: dict[str, int] = {}
         for receiver in range(topo.n_nodes):
-            rx, ry = coords_of(receiver)
+            here = label_of(receiver)
             transits = spatial.link_transits[receiver]
-            for in_dir in range(4):
+            for in_dir in range(topo.max_ports):
                 src = neighbor_table[receiver][in_dir]
                 if transits[in_dir] and src >= 0:
-                    sx, sy = coords_of(src)
                     values[
-                        f"link.({sx},{sy})->({rx},{ry}).transits"
+                        f"link.({label_of(src)})->({here}).transits"
                     ] = transits[in_dir]
             if spatial.switch_deflections[receiver]:
-                values[f"switch.({rx},{ry}).deflections"] = (
+                values[f"switch.({here}).deflections"] = (
                     spatial.switch_deflections[receiver]
                 )
             if spatial.node_ejects[receiver]:
-                values[f"switch.({rx},{ry}).ejects"] = (
+                values[f"switch.({here}).ejects"] = (
                     spatial.node_ejects[receiver]
                 )
             stalled = self.ports[receiver].inject.stalled_cycles
             if stalled:
-                values[f"switch.({rx},{ry}).inject_stalls"] = stalled
+                values[f"switch.({here}).inject_stalls"] = stalled
         return values
 
     def spatial_dict(self) -> dict | None:
@@ -439,18 +516,23 @@ class NocFabric(Component):
                 rows[y][x] = value
             return rows
 
+        panels = topo.spatial_panels()
         links = []
         for receiver in range(topo.n_nodes):
-            for in_dir in range(4):
+            for in_dir in range(topo.max_ports):
                 count = spatial.link_transits[receiver][in_dir]
                 src = neighbor_table[receiver][in_dir]
                 if count and src >= 0:
-                    links.append({
+                    link = {
                         "src": list(coords_of(src)),
                         "dst": list(coords_of(receiver)),
                         "transits": count,
-                    })
-        return {
+                    }
+                    if panels is not None:
+                        link["src_node"] = src
+                        link["dst_node"] = receiver
+                    links.append(link)
+        result = {
             "width": width,
             "height": height,
             "links": links,
@@ -463,6 +545,15 @@ class NocFabric(Component):
                 [port.inject.injected for port in self.ports]
             ),
         }
+        if panels is not None:
+            # Hierarchical topologies render as per-chiplet panels; the
+            # flat matrices above remain for schema compatibility (one
+            # row of n_nodes values on a chiplet system).
+            result["panels"] = panels
+            result["labels"] = [
+                topo.label_of(node) for node in range(topo.n_nodes)
+            ]
+        return result
 
     # -- introspection -------------------------------------------------------------
 

@@ -66,10 +66,11 @@ class RoutingOutcome:
         deflections: int = 0,
         eject_overflow: int = 0,
         flit_copies: int = 0,
+        n_ports: int = 4,
     ) -> None:
         self.ejected = [] if ejected is None else ejected
-        # outputs is indexed by direction, None = idle port.
-        self.outputs = [None, None, None, None] if outputs is None else outputs
+        # outputs is indexed by output port, None = idle port.
+        self.outputs = [None] * n_ports if outputs is None else outputs
         self.injected = injected
         self.deflections = deflections
         self.eject_overflow = eject_overflow
@@ -120,14 +121,15 @@ def route_node(
     never present more flits than the node has links.
     """
     if out is None:
-        out = RoutingOutcome()
+        out = RoutingOutcome(n_ports=topology.max_ports)
         ejected = out.ejected
         outputs = out.outputs
     else:
         ejected = out.ejected
         ejected.clear()
         outputs = out.outputs
-        outputs[0] = outputs[1] = outputs[2] = outputs[3] = None
+        for index in range(len(outputs)):
+            outputs[index] = None
         out.injected = False
         out.flit_copies = 0
 
@@ -340,7 +342,7 @@ def _place_multicast(
         productive = topology.productive_table
     base = node * topology.n_nodes
     local_bit = (1 << node) & flit.dst_mask  # deferred local delivery
-    groups = [0, 0, 0, 0]
+    groups = [0] * len(out.outputs)
     m = flit.dst_mask & ~local_bit
     while m:
         bit = m & -m
@@ -357,12 +359,18 @@ def _place_multicast(
     free_count = free_mask.bit_count()
     first_copy: Flit | None = None
     deferred = local_bit
-    for direction in (0, 1, 2, 3):
+    # An extra branch copy may take a port only while the ports left
+    # afterwards cover every younger multicast flit's guaranteed placement
+    # plus the topology's split slack (grids keep one spare port for local
+    # injection; a chiplet hub needs the exact bound — see
+    # ``Topology.mcast_split_slack``).
+    needed = reserve + topology.mcast_split_slack
+    for direction in range(len(groups)):
         branch = groups[direction]
         if not branch:
             continue
         bit = 1 << direction
-        if free_mask & bit and (first_copy is None or free_count > reserve + 1):
+        if free_mask & bit and (first_copy is None or free_count > needed):
             if first_copy is None:
                 flit.dst_mask = branch
                 outputs[direction] = flit

@@ -109,6 +109,11 @@ class ProgramContext:
         #: raises :class:`~repro.errors.EmpiTimeoutError`.
         self.empi_timeout_retries = empi_timeout_retries
         self._local_alloc = 0
+        #: Rank groups per compute chiplet (None on flat topologies):
+        #: ``rank_groups[c]`` lists the ranks living on chiplet ``c``, in
+        #: node order.  The hierarchical collectives ring within each
+        #: group and tree across the group leaders.
+        self.rank_groups: list[list[int]] | None = None
         # Bound by the system builder (import cycle otherwise).
         self.empi: "Empi | None" = None
         #: Optional () -> str callable supplying fault-injection context

@@ -236,8 +236,22 @@ class _PendingSend:
 class TieInterface:
     """Send/receive state of one PE's TIE ports."""
 
-    def __init__(self, node_id: int, request_queue_depth: int = 64) -> None:
+    def __init__(
+        self,
+        node_id: int,
+        request_queue_depth: int = 64,
+        credit_plan: dict[int, int] | None = None,
+    ) -> None:
         self.node_id = node_id
+        #: Topology-aware per-peer initial credit limits (slots in flight
+        #: before the first credit token).  The system builder fills this
+        #: from the topology's path latencies so high-RTT peers (across
+        #: inter-chiplet links) get windows covering their round trip;
+        #: peers absent from the plan use the hardware default
+        #: CREDIT_LIMIT.  The 4-bit wire protocol caps any entry at
+        #: CREDIT_LIMIT — only the wide (reliable) sequence format can
+        #: track a larger span — so the builder clamps accordingly.
+        self.credit_plan: dict[int, int] = credit_plan or {}
         self.streams: dict[int, ReceiveStream] = {}
         #: Separate per-source streams for multicast traffic: a multicast
         #: group shares one sequence space at the sender, which cannot be
@@ -296,6 +310,10 @@ class TieInterface:
         self._n_credit_stall_cycles = 0
         self._n_mcast_flits_received = 0
 
+    def initial_credit(self, peer: int) -> int:
+        """Initial in-flight slot budget toward ``peer`` (credit plan)."""
+        return self.credit_plan.get(peer, CREDIT_LIMIT)
+
     # -- RX ------------------------------------------------------------------
 
     def accept(self, flit: Flit) -> None:
@@ -321,7 +339,9 @@ class TieInterface:
                 if self.reliable:
                     self._apply_credit(flit.src, flit.data & SLOT_MASK)
                 else:
-                    limit = self._credit_limit.get(flit.src, CREDIT_LIMIT)
+                    limit = self._credit_limit.get(
+                        flit.src, self.initial_credit(flit.src)
+                    )
                     self._credit_limit[flit.src] = limit + CREDIT_WINDOW
                 self.stats.inc("credits_received")
                 return
@@ -574,13 +594,17 @@ class TieInterface:
         # Credit gate: never exceed the peer-confirmed window.
         if self.reliable:
             floor = self._peer_credited.get(self.tx.dst_node, 0)
-            # Same window as the fault-free gate (floor + CREDIT_LIMIT ==
-            # the incremental limit in a lossless run), narrowed by the
-            # retransmit SRAM depth: every emitted-but-unretired slot
+            # Same window as the fault-free gate (floor + initial credit
+            # == the incremental limit in a lossless run), narrowed by
+            # the retransmit SRAM depth: every emitted-but-unretired slot
             # must stay replayable.
-            limit = floor + min(CREDIT_LIMIT, self.retx_slots)
+            limit = floor + min(
+                self.initial_credit(self.tx.dst_node), self.retx_slots
+            )
         else:
-            limit = self._credit_limit.get(self.tx.dst_node, CREDIT_LIMIT)
+            limit = self._credit_limit.get(
+                self.tx.dst_node, self.initial_credit(self.tx.dst_node)
+            )
         if self.tx.current_slot() >= limit:
             self._n_credit_stall_cycles += 1
             return None

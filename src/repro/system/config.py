@@ -37,10 +37,24 @@ class SystemConfig:
     write_buffer_depth: int = 4
 
     # -- NoC ------------------------------------------------------------------
-    topology_kind: str = "folded_torus"  # or "mesh"
+    topology_kind: str = "folded_torus"  # or "mesh" / "chiplet"
     grid: tuple[int, int] | None = None  # None = smallest near-square fit
     eject_width: int = 1
     strict_encoding: bool = False
+
+    # -- chiplet topology (used when topology_kind == "chiplet") --------------
+    #: Number of compute chiplets around the central IO chiplet (which
+    #: holds the MPMMU at node 0, next to the memory controller).
+    chiplets: int = 4
+    #: Per-chiplet compute mesh shape; None = smallest near-square mesh
+    #: that fits the workers split evenly across the chiplets.
+    chiplet_grid: tuple[int, int] | None = None
+    #: Flight latency of each inter-chiplet link in cycles (on-die links
+    #: are always 1; off-package SerDes hops cost several).
+    chiplet_link_latency: int = 4
+    #: Inter-chiplet link serialization factor: cycles one flit occupies
+    #: the wire (2 = half-width off-die link).
+    chiplet_link_width: int = 1
 
     # -- DMA/collective engine (opt-in hardware assist) -----------------------
     #: Depth of the per-tile DMA TX descriptor queue; 0 disables the
@@ -143,13 +157,46 @@ class SystemConfig:
             TrafficClass(self.arbiter_high_priority.lower())
         if isinstance(self.empi_barrier, str):
             BarrierAlgorithm(self.empi_barrier.lower())
-        if self.topology_kind not in ("folded_torus", "mesh"):
-            raise ConfigError(f"unknown topology {self.topology_kind!r}")
+        if self.topology_kind not in ("folded_torus", "mesh", "chiplet"):
+            raise ConfigError(
+                f"unknown topology {self.topology_kind!r}; "
+                f"use 'folded_torus', 'mesh' or 'chiplet'"
+            )
         if self.grid is not None:
             width, height = self.grid
             if width * height < self.n_nodes:
                 raise ConfigError(
-                    f"grid {width}x{height} too small for {self.n_nodes} nodes"
+                    f"{self.topology_kind} grid {width}x{height} "
+                    f"({width * height} tiles) too small for "
+                    f"{self.n_nodes} nodes ({self.n_workers} workers + "
+                    f"the MPMMU)"
+                )
+        if self.topology_kind == "chiplet":
+            if self.chiplets < 1:
+                raise ConfigError(
+                    f"chiplet topology needs >= 1 compute chiplet, "
+                    f"got chiplets={self.chiplets}"
+                )
+            if self.chiplet_grid is not None:
+                width, height = self.chiplet_grid
+                if width < 1 or height < 1:
+                    raise ConfigError(
+                        f"chiplet topology needs chiplet_grid dimensions "
+                        f">= 1x1, got {width}x{height}"
+                    )
+                if self.chiplets * width * height < self.n_workers:
+                    raise ConfigError(
+                        f"chiplet topology ({self.chiplets} chiplets of "
+                        f"{width}x{height} = "
+                        f"{self.chiplets * width * height} tiles) too "
+                        f"small for {self.n_workers} workers"
+                    )
+            if self.chiplet_link_latency < 1 or self.chiplet_link_width < 1:
+                raise ConfigError(
+                    f"chiplet topology needs chiplet_link_latency and "
+                    f"chiplet_link_width >= 1, got latency="
+                    f"{self.chiplet_link_latency}, "
+                    f"width={self.chiplet_link_width}"
                 )
         if self.eject_width < 1:
             raise ConfigError("eject_width must be >= 1")

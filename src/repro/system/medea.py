@@ -21,11 +21,16 @@ from repro.mem.scratchpad import Scratchpad
 from repro.mem.values import words_to_float
 from repro.mpmmu.mpmmu import MpmmuNode
 from repro.noc.network import NocFabric
-from repro.noc.topology import FoldedTorusTopology, MeshTopology, grid_for_nodes
+from repro.noc.topology import build_topology
 from repro.pe.processor import ProcessorNode
 from repro.pe.program import ProgramContext
 from repro.pe.reliability import ReliabilityAgent
-from repro.pe.tie import TieInterface
+from repro.pe.tie import (
+    CREDIT_LIMIT,
+    CREDIT_WINDOW,
+    MAX_SPAN,
+    TieInterface,
+)
 from repro.system.config import SystemConfig
 from repro.telemetry.hub import TelemetryHub
 from repro.telemetry.registry import (
@@ -47,11 +52,15 @@ class MedeaSystem:
     def __init__(self, config: SystemConfig) -> None:
         config.validate()
         self.config = config
-        width, height = config.grid or grid_for_nodes(config.n_nodes)
-        if config.topology_kind == "mesh":
-            self.topology = MeshTopology(width, height)
-        else:
-            self.topology = FoldedTorusTopology(width, height)
+        self.topology = build_topology(
+            config.topology_kind,
+            config.n_nodes,
+            grid=config.grid,
+            chiplets=config.chiplets,
+            chiplet_grid=config.chiplet_grid,
+            chiplet_link_latency=config.chiplet_link_latency,
+            chiplet_link_width=config.chiplet_link_width,
+        )
         self.sim = Simulator()
         telemetry_cfg = config.telemetry
         if telemetry_cfg is not None and telemetry_cfg.events:
@@ -107,6 +116,21 @@ class MedeaSystem:
         self.rank_to_node = {
             rank: rank + 1 for rank in range(config.n_workers)
         }
+        #: Rank groups per compute chiplet (None on flat topologies).
+        #: Node-order numbering means chiplet 0 fills first; only ranks
+        #: that exist appear (trailing switch-only tiles are dropped).
+        self.rank_groups: list[list[int]] | None = None
+        groups = self.topology.chiplet_groups()
+        if groups is not None:
+            node_to_rank = {
+                node: rank for rank, node in self.rank_to_node.items()
+            }
+            self.rank_groups = [
+                ranks for ranks in (
+                    [node_to_rank[m] for m in members if m in node_to_rank]
+                    for members in groups
+                ) if ranks
+            ]
         self.notes: list[tuple[int, int, str]] = []
         self.nodes: list[ProcessorNode] = []
         for rank in range(config.n_workers):
@@ -141,16 +165,50 @@ class MedeaSystem:
 
     # -- construction -----------------------------------------------------------
 
+    def _credit_plan(self, node_id: int) -> dict[int, int]:
+        """Topology-aware per-peer initial credit limits for one tile.
+
+        On uniform (legacy) topologies every hop RTT fits the hardware
+        default window, so the plan is empty and every code path is
+        bit-identical to the fixed-constant scheme.  With slow
+        inter-chiplet links, a peer's window wants to cover its credit
+        round trip (``2 x path latency``) plus one credit window of
+        slack; the 4-bit wire sequence format caps the span at
+        CREDIT_LIMIT, so the widened budget only takes effect in
+        reliable mode, whose 16-bit sequence numbers track spans up to
+        the double-buffer bound (MAX_SPAN - CREDIT_WINDOW keeps the
+        crediting granularity inside it).
+        """
+        topology = self.topology
+        if topology.uniform_links:
+            return {}
+        reliable = self.injector is not None
+        cap = (MAX_SPAN - CREDIT_WINDOW) if reliable else CREDIT_LIMIT
+        plan = {}
+        for peer in range(topology.n_nodes):
+            if peer == node_id:
+                continue
+            rtt = 2 * topology.path_latency(node_id, peer)
+            limit = max(CREDIT_LIMIT, min(cap, rtt + CREDIT_WINDOW))
+            if limit != CREDIT_LIMIT:
+                plan[peer] = limit
+        return plan
+
     def _build_worker(self, rank: int) -> ProcessorNode:
         config = self.config
         node_id = self.rank_to_node[rank]
         ports = self.fabric.ports_of(node_id)
         lut = AddressLut(MPMMU_NODE)
-        tie = TieInterface(node_id)
+        tie = TieInterface(node_id, credit_plan=self._credit_plan(node_id))
         if self.injector is not None:
             tie.reliable = True
             tie.faults = self.injector
-            tie.retx_slots = config.faults.retx_slots
+            # The retransmit SRAM must hold every in-flight slot, so a
+            # widened chiplet credit plan sizes it up along with the window.
+            tie.retx_slots = max(
+                config.faults.retx_slots,
+                max(tie.credit_plan.values(), default=0),
+            )
         dma = None
         if config.dma_tx_queue_depth > 0:
             dma = DmaTxEngine(
@@ -313,6 +371,7 @@ class MedeaSystem:
             empi_timeout_cycles=config.empi_timeout_cycles,
             empi_timeout_retries=config.empi_timeout_retries,
         )
+        ctx.rank_groups = self.rank_groups
         # Timeout/watchdog reports carry every diagnostic describer we
         # have: fault state, the last telemetry snapshot, and the cycle
         # ledger's top stall class per stuck rank.

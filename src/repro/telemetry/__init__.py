@@ -27,6 +27,8 @@ from repro.telemetry.heatmap import (
     render_heatmap,
     render_link_map,
     render_noc_report,
+    render_panel_heatmap,
+    render_panel_map,
     render_windowed_utilization,
 )
 from repro.telemetry.hub import TelemetryHub
@@ -52,6 +54,8 @@ __all__ = [
     "render_heatmap",
     "render_link_map",
     "render_noc_report",
+    "render_panel_heatmap",
+    "render_panel_map",
     "render_report",
     "render_windowed_utilization",
     "sampled_overlap_efficiency",

@@ -68,9 +68,11 @@ class AttributionError(MedeaError):
 def tile_ledgers(system) -> list[dict]:
     """Per-tile exact cycle partitions, conservation-checked.
 
-    Each row carries the rank, every ledger class, and ``total`` (always
-    equal to the elapsed cycle count — :class:`AttributionError`
-    otherwise, because an inexact ledger would silently misattribute).
+    Each row carries the rank, the tile's topology label (``2,0`` on a
+    grid, ``c1:2,0`` on a chiplet system), every ledger class, and
+    ``total`` (always equal to the elapsed cycle count —
+    :class:`AttributionError` otherwise, because an inexact ledger would
+    silently misattribute).
     """
     cycles = system.sim.cycle
     tiles = []
@@ -82,7 +84,12 @@ def tile_ledgers(system) -> list[dict]:
                 f"rank {node.rank} ledger sums to {total}, "
                 f"expected {cycles}: {ledger}"
             )
-        tiles.append({"rank": node.rank, "total": total, **ledger})
+        tiles.append({
+            "rank": node.rank,
+            "tile": system.topology.label_of(node.node_id),
+            "total": total,
+            **ledger,
+        })
     return tiles
 
 
@@ -169,6 +176,7 @@ def top_stalls(
                     context.append(f"faults: {active}")
             rows.append({
                 "rank": tile["rank"],
+                "tile": tile.get("tile", ""),
                 "class": cls,
                 "cycles": count,
                 "share": count / cycles if cycles else 0.0,
@@ -475,6 +483,7 @@ def build_report(system, workload: str = "", stats: dict | None = None) -> dict:
         "schema": REPORT_SCHEMA,
         "workload": workload,
         "cycles": cycles,
+        "tile_labels": [tile["tile"] for tile in tiles],
         "ledger": {
             "tiles": tiles,
             "aggregate": aggregate_ledger(tiles),
@@ -497,6 +506,18 @@ def _percent(part: int, whole: int) -> str:
     return f"{100.0 * part / whole:5.1f}%" if whole else "  0.0%"
 
 
+def _rank_name(report: dict, rank: int) -> str:
+    """``rank 3 (c1:0,1)`` — rank plus its topology tile label.
+
+    Reports predating the label column (or hand-built ones) fall back
+    to the bare rank.
+    """
+    labels = report.get("tile_labels")
+    if labels and 0 <= rank < len(labels):
+        return f"rank {rank} ({labels[rank]})"
+    return f"rank {rank}"
+
+
 def render_report(report: dict, top_paths: int = 4) -> str:
     """Terminal view of :func:`build_report`'s dict."""
     cycles = report["cycles"]
@@ -506,21 +527,31 @@ def render_report(report: dict, top_paths: int = 4) -> str:
         "",
         "where the cycles went (per tile):",
     ]
-    header = "  rank  " + "".join(f"{cls:>14}" for cls in LEDGER_CLASSES)
+    tile_width = max(
+        (len(tile.get("tile", "")) for tile in report["ledger"]["tiles"]),
+        default=0,
+    )
+    tile_width = max(tile_width, len("tile")) if tile_width else 0
+    header = "  rank  " + (
+        f"{'tile':<{tile_width}}  " if tile_width else ""
+    ) + "".join(f"{cls:>14}" for cls in LEDGER_CLASSES)
     lines.append(header)
     for tile in report["ledger"]["tiles"]:
         cells = "".join(
             f"{tile[cls]:>7} {_percent(tile[cls], cycles)}"
             for cls in LEDGER_CLASSES
         )
-        lines.append(f"  {tile['rank']:>4}  {cells}")
+        label = (
+            f"{tile.get('tile', ''):<{tile_width}}  " if tile_width else ""
+        )
+        lines.append(f"  {tile['rank']:>4}  {label}{cells}")
     aggregate = report["ledger"]["aggregate"]
     total = aggregate["total"]
     cells = "".join(
         f"{aggregate[cls]:>7} {_percent(aggregate[cls], total)}"
         for cls in LEDGER_CLASSES
     )
-    lines.append(f"   all  {cells}")
+    lines.append(f"   all  {' ' * (tile_width + 2) if tile_width else ''}{cells}")
     mpmmu = report["ledger"]["mpmmu"]
     lines.append(
         f"  mpmmu: busy {mpmmu['busy']} {_percent(mpmmu['busy'], cycles)}"
@@ -531,7 +562,7 @@ def render_report(report: dict, top_paths: int = 4) -> str:
         for row in report["stalls"]:
             context = f"  [{row['context']}]" if row["context"] else ""
             lines.append(
-                f"  rank {row['rank']:>2} {row['class']:<13}"
+                f"  {_rank_name(report, row['rank']):<18} {row['class']:<13}"
                 f" {row['cycles']:>8} cyc {_percent(row['cycles'], cycles)}"
                 f"{context}"
             )
@@ -563,8 +594,8 @@ def render_report(report: dict, top_paths: int = 4) -> str:
             bound = path["bound_hop"]
             bound_text = (
                 "no transfer edge" if bound is None else
-                f"bound by rank {bound['from_rank']} -> "
-                f"rank {bound['to_rank']} {bound['event']}"
+                f"bound by {_rank_name(report, bound['from_rank'])} -> "
+                f"{_rank_name(report, bound['to_rank'])} {bound['event']}"
                 f" (+{bound['cycles']} cyc)"
             )
             lines.append(
@@ -573,9 +604,9 @@ def render_report(report: dict, top_paths: int = 4) -> str:
             )
             for edge in path["edges"]:
                 lines.append(
-                    f"    {edge['kind']:<5} rank {edge['from_rank']}"
+                    f"    {edge['kind']:<5} {_rank_name(report, edge['from_rank'])}"
                     f" {edge['from_event']} @{edge['from_cycle']}"
-                    f" -> rank {edge['to_rank']} {edge['to_event']}"
+                    f" -> {_rank_name(report, edge['to_rank'])} {edge['to_event']}"
                     f" @{edge['to_cycle']}  +{edge['cycles']} cyc"
                     f" (slack {edge['slack']})"
                 )

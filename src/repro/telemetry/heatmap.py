@@ -102,6 +102,107 @@ def render_link_map(
     return "\n".join(lines)
 
 
+def _panel_positions(panels: list[dict]) -> dict[int, tuple[int, int, int]]:
+    """Map node id -> (panel index, local x, local y)."""
+    positions: dict[int, tuple[int, int, int]] = {}
+    for index, panel in enumerate(panels):
+        for y, row in enumerate(panel["nodes"]):
+            for x, node in enumerate(row):
+                positions[node] = (index, x, y)
+    return positions
+
+
+def _flatten(rows: list[list[float]]) -> list[float]:
+    """Row-major matrix -> per-node list (hierarchical dumps are 1 x n)."""
+    return [value for row in rows for value in row]
+
+
+def render_panel_map(
+    spatial: dict, node_metric: str = "deflections"
+) -> str:
+    """Hierarchical counterpart of :func:`render_link_map`.
+
+    One expanded node+link grid per panel (the IO die and each compute
+    chiplet), then the inter-chiplet links — which have no "between"
+    cell in any panel — listed busiest-first with their endpoint labels
+    (``io``, ``c1:2,0``).
+    """
+    panels = spatial["panels"]
+    labels = spatial["labels"]
+    nodes = _flatten(spatial[node_metric])
+    positions = _panel_positions(panels)
+    flows: list[dict[tuple[int, int], float]] = [{} for __ in panels]
+    crossings: list[tuple[float, str]] = []
+    for link in spatial["links"]:
+        src, dst = link["src_node"], link["dst_node"]
+        src_panel, sx, sy = positions[src]
+        dst_panel, dx, dy = positions[dst]
+        if src_panel == dst_panel:
+            key = (sx + dx, sy + dy)
+            flows[src_panel][key] = (
+                flows[src_panel].get(key, 0) + link["transits"]
+            )
+        else:
+            crossings.append((
+                link["transits"],
+                f"  {labels[src]}->{labels[dst]}: {link['transits']}",
+            ))
+    node_peak = max(nodes, default=0)
+    link_peak = max(
+        (value for panel in flows for value in panel.values()), default=0
+    )
+    lines = [
+        f"noc spatial map: nodes={node_metric} (peak={node_peak:g}), "
+        f"links=transits (peak={link_peak:g})"
+    ]
+    for index, panel in enumerate(panels):
+        lines.append(f"{panel['name']}:")
+        width, height = panel["width"], panel["height"]
+        for gy in range(2 * height - 1):
+            chars = []
+            for gx in range(2 * width - 1):
+                if gx % 2 == 0 and gy % 2 == 0:
+                    node = panel["nodes"][gy // 2][gx // 2]
+                    chars.append(_shade(nodes[node], node_peak))
+                elif (gx + gy) % 2 == 1:
+                    chars.append(
+                        _shade(flows[index].get((gx, gy), 0), link_peak)
+                    )
+                else:
+                    chars.append(" ")
+            lines.append("  " + "".join(chars))
+    lines.append(_legend(max(node_peak, link_peak)))
+    if crossings:
+        lines.append("inter-chiplet links (transits):")
+        lines.extend(
+            text for __, text in
+            sorted(crossings, key=lambda item: -item[0])
+        )
+    return "\n".join(lines)
+
+
+def render_panel_heatmap(
+    spatial: dict, metric: str, title: str
+) -> str:
+    """Per-panel shade grids for one per-switch metric.
+
+    The hierarchical analogue of :func:`render_heatmap`: panels share
+    one peak so shades compare across chiplets.
+    """
+    panels = spatial["panels"]
+    nodes = _flatten(spatial[metric])
+    peak = max(nodes, default=0)
+    lines = [f"{title} (peak={peak:g})"]
+    for panel in panels:
+        lines.append(f"{panel['name']}:")
+        for row in panel["nodes"]:
+            lines.append(
+                "  " + " ".join(_shade(nodes[node], peak) for node in row)
+            )
+    lines.append(_legend(peak))
+    return "\n".join(lines)
+
+
 def render_windowed_utilization(
     windows: list[dict], per_line: int = 60
 ) -> str:
@@ -146,13 +247,20 @@ def render_noc_report(
     """
     if spatial is None:
         return "noc spatial telemetry: off"
-    sections = [render_link_map(spatial)]
+    hierarchical = "panels" in spatial
+    sections = [
+        render_panel_map(spatial) if hierarchical
+        else render_link_map(spatial)
+    ]
     for metric, title in (
         ("deflections", "switch deflections"),
         ("inject_stalls", "injection stalls"),
         ("ejects", "ejections"),
     ):
-        sections.append(render_heatmap(spatial[metric], title))
+        sections.append(
+            render_panel_heatmap(spatial, metric, title) if hierarchical
+            else render_heatmap(spatial[metric], title)
+        )
     if windows is not None:
         sections.append(render_windowed_utilization(windows))
     return "\n\n".join(sections)

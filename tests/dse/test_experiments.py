@@ -24,8 +24,8 @@ from repro.dse.space import jacobi_sweep_space
 def test_registry_covers_every_artifact():
     assert set(ALL_EXPERIMENTS) == {
         "fig6", "fig7", "fig8", "fig9", "compare", "noc", "simspeed",
-        "collectives", "hw_collectives", "matmul", "stream", "cg",
-        "fault_sweep",
+        "collectives", "hw_collectives", "chiplet_sweep", "matmul",
+        "stream", "cg", "fault_sweep",
     }
 
 

@@ -267,3 +267,50 @@ def test_strict_encoding_accepts_mask_in_spare_bits():
                             mask=flit.dst_mask)
     )
     assert decoded["mask"] == flit.dst_mask
+
+
+# -- the chiplet hub: exact split bound --------------------------------------
+
+
+def test_multicast_splits_at_a_two_port_chiplet_hub():
+    """Regression for the hierarchical-topology livelock: a multicast
+    flit entering the two-port IO hub with destinations in *both*
+    chiplets must split a copy toward each uplink in one pass.  Under
+    the grids' spare-port slack the second branch could never satisfy
+    ``free_count > reserve + 1`` at a degree-2 node, so the merged flit
+    bounced back to the source chiplet forever."""
+    from repro.noc.topology import ChipletTopology
+
+    topo = ChipletTopology(2, 2, 2)  # hub node 0: ports 0 and 1 only
+    # Destinations span chiplet 0 (nodes 2, 4) and chiplet 1 (nodes 5-8).
+    mask = (1 << 2) | (1 << 4) | (1 << 5) | (1 << 8)
+    flit = mcast_flit(src=1, mask=mask, uid=1)
+    inputs = [None] * topo.max_ports
+    inputs[0] = flit
+    outcome = route_node(0, inputs, None, topo)
+    masks = [m for m in out_masks(outcome) if m is not None]
+    assert sorted(masks) == [(1 << 2) | (1 << 4), (1 << 5) | (1 << 8)]
+    assert outcome.flit_copies == 1
+    assert not outcome.ejected
+
+
+def test_multicast_hub_split_still_reserves_younger_flits():
+    """With a younger multicast flit also present at the hub, the older
+    one must *not* split — both ports are needed to place both flits —
+    and every destination bit survives on some output."""
+    from repro.noc.topology import ChipletTopology
+
+    topo = ChipletTopology(2, 2, 2)
+    old = mcast_flit(src=1, mask=(1 << 2) | (1 << 6), uid=1, injected_at=0)
+    young = mcast_flit(src=2, mask=(1 << 7), uid=2, injected_at=5)
+    inputs = [None] * topo.max_ports
+    inputs[0] = old
+    inputs[1] = young
+    outcome = route_node(0, inputs, None, topo)
+    masks = [m for m in out_masks(outcome) if m is not None]
+    assert len(masks) == 2  # one port each, no starvation
+    combined = 0
+    for m in masks:
+        combined |= m
+    assert combined == (1 << 2) | (1 << 6) | (1 << 7)
+    assert outcome.flit_copies == 0

@@ -1,0 +1,84 @@
+"""Chiplet-scale acceptance battery: collectives on hierarchical packages.
+
+The tentpole claim of the topology refactor, as executable checks:
+
+* a 4-chiplet, 64-tile package (4x4 compute meshes around the IO hub)
+  runs tree, ring, hardware-offloaded and hierarchical allreduce with
+  results bit-identical to the exact pure-python combine-order
+  reference (``validated``);
+* the hardware multicast engine works across chiplet boundaries — the
+  regression guard for the two-port-hub replication livelock;
+* at 64 tiles the hierarchical schedule beats the flat ring (the
+  locality win the ``chiplet_sweep`` experiment maps in full);
+* runs are deterministic: the same config reproduces the same cycles.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.collective_bench import (
+    CollectiveBenchParams,
+    run_collective_bench,
+)
+from repro.system.config import SystemConfig
+
+ALGORITHMS = ("tree", "ring", "hier", "hw")
+
+
+def run_64_tile(algorithm: str, n_values: int = 8):
+    config = SystemConfig(
+        n_workers=64, topology_kind="chiplet", chiplets=4,
+        chiplet_grid=(4, 4), chiplet_link_latency=8, chiplet_link_width=2,
+        dma_tx_queue_depth=4 if algorithm == "hw" else 0,
+    )
+    params = CollectiveBenchParams(
+        collective="allreduce", model="empi", algorithm=algorithm,
+        n_values=n_values, repeats=1,
+    )
+    return run_collective_bench(config, params, max_cycles=500_000)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_64_tile_allreduce_matches_the_reference(algorithm):
+    result = run_64_tile(algorithm)
+    assert result.validated, (
+        f"{algorithm} allreduce drifted from the combine-order reference "
+        f"on the 4x(4x4) package"
+    )
+    assert result.total_cycles > 0
+
+
+def test_64_tile_hierarchical_beats_the_flat_ring():
+    # 48 of every rank's 63 peers live on other chiplets: the flat ring
+    # crosses the serialized uplinks ~once per hop, the hierarchical
+    # schedule exactly twice per chiplet.  This is the regime the
+    # chiplet_sweep experiment maps; pin the headline point here.
+    hier = run_64_tile("hier")
+    ring = run_64_tile("ring")
+    assert hier.validated and ring.validated
+    assert hier.total_cycles < ring.total_cycles
+
+
+def test_64_tile_runs_are_deterministic():
+    first = run_64_tile("hier")
+    second = run_64_tile("hier")
+    assert first.total_cycles == second.total_cycles
+    assert first.op_cycles == second.op_cycles
+
+
+def test_hw_multicast_crosses_serialized_uplinks():
+    """Regression: fabric multicast used to livelock the moment a
+    group spanned chiplets (the hub could never split the remote
+    branch); the narrow serialized uplink is the hard variant."""
+    config = SystemConfig(
+        n_workers=8, topology_kind="chiplet", chiplets=2,
+        chiplet_grid=(2, 2), chiplet_link_latency=8, chiplet_link_width=2,
+        dma_tx_queue_depth=4,
+    )
+    params = CollectiveBenchParams(
+        collective="allreduce", model="empi", algorithm="hw",
+        n_values=8, repeats=2,
+    )
+    result = run_collective_bench(config, params, max_cycles=200_000)
+    assert result.validated

@@ -215,3 +215,67 @@ def test_zero_rate_plan_loses_and_retransmits_nothing():
         worker["tie"].get("retx_sent", 0)
         for worker in result.stats["workers"]
     ) == 0
+
+
+# -- faults x chiplet topology ----------------------------------------------
+
+
+def chiplet_bench(algorithm: str, faults: FaultPlan | None, **overrides):
+    config = SystemConfig(
+        n_workers=8, topology_kind="chiplet", chiplets=2,
+        chiplet_grid=(2, 2), chiplet_link_latency=2, chiplet_link_width=1,
+        faults=faults,
+        dma_tx_queue_depth=4 if algorithm == "hw" else 0,
+        **overrides,
+    )
+    params = CollectiveBenchParams(
+        collective="allreduce", model="empi", algorithm=algorithm,
+        n_values=16, repeats=2,
+    )
+    return run_collective_bench(config, params, max_cycles=500_000)
+
+
+def test_killed_intra_chiplet_link_reroutes_within_the_chiplet():
+    # Node 2 is c0:1,0; killing its SOUTH link leaves the 2x2 chiplet
+    # mesh connected, so the rerouted productive table must deliver
+    # every value through the remaining intra-chiplet path.
+    clean = chiplet_bench("tree", None)
+    dead = chiplet_bench("tree", FaultPlan(seed=3, dead_links=[(2, 2, 200)]))
+    assert clean.validated and dead.validated
+    assert dead.stats["faults"]["link_killed"] == 1
+    assert dead.total_cycles >= clean.total_cycles
+
+
+def test_dead_uplink_reports_an_honest_partition():
+    # A chiplet has exactly one uplink; killing hub port 1 severs
+    # chiplet 1 entirely.  No reroute exists, so the no-progress
+    # watchdog must turn the stall into a structured report rather
+    # than spinning to max_cycles.
+    with pytest.raises(WatchdogError) as exc:
+        chiplet_bench(
+            "tree", FaultPlan(seed=3, dead_links=[(0, 1, 200)]),
+            watchdog_cycles=20_000,
+        )
+    message = str(exc.value)
+    assert "no progress" in message
+    assert "wait_msg" in message
+
+
+@pytest.mark.parametrize("algorithm", ("tree", "ring", "hier"))
+def test_lossy_interchiplet_links_recover_bit_identically(algorithm):
+    # Transient drops on a 4-chiplet package (some inevitably on the
+    # serialized inter-chiplet wires): the reliable wire format must
+    # mask every loss, for the flat algorithms and the hierarchical
+    # schedule alike.
+    config = SystemConfig(
+        n_workers=16, topology_kind="chiplet", chiplets=4,
+        chiplet_grid=(2, 2), chiplet_link_latency=4, chiplet_link_width=2,
+        faults=FaultPlan(seed=3, drop_rate=0.02),
+    )
+    params = CollectiveBenchParams(
+        collective="allreduce", model="empi", algorithm=algorithm,
+        n_values=16, repeats=2,
+    )
+    result = run_collective_bench(config, params, max_cycles=500_000)
+    assert result.validated
+    assert result.stats["faults"]["dropped"] > 0
